@@ -1,0 +1,114 @@
+"""Ablation — the 70 % saturation-fill rule.
+
+The paper fixes saturation at 70 % of the virtual vector ("a single flow
+can set at most three bits (i.e., 70%) of the 8-bit virtual vector").  The
+threshold trades three quantities against each other:
+
+* higher fill → larger retention capacity (better regulation) …
+* … but more noise levels collapse into fewer zero-bits cases, and the
+  coupon-collector tail makes each quantum noisier;
+* lower fill → cheap saturations but almost no retention.
+
+This ablation sweeps the fill factor and reports capacity, L2 bank count
+(= memory multiplier), measured regulation rate, and single-flow accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import FlowRegulator
+
+FILLS = (0.5, 0.6, 0.7, 0.8, 0.9)
+SINGLE_FLOW_PACKETS = 60_000
+
+
+def _single_flow_run(fill, seed=23):
+    regulator = FlowRegulator(64, vector_bits=8, saturation_fill=fill, seed=seed)
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for _ in range(SINGLE_FLOW_PACKETS):
+        est = regulator.process(1, int(rng.integers(8)), int(rng.integers(8)))
+        if est is not None:
+            total += est
+    total += regulator.residual_estimate(1)
+    error = abs(total - SINGLE_FLOW_PACKETS) / SINGLE_FLOW_PACKETS
+    return regulator, error
+
+
+def _loaded_run(trace, fill):
+    """Regulation rate and elephant error on a full trace at this fill."""
+    from repro.core import InstaMeasure, InstaMeasureConfig
+    from repro.analysis import mean_relative_error
+
+    engine = InstaMeasure(
+        InstaMeasureConfig(
+            l1_memory_bytes=4096,
+            wsaf_entries=1 << 14,
+            saturation_fill=fill,
+            seed=19,
+        )
+    )
+    result = engine.process_trace(trace)
+    truth = trace.ground_truth_packets().astype(float)
+    big = truth >= 2000
+    est, _ = engine.estimates_for(trace)
+    return result.regulation_rate, mean_relative_error(est[big], truth[big])
+
+
+def test_ablation_saturation_fill(benchmark, caida_small, write_report):
+    rows = []
+    capacities = {}
+    single_errors = {}
+    loaded_rates = {}
+    loaded_errors = {}
+    for fill in FILLS:
+        if fill == 0.7:
+            regulator, single_error = benchmark.pedantic(
+                _single_flow_run, args=(fill,), rounds=1, iterations=1
+            )
+        else:
+            regulator, single_error = _single_flow_run(fill)
+        rate, loaded_error = _loaded_run(caida_small, fill)
+        capacities[fill] = regulator.retention_capacity
+        single_errors[fill] = single_error
+        loaded_rates[fill] = rate
+        loaded_errors[fill] = loaded_error
+        rows.append(
+            [
+                f"{fill:.0%}",
+                f"{regulator.retention_capacity:8.1f}",
+                len(regulator.l2) + 1,
+                f"{single_error:7.2%}",
+                f"{rate:8.3%}",
+                f"{loaded_error:7.2%}",
+            ]
+        )
+    table = format_table(
+        ["fill", "retention", "banks", "1-flow err", "trace ips/pps", "elephant err"],
+        rows,
+        title="Ablation — saturation fill threshold (8-bit vectors)",
+    )
+    note = (
+        "\nhigher fill multiplies retention (better regulation, fewer banks)"
+        "\nbut strands more of each flow inside the sketch: on the loaded"
+        "\ntrace, elephant error grows with fill while ips/pps falls."
+        "\nThe paper's 70% is the knee: ~1% ips/pps at percent-level error."
+    )
+    write_report("ablation_fill", table + note)
+
+    # Capacity grows monotonically with fill; regulation rate falls.
+    sorted_fills = sorted(capacities)
+    assert [capacities[f] for f in sorted_fills] == sorted(capacities.values())
+    assert [loaded_rates[f] for f in sorted_fills] == sorted(
+        loaded_rates.values(), reverse=True
+    )
+    # The trade-off: the extremes are worse than the paper's 70 % on one
+    # axis each — 50 % regulates 3-4x worse, 90 % is 2x+ less accurate.
+    assert loaded_rates[0.5] > 3 * loaded_rates[0.7]
+    assert loaded_errors[0.9] > 2 * loaded_errors[0.7]
+    # All configurations still count a single flow to within ~10 %.
+    assert all(error < 0.1 for error in single_errors.values())
+    # 70 % retains ~95 packets (the paper's quantum).
+    assert 90 <= capacities[0.7] <= 100

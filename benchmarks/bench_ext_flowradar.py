@@ -1,0 +1,103 @@
+"""Extension — InstaMeasure vs FlowRadar (the paper's closest relative).
+
+Related Work: "FlowRadar's view on WSAF is similar to InstaMeasure,
+although it tried to solve non-deterministic insertion time by IBLT's
+constant time insertion, instead of relaxing the {ips = pps} constraint."
+
+The architectural trade this bench makes concrete:
+
+* FlowRadar touches memory ~7-11 times on *every* packet (Bloom check +
+  IBLT cells) but recovers exact counters — until the epoch holds more
+  flows than the IBLT can peel, where decode fails outright;
+* InstaMeasure touches 1-2 sketch words per packet and ~1 % of packets
+  touch the WSAF; accuracy degrades gracefully with memory instead of
+  cliff-ing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table, mean_relative_error
+from repro.baselines import FlowRadar
+from repro.core import InstaMeasure, InstaMeasureConfig
+
+
+def _run_flowradar(trace, iblt_cells):
+    radar = FlowRadar(iblt_cells=iblt_cells, seed=21)
+    radar.encode_trace(trace)
+    return radar.decode()
+
+
+def test_ext_flowradar_comparison(benchmark, caida_small, write_report):
+    trace = caida_small
+    truth = trace.ground_truth_packets().astype(float)
+    big = truth >= 2000
+    keys = trace.flows.key64
+
+    engine = InstaMeasure(
+        InstaMeasureConfig(l1_memory_bytes=4096, wsaf_entries=1 << 15, seed=21)
+    )
+    insta_result = engine.process_trace(trace)
+    insta_est, _ = engine.estimates_for(trace)
+    insta_error = mean_relative_error(insta_est[big], truth[big])
+
+    rows = [
+        [
+            "InstaMeasure (16KB sketch)",
+            f"{2 + 3 * insta_result.regulation_rate:5.2f}",
+            f"{insta_result.regulation_rate:8.3%}",
+            f"{insta_error:7.2%}",
+            "graceful",
+        ]
+    ]
+
+    # FlowRadar sized comfortably (2 cells/flow) and undersized (cliff).
+    generous_cells = 2 * trace.num_flows
+    recovered, stats = benchmark.pedantic(
+        _run_flowradar, args=(trace, generous_cells), rounds=1, iterations=1
+    )
+    radar_est = np.array(
+        [recovered.get(int(keys[flow]), 0.0) for flow in np.flatnonzero(big)]
+    )
+    radar_error = mean_relative_error(radar_est, truth[big])
+    rows.append(
+        [
+            f"FlowRadar ({generous_cells} cells)",
+            f"{stats.updates_per_packet:5.2f}",
+            "100.000%",
+            f"{radar_error:7.2%}",
+            "exact" if not stats.decode_failed else "FAILED",
+        ]
+    )
+
+    tight_cells = trace.num_flows // 3
+    _recovered2, stats2 = _run_flowradar(trace, tight_cells)
+    rows.append(
+        [
+            f"FlowRadar ({tight_cells} cells)",
+            f"{stats2.updates_per_packet:5.2f}",
+            "100.000%",
+            "   n/a",
+            "decode FAILED" if stats2.decode_failed else "exact",
+        ]
+    )
+
+    table = format_table(
+        ["system", "mem updates/pkt", "flow-store ips/pps", "elephant err", "decode"],
+        rows,
+        title="Extension — InstaMeasure vs FlowRadar (IBLT)",
+    )
+    note = (
+        "\nFlowRadar buys exact epoch counters with ~an order of magnitude"
+        "\nmore per-packet memory traffic and a hard capacity cliff;"
+        "\nInstaMeasure regulates the flow store to ~1% of pps and degrades"
+        "\ngracefully when memory is short."
+    )
+    write_report("ext_flowradar", table + note)
+
+    assert not stats.decode_failed
+    assert stats2.decode_failed  # the cliff is real
+    assert radar_error < 0.02  # exact up to Bloom merges
+    assert stats.updates_per_packet > 3.0
+    assert insta_result.regulation_rate < 0.03

@@ -1,0 +1,60 @@
+"""Fig 1 — RCC saturation rate vs packet arrival rate.
+
+Paper claim: plain RCC's saturation (= WSAF insertion) rate is 12-19 % of
+the packet arrival rate for 8-bit vectors (~12 % for 16-bit), far above the
+5-10 % speed margin SRAM has over DRAM — so RCC alone cannot front an
+In-DRAM WSAF.
+"""
+
+from __future__ import annotations
+
+
+from repro.analysis import format_table
+from repro.baselines import run_rcc_regulator
+from repro.memmodel import DRAM, ips_margin
+
+
+def _series(trace, vector_bits, memory_bytes=4096):
+    result = run_rcc_regulator(
+        trace, memory_bytes=memory_bytes, vector_bits=vector_bits, bucket_seconds=2.0
+    )
+    return result
+
+
+def test_fig01_rcc_saturation_rate(benchmark, caida_small, write_report):
+    result8 = benchmark(_series, caida_small, 8)
+    result16 = _series(caida_small, 16)
+
+    rows = []
+    for i in range(len(result8.bucket_times)):
+        pps = result8.bucket_pps[i]
+        if pps == 0:
+            continue
+        rows.append(
+            [
+                f"{result8.bucket_times[i]:6.1f}",
+                f"{pps:10.0f}",
+                f"{result8.bucket_ips[i]:9.0f}",
+                f"{result8.bucket_ips[i] / pps:7.1%}",
+                f"{result16.bucket_ips[i]:9.0f}",
+                f"{result16.bucket_ips[i] / pps:7.1%}",
+            ]
+        )
+    table = format_table(
+        ["t (s)", "pps", "ips 8b", "rate 8b", "ips 16b", "rate 16b"],
+        rows,
+        title="Fig 1 — RCC saturation rate vs packet arrival rate",
+    )
+    margin = ips_margin(DRAM, reference_pps=100e6)
+    summary = (
+        f"\noverall: 8-bit rate {result8.regulation_rate:.1%}, "
+        f"16-bit rate {result16.regulation_rate:.1%}; "
+        f"DRAM margin at 100 Mpps line rate: {margin:.1%}\n"
+        f"paper: 19% (8-bit) / 12% (16-bit), margin 5-10% -> RCC infeasible"
+    )
+    write_report("fig01_rcc_saturation", table + summary)
+
+    # Shape assertions: RCC saturates around 10-20+ % of pps, above margin.
+    assert 0.08 <= result8.regulation_rate <= 0.30
+    assert result16.regulation_rate < result8.regulation_rate
+    assert result8.regulation_rate > margin

@@ -1,0 +1,104 @@
+"""Fig 10 — packet-counter accuracy vs memory, and packet Top-K recall.
+
+Paper claims (one-hour CAIDA, single core, L1 memory 32-512 KB):
+  * average error falls as memory grows and as flows get larger —
+    e.g. 128 KB: 3.48 % (10K+ pkts), 1.54 % (100K+), 0.56 % (1000K+);
+    2048 KB total: 1.76 % / 0.58 % / 0.19 %.
+  * packet Top-K recall mostly above 95 %.
+
+Scale note: the reproduction trace is ~1/4000 of the paper's (625 K packets,
+30 K flows), so the sketch sweep (128 B - 16 KB L1) and the cumulative size
+bands (1K+/3K+/10K+ packets) are scaled accordingly.  The claims under test
+are the monotone trends (more memory → less error; bigger flows → less
+error) and the magnitudes (single-digit percent, ~1-2 % for elephants).
+Top-K is evaluated at K/num_flows ratios comparable to the paper's Top-1M
+out of 78 M flows (≈1 %).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import band_errors, format_table
+from repro.core import InstaMeasure, InstaMeasureConfig
+from repro.detection import topk_recall
+
+L1_SWEEP_BYTES = [128, 512, 2048, 16 * 1024]
+BANDS = [(1e3, np.inf), (3e3, np.inf), (1e4, np.inf)]
+TOPK_KS = [10, 100, 300, 1000]
+
+
+def _run_engine(trace, l1_bytes):
+    engine = InstaMeasure(
+        InstaMeasureConfig(l1_memory_bytes=l1_bytes, wsaf_entries=1 << 16, seed=10)
+    )
+    engine.process_trace(trace)
+    return engine
+
+
+def test_fig10_packet_accuracy(benchmark, caida_trace, write_report):
+    truth = caida_trace.ground_truth_packets().astype(float)
+    positive = truth > 0
+
+    sweep_rows = []
+    errors_by_memory = {}
+    engines = {}
+    for l1_bytes in L1_SWEEP_BYTES:
+        if l1_bytes == L1_SWEEP_BYTES[0]:
+            engine = benchmark.pedantic(
+                _run_engine, args=(caida_trace, l1_bytes), rounds=1, iterations=1
+            )
+        else:
+            engine = _run_engine(caida_trace, l1_bytes)
+        engines[l1_bytes] = engine
+        est, _ = engine.estimates_for(caida_trace)
+        bands = band_errors(est[positive], truth[positive], BANDS)
+        errors_by_memory[l1_bytes] = bands
+        memory_label = (
+            f"{l1_bytes}B/{4 * l1_bytes}B"
+            if l1_bytes < 1024
+            else f"{l1_bytes // 1024}KB/{4 * l1_bytes // 1024}KB"
+        )
+        sweep_rows.append(
+            [
+                memory_label,
+                *(f"{band.mean_error:7.2%}" for band in bands),
+            ]
+        )
+    table_a = format_table(
+        ["L1/total mem", "1K+ pkts", "3K+ pkts", "10K+ pkts"],
+        sweep_rows,
+        title="Fig 10(a) — packet-count mean error vs memory (scaled bands)",
+    )
+
+    # Top-K recall with the largest configuration (the paper fixes 10 MB);
+    # the residual closes the truncation gap for sub-retention flows, as the
+    # paper's periodic list updates read the live structure.
+    est_big, _ = engines[L1_SWEEP_BYTES[-1]].estimates_for(
+        caida_trace, include_residual=True
+    )
+    recalls = {k: topk_recall(est_big, truth, k) for k in TOPK_KS}
+    recall_rows = [[k, f"{recalls[k]:6.1%}"] for k in TOPK_KS]
+    table_b = format_table(
+        ["K", "packet Top-K recall"],
+        recall_rows,
+        title="Fig 10(b) — packet Top-K recall",
+    )
+    note = (
+        "\npaper anchors (full scale): 128KB -> 3.48%/1.54%/0.56%;"
+        "\n2048KB -> 1.76%/0.58%/0.19%; Top-K recall mostly > 95%."
+        "\nNote: at reproduction scale, rank-1000 flows are sub-retention"
+        "\n(~100 pkts < ~95-pkt quantum), so Top-1000 recall degrades by design."
+    )
+    write_report("fig10_packet_accuracy", table_a + "\n\n" + table_b + note)
+
+    # Shape assertions: error falls with memory and with flow size.
+    smallest = errors_by_memory[L1_SWEEP_BYTES[0]]
+    largest = errors_by_memory[L1_SWEEP_BYTES[-1]]
+    assert largest[0].mean_error < smallest[0].mean_error  # memory helps (1K+)
+    assert largest[2].mean_error < smallest[2].mean_error  # memory helps (10K+)
+    assert largest[2].mean_error < largest[0].mean_error  # elephants better
+    assert largest[2].mean_error < 0.03  # elephants: low single digits
+    assert recalls[10] >= 0.9
+    assert recalls[100] >= 0.9
+    assert recalls[300] >= 0.7

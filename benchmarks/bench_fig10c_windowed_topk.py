@@ -1,0 +1,61 @@
+"""Fig 10/11 (Top-K panels) — periodic Top-K list updates over time.
+
+The paper evaluates Top-K "with updates done every 10 minutes" over the
+one-hour trace: the operator repeatedly refreshes the Top-K list from the
+running WSAF, and recall stays high at every refresh.  This bench runs the
+windowed version of that protocol on the reproduction trace (10-second
+windows over the 60-second trace ≈ the paper's 10-minute windows over one
+hour) and reports the recall trajectory.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, sparkline
+from repro.core import InstaMeasureConfig
+from repro.detection import windowed_topk_recall
+
+WINDOW_SECONDS = 10.0
+KS = [10, 100]
+
+
+def _run(trace):
+    return windowed_topk_recall(
+        trace,
+        window_seconds=WINDOW_SECONDS,
+        ks=KS,
+        config=InstaMeasureConfig(
+            l1_memory_bytes=16 * 1024, wsaf_entries=1 << 16, seed=12
+        ),
+    )
+
+
+def test_fig10c_windowed_topk(benchmark, caida_trace, write_report):
+    snapshots = benchmark.pedantic(_run, args=(caida_trace,), rounds=1, iterations=1)
+    assert len(snapshots) >= 5
+
+    rows = [
+        [
+            f"{snap.end_time:6.0f}",
+            f"{snap.packets_so_far:,}",
+            snap.wsaf_flows,
+            *(f"{snap.recalls[k]:6.1%}" for k in KS),
+        ]
+        for snap in snapshots
+    ]
+    table = format_table(
+        ["t (s)", "packets seen", "WSAF flows", "Top-10 recall", "Top-100 recall"],
+        rows,
+        title="Fig 10/11 panels — periodic Top-K updates (10 s windows)",
+    )
+    trend = "\nTop-100 recall over time: " + sparkline(
+        [snap.recalls[100] for snap in snapshots]
+    )
+    note = "\npaper: recall mostly > 95% at every 10-minute refresh"
+    write_report("fig10c_windowed_topk", table + trend + note)
+
+    # Recall is high at every refresh once the working set warms up.
+    warm = snapshots[1:]
+    assert all(snap.recalls[10] >= 0.8 for snap in warm)
+    assert all(snap.recalls[100] >= 0.8 for snap in warm)
+    # The WSAF keeps growing as new elephants appear (long-term measurement).
+    assert snapshots[-1].wsaf_flows > snapshots[0].wsaf_flows

@@ -1,0 +1,93 @@
+"""Fig 11 — byte-counter accuracy vs memory, and byte Top-K recall.
+
+Paper claims: the sampling-based byte counter tracks the packet counter's
+accuracy almost exactly — e.g. 128 KB: 3.47 % (10MB+), 1.57 % (100MB+),
+0.54 % (1GB+); byte Top-K recall mostly above 95 %.  The byte estimate is
+``est_pkt × len(triggering packet)``, so its error is the packet error plus
+packet-size sampling noise (Section III-C).
+
+Scale note: bands are cumulative byte thresholds scaled to the reproduction
+trace (1MB+/3MB+/10MB+), mirroring Fig 10's packet bands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import band_errors, format_table, mean_relative_error
+from repro.core import InstaMeasure, InstaMeasureConfig
+from repro.detection import topk_recall
+
+L1_SWEEP_BYTES = [128, 512, 2048, 16 * 1024]
+BYTE_BANDS = [(1e6, np.inf), (3e6, np.inf), (1e7, np.inf)]
+TOPK_KS = [10, 100, 300]
+
+
+def _run_engine(trace, l1_bytes):
+    engine = InstaMeasure(
+        InstaMeasureConfig(l1_memory_bytes=l1_bytes, wsaf_entries=1 << 16, seed=11)
+    )
+    engine.process_trace(trace)
+    return engine
+
+
+def test_fig11_byte_accuracy(benchmark, caida_trace, write_report):
+    truth_bytes = caida_trace.ground_truth_bytes().astype(float)
+    truth_packets = caida_trace.ground_truth_packets().astype(float)
+    positive = truth_bytes > 0
+
+    sweep_rows = []
+    errors_by_memory = {}
+    final_engine = None
+    for l1_bytes in L1_SWEEP_BYTES:
+        if l1_bytes == L1_SWEEP_BYTES[0]:
+            engine = benchmark.pedantic(
+                _run_engine, args=(caida_trace, l1_bytes), rounds=1, iterations=1
+            )
+        else:
+            engine = _run_engine(caida_trace, l1_bytes)
+        final_engine = engine
+        _est_packets, est_bytes = engine.estimates_for(caida_trace)
+        bands = band_errors(est_bytes[positive], truth_bytes[positive], BYTE_BANDS)
+        errors_by_memory[l1_bytes] = bands
+        memory_label = (
+            f"{l1_bytes}B/{4 * l1_bytes}B"
+            if l1_bytes < 1024
+            else f"{l1_bytes // 1024}KB/{4 * l1_bytes // 1024}KB"
+        )
+        sweep_rows.append(
+            [memory_label, *(f"{band.mean_error:7.2%}" for band in bands)]
+        )
+    table_a = format_table(
+        ["L1/total mem", "1MB+", "3MB+", "10MB+"],
+        sweep_rows,
+        title="Fig 11(a) — byte-count mean error vs memory (scaled bands)",
+    )
+
+    est_packets, est_bytes = final_engine.estimates_for(caida_trace)
+    recalls = {k: topk_recall(est_bytes, truth_bytes, k) for k in TOPK_KS}
+    recall_rows = [[k, f"{recalls[k]:6.1%}"] for k in TOPK_KS]
+    table_b = format_table(
+        ["K", "byte Top-K recall"],
+        recall_rows,
+        title="Fig 11(b) — byte Top-K recall",
+    )
+
+    # Section III-C: byte counting is within ~1 % of packet counting.
+    big = truth_packets >= 1e4
+    packet_err = mean_relative_error(est_packets[big], truth_packets[big])
+    byte_err = mean_relative_error(est_bytes[big], truth_bytes[big])
+    note = (
+        f"\nbyte vs packet error on 10K+ pkt flows: {byte_err:.2%} vs "
+        f"{packet_err:.2%} (paper: byte counting tracks packet counting <1% apart)"
+    )
+    write_report("fig11_byte_accuracy", table_a + "\n\n" + table_b + note)
+
+    smallest = errors_by_memory[L1_SWEEP_BYTES[0]]
+    largest = errors_by_memory[L1_SWEEP_BYTES[-1]]
+    assert largest[0].mean_error < smallest[0].mean_error  # memory helps
+    assert largest[2].mean_error < largest[0].mean_error  # elephants better
+    assert largest[2].mean_error < 0.04
+    assert recalls[10] >= 0.9
+    assert recalls[100] >= 0.9
+    assert abs(byte_err - packet_err) < 0.02  # byte tracks packet accuracy

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the data-plane primitives (pytest-benchmark).
+
+Real wall-clock cost of each per-packet operation in this pure-Python
+implementation — the honest counterpart of the paper's Mpps numbers (which
+Fig 9(a)'s bench reproduces through the cycle model).  These use
+pytest-benchmark's statistics properly: many rounds of a small fixed batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FlowRegulator, RCCSketch, WSAFTable
+from repro.hashing import hash_u64, popcount32
+
+BATCH = 1000
+
+
+@pytest.fixture(scope="module")
+def packet_bits():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 8, size=2 * BATCH, dtype=np.int64).tolist()
+
+
+def test_micro_hash_u64(benchmark):
+    def run():
+        acc = 0
+        for value in range(BATCH):
+            acc ^= hash_u64(value, 7)
+        return acc
+
+    benchmark(run)
+
+
+def test_micro_popcount_dispatch(benchmark):
+    ips = list(range(0xC0A80000, 0xC0A80000 + BATCH))
+
+    def run():
+        acc = 0
+        for ip in ips:
+            acc += popcount32(ip) % 4
+        return acc
+
+    benchmark(run)
+
+
+def test_micro_rcc_encode(benchmark, packet_bits):
+    sketch = RCCSketch(4096, seed=1)
+    idx, offset = sketch.place(42)
+
+    def run():
+        for p in range(BATCH):
+            sketch.encode_at(idx, offset, packet_bits[p])
+
+    benchmark(run)
+
+
+def test_micro_regulator_process(benchmark, packet_bits):
+    regulator = FlowRegulator(4096, seed=2)
+    idx, offset = regulator.place(42)
+
+    def run():
+        for p in range(BATCH):
+            regulator.process_at(idx, offset, packet_bits[p], packet_bits[p + BATCH])
+
+    benchmark(run)
+
+
+def test_micro_wsaf_accumulate(benchmark):
+    table = WSAFTable(num_entries=1 << 14)
+    keys = [hash_u64(k, 3) for k in range(BATCH)]
+
+    def run():
+        for i, key in enumerate(keys):
+            table.accumulate(key, 95.0, 9500.0, float(i))
+
+    benchmark(run)
+
+
+def test_micro_wsaf_update_hot_entry(benchmark):
+    table = WSAFTable(num_entries=1 << 14)
+    key = hash_u64(7, 3)
+    table.accumulate(key, 1.0, 1.0, 0.0)
+
+    def run():
+        for i in range(BATCH):
+            table.accumulate(key, 95.0, 9500.0, float(i))
+
+    benchmark(run)

@@ -1,0 +1,78 @@
+"""Section V-C "Comparison" — InstaMeasure vs CSM at double the memory.
+
+Paper claims: CSM with 60 MB (≈2× InstaMeasure's largest memory) could not
+even finish decoding the one-hour dataset; restricted to one minute of data
+and the top flows, its error was 2.4 % (top-100) and 8.53 % (top-1000) —
+much worse than InstaMeasure.  Two claims to reproduce at scale:
+
+  1. accuracy: CSM's top-flow error is several times InstaMeasure's despite
+     2× the sketch memory;
+  2. decode cost: CSM decodes offline over the whole flow population, while
+     InstaMeasure's estimates are already materialized in the WSAF.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table, mean_relative_error
+from repro.baselines import CSMSketch
+from repro.core import InstaMeasure, InstaMeasureConfig
+from repro.detection.topk import topk_flows
+
+INSTA_L1_BYTES = 8 * 1024  # 32 KB total sketch memory
+CSM_MEMORY_BYTES = 2 * 4 * INSTA_L1_BYTES  # 2× InstaMeasure's sketch total
+
+
+def _run_instameasure(trace):
+    engine = InstaMeasure(
+        InstaMeasureConfig(l1_memory_bytes=INSTA_L1_BYTES, wsaf_entries=1 << 16, seed=15)
+    )
+    engine.process_trace(trace)
+    return engine.estimates_for(trace)[0]
+
+
+def test_csm_comparison(benchmark, caida_trace, write_report):
+    truth = caida_trace.ground_truth_packets().astype(float)
+
+    insta_estimates = benchmark.pedantic(
+        _run_instameasure, args=(caida_trace,), rounds=1, iterations=1
+    )
+
+    csm = CSMSketch(memory_bytes=CSM_MEMORY_BYTES, counters_per_flow=16, seed=15)
+    csm.encode_trace(caida_trace)
+    decode_start = time.perf_counter()
+    csm_estimates = csm.decode_flows(caida_trace.flows.key64)
+    decode_seconds = time.perf_counter() - decode_start
+
+    rows = []
+    errors = {}
+    for k in (100, 1000):
+        top = np.array(sorted(topk_flows(truth, k)))
+        insta_err = mean_relative_error(insta_estimates[top], truth[top])
+        csm_err = mean_relative_error(csm_estimates[top], truth[top])
+        errors[k] = (insta_err, csm_err)
+        rows.append([f"top-{k}", f"{insta_err:7.2%}", f"{csm_err:7.2%}"])
+    table = format_table(
+        ["flow set", "InstaMeasure", f"CSM ({CSM_MEMORY_BYTES // 1024}KB = 2x mem)"],
+        rows,
+        title="Section V-C — InstaMeasure vs CSM (top-flow mean error)",
+    )
+    note = (
+        f"\nCSM offline decode of {caida_trace.num_flows:,} flows took "
+        f"{decode_seconds * 1e3:.1f} ms (vectorized); InstaMeasure's estimates"
+        f"\nare already in the WSAF (online decoding)."
+        f"\npaper anchors: CSM 2.4% top-100, 8.53% top-1000, and decoding the"
+        f"\nfull hour did not terminate"
+    )
+    write_report("table_csm_comparison", table + note)
+
+    # Shape: InstaMeasure beats CSM on both lists despite half the memory,
+    # and CSM degrades sharply from top-100 to top-1000 (noise ∝ 1/size).
+    insta100, csm100 = errors[100]
+    insta1000, csm1000 = errors[1000]
+    assert insta100 < csm100
+    assert insta1000 < csm1000
+    assert csm1000 > 2 * csm100

@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale note (see DESIGN.md §1): the paper's datasets are billions of packets;
+the reproduction runs the same algorithms on scaled-down synthetic traces
+with sketch memory scaled by the same factor.  Every bench prints the
+paper-shaped rows/series for its figure and also writes them to
+``results/<experiment>.txt`` so the report survives pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.traffic import (
+    CaidaLikeConfig,
+    CampusConfig,
+    build_caida_like_trace,
+    build_campus_trace,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def caida_trace():
+    """The main lab trace (stands in for the 1-hour CAIDA dataset)."""
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=30_000, duration=60.0, seed=1)
+    )
+
+
+@pytest.fixture(scope="session")
+def caida_small():
+    """A smaller mix for iterated experiments (latency sweeps, timing)."""
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=8_000, duration=20.0, seed=2)
+    )
+
+
+@pytest.fixture(scope="session")
+def campus_trace():
+    """The 113-hour campus gateway stand-in (compressed timeline)."""
+    return build_campus_trace(
+        CampusConfig(hours=113, seconds_per_hour=6.0, num_flows=40_000, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def write_report():
+    """Persist an experiment report under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _write

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Aggregate anomaly detection: volumetric attacks and link failures.
+
+The paper motivates instant measurement with "anomalies (e.g., congestion,
+link failure, DDoS attack, and so on)".  This example injects both shapes
+into background traffic and runs the EWMA change detector over the
+per-second volume series, alongside InstaMeasure pinpointing *which* flow
+caused the spike.
+
+Run:  python examples/change_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import InstaMeasure, InstaMeasureConfig
+from repro.analysis import print_table, sparkline
+from repro.detection import (
+    HeavyHitterDetector,
+    detect_volume_changes,
+)
+from repro.traffic import (
+    AttackConfig,
+    CaidaLikeConfig,
+    build_caida_like_trace,
+    inject_attack_flows,
+)
+from repro.traffic.packet import Trace
+
+
+def _drop_window(trace: Trace, start: float, end: float) -> Trace:
+    """Simulate a link failure: all packets in [start, end) vanish."""
+    keep = (trace.timestamps < start) | (trace.timestamps >= end)
+    return Trace(
+        timestamps=trace.timestamps[keep],
+        flow_ids=trace.flow_ids[keep],
+        sizes=trace.sizes[keep],
+        flows=trace.flows,
+    )
+
+
+def main() -> None:
+    print("Generating 60 s of background traffic ...")
+    background = build_caida_like_trace(
+        CaidaLikeConfig(num_flows=12_000, duration=60.0, seed=37)
+    )
+
+    print("Injecting a DDoS burst at t=20 s and a link failure at t=40-44 s ...")
+    attacked, injected = inject_attack_flows(
+        background,
+        AttackConfig(rates_pps=[120_000.0], duration=3.0, start_time=20.0),
+    )
+    trace = _drop_window(attacked, 40.0, 44.0)
+
+    _times, volumes = trace.packets_per_bucket(1.0)
+    print("\nper-second volume: " + sparkline(volumes.tolist()))
+
+    events = detect_volume_changes(trace, bucket_seconds=1.0, threshold_sigmas=4.0)
+    rows = [
+        [
+            f"{event.time:5.0f}",
+            "spike" if event.is_spike else "collapse",
+            f"{event.observed:10.0f}",
+            f"{event.expected:10.0f}",
+            f"{event.sigmas:6.1f}",
+        ]
+        for event in events
+    ]
+    print_table(
+        ["t (s)", "kind", "observed pps", "expected pps", "sigmas"],
+        rows,
+        "EWMA change events",
+    )
+
+    # Attribute the spike: InstaMeasure names the flow within milliseconds.
+    detector = HeavyHitterDetector(threshold_packets=5000)
+    engine = InstaMeasure(
+        InstaMeasureConfig(l1_memory_bytes=16 * 1024, wsaf_entries=1 << 16)
+    )
+    engine.process_trace(trace, on_accumulate=detector.on_accumulate)
+    attack_key = int(trace.flows.key64[injected[0]])
+    detected_at = detector.packet_detections.get(attack_key)
+    if detected_at is not None:
+        print(
+            f"\nattack flow identified by InstaMeasure at t={detected_at:.3f}s "
+            f"(onset was t=20.000s)"
+        )
+    else:
+        print("\nattack flow not identified (unexpected)")
+
+    spikes = [event for event in events if event.is_spike]
+    collapses = [event for event in events if event.is_collapse]
+    print(
+        f"summary: {len(spikes)} spike bucket(s), {len(collapses)} collapse "
+        f"bucket(s) — both anomaly shapes caught from one volume series."
+    )
+
+
+if __name__ == "__main__":
+    main()

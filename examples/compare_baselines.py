@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Compare InstaMeasure against the classic measurement baselines.
+
+Runs the same trace through InstaMeasure, single-layer RCC, CSM (randomized
+counter sharing), a NetFlow-style exact cache, Count-Min, and Space-Saving,
+then compares top-flow accuracy and — the paper's central axis — how many
+table operations per packet each design demands from the flow store.
+
+Run:  python examples/compare_baselines.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import InstaMeasure, InstaMeasureConfig
+from repro.analysis import mean_relative_error, print_table
+from repro.baselines import (
+    CSMSketch,
+    CountMinSketch,
+    CounterTree,
+    NetFlowTable,
+    SpaceSaving,
+    run_rcc_regulator,
+)
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+SKETCH_BYTES = 16 * 1024
+
+
+def main() -> None:
+    print("Generating traffic ...")
+    trace = build_caida_like_trace(
+        CaidaLikeConfig(num_flows=15_000, duration=20.0, seed=29)
+    )
+    truth = trace.ground_truth_packets().astype(float)
+    top100 = np.argsort(-truth)[:100]
+    keys_top100 = trace.flows.key64[top100]
+
+    rows = []
+
+    engine = InstaMeasure(
+        InstaMeasureConfig(l1_memory_bytes=SKETCH_BYTES // 4, wsaf_entries=1 << 16)
+    )
+    result = engine.process_trace(trace)
+    est, _ = engine.estimates_for(trace)
+    rows.append(
+        [
+            "InstaMeasure",
+            f"{SKETCH_BYTES // 1024}KB",
+            f"{mean_relative_error(est[top100], truth[top100]):7.2%}",
+            f"{result.regulation_rate:8.3%}",
+            "online (WSAF)",
+        ]
+    )
+
+    rcc = run_rcc_regulator(trace, memory_bytes=SKETCH_BYTES)
+    est_rcc = np.array([rcc.estimates.get(int(k), 0.0) for k in keys_top100])
+    rows.append(
+        [
+            "RCC (1 layer)",
+            f"{SKETCH_BYTES // 1024}KB",
+            f"{mean_relative_error(est_rcc, truth[top100]):7.2%}",
+            f"{rcc.regulation_rate:8.3%}",
+            "online (WSAF)",
+        ]
+    )
+
+    csm = CSMSketch(memory_bytes=SKETCH_BYTES, counters_per_flow=16)
+    csm.encode_trace(trace)
+    est_csm = csm.decode_flows(keys_top100)
+    rows.append(
+        [
+            "CSM",
+            f"{SKETCH_BYTES // 1024}KB",
+            f"{mean_relative_error(est_csm, truth[top100]):7.2%}",
+            "   0.000%",
+            "offline decode",
+        ]
+    )
+
+    tree = CounterTree(memory_bytes=SKETCH_BYTES, counter_bits=8, num_layers=3)
+    tree.encode_trace(trace)
+    est_tree = tree.decode_flows(keys_top100)
+    rows.append(
+        [
+            "Counter Tree",
+            f"{SKETCH_BYTES // 1024}KB",
+            f"{mean_relative_error(est_tree, truth[top100]):7.2%}",
+            "   0.000%",
+            "offline decode",
+        ]
+    )
+
+    cms = CountMinSketch(memory_bytes=SKETCH_BYTES, depth=4)
+    cms.encode_trace(trace)
+    est_cms = cms.query_flows(keys_top100).astype(float)
+    rows.append(
+        [
+            "Count-Min",
+            f"{SKETCH_BYTES // 1024}KB",
+            f"{mean_relative_error(est_cms, truth[top100]):7.2%}",
+            "   0.000%",
+            "offline query",
+        ]
+    )
+
+    netflow = NetFlowTable(max_entries=4096)
+    stats = netflow.process_trace(trace)
+    nf_est = netflow.estimates()
+    est_nf = np.array([nf_est.get(int(k), (0.0, 0.0))[0] for k in keys_top100])
+    rows.append(
+        [
+            "NetFlow (4K entries)",
+            "exact",
+            f"{mean_relative_error(est_nf, truth[top100]):7.2%}",
+            f"{stats.operations_per_packet:8.3%}",
+            "exact cache",
+        ]
+    )
+
+    ss = SpaceSaving(capacity=SKETCH_BYTES // 32)  # ~32 B per monitored flow
+    ss.process_trace(trace)
+    est_ss = np.array([float(ss.estimate(int(k))) for k in keys_top100])
+    rows.append(
+        [
+            "Space-Saving",
+            f"{SKETCH_BYTES // 1024}KB",
+            f"{mean_relative_error(est_ss, truth[top100]):7.2%}",
+            f"{1.0:8.3%}",
+            "counter summary",
+        ]
+    )
+
+    print_table(
+        ["system", "memory", "top-100 error", "flow-store ips/pps", "decoding"],
+        rows,
+        "Baselines at equal sketch memory",
+    )
+    print(
+        "\n'flow-store ips/pps' is the insertion pressure on the per-flow\n"
+        "table: NetFlow and Space-Saving pay one operation per packet\n"
+        "({ips = pps}); InstaMeasure's FlowRegulator cuts it to ~1%."
+    )
+
+
+if __name__ == "__main__":
+    main()

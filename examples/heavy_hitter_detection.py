@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Heavy-hitter detection with instant (saturation-based) decoding.
+
+Injects volumetric attack flows of varying rates into background traffic
+and shows how quickly InstaMeasure flags each one compared with the exact
+(packet-arrival-based) crossing time and a delegation-based remote
+collector — the Fig 9(b) scenario as an application.
+
+Run:  python examples/heavy_hitter_detection.py
+"""
+
+from __future__ import annotations
+
+from repro import InstaMeasureConfig
+from repro.analysis import print_table
+from repro.detection import DelegationModel, detection_latency_experiment
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+def main() -> None:
+    print("Generating background traffic ...")
+    background = build_caida_like_trace(
+        CaidaLikeConfig(num_flows=8_000, duration=10.0, seed=11)
+    )
+
+    rates = [5_000.0, 20_000.0, 60_000.0, 150_000.0]
+    print(f"Injecting {len(rates)} attack flows and detecting (threshold: 500 pkts) ...")
+    samples = detection_latency_experiment(
+        background,
+        rates_pps=rates,
+        threshold_packets=500,
+        engine_config=InstaMeasureConfig(
+            l1_memory_bytes=16 * 1024, wsaf_entries=1 << 16
+        ),
+        delegation=DelegationModel(epoch_seconds=0.02, network_delay_seconds=0.02),
+        attack_duration=1.5,
+        attack_start=0.5,
+    )
+
+    rows = []
+    for sample in samples:
+        lag = sample.saturation_latency
+        rows.append(
+            [
+                f"{sample.rate_pps / 1e3:.0f} kpps",
+                f"{sample.ground_truth_time * 1e3:.1f} ms",
+                f"{lag * 1e3:+.2f} ms" if lag is not None else "missed",
+                f"{sample.delegation_latency * 1e3:+.2f} ms",
+            ]
+        )
+    print_table(
+        ["attack rate", "true crossing", "InstaMeasure lag", "delegation lag"],
+        rows,
+        "Detection latency by decoding strategy",
+    )
+    print(
+        "\nHeavier attackers are caught sooner (the lag is ~one retention\n"
+        "quantum of ~95 packets at the flow's own rate); delegation-based\n"
+        "decoding pays the epoch + network delay regardless of rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

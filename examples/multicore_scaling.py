@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Multi-core scaling: popcount dispatch, load balance, modelled throughput.
+
+Runs the manager/worker system of Section IV-C with 1-4 workers and shows
+how the popcount(srcIP) dispatcher balances load, how the shared WSAF
+collects all workers' insertions, and what throughput the calibrated cycle
+cost model predicts for each core count (the Fig 9(a) experiment as an
+application).
+
+Run:  python examples/multicore_scaling.py
+"""
+
+from __future__ import annotations
+
+
+from repro import InstaMeasureConfig, MultiCoreInstaMeasure
+from repro.analysis import print_table
+from repro.simulate import CycleCostModel
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+def main() -> None:
+    print("Generating traffic ...")
+    trace = build_caida_like_trace(
+        CaidaLikeConfig(num_flows=25_000, duration=30.0, seed=23)
+    )
+    model = CycleCostModel()
+
+    rows = []
+    for workers in (1, 2, 3, 4):
+        system = MultiCoreInstaMeasure(
+            workers,
+            InstaMeasureConfig(l1_memory_bytes=4 * 1024, wsaf_entries=1 << 16),
+        )
+        result = system.process_trace(trace)
+        l1_rate = sum(
+            r.regulator_stats.l1_saturations for r in result.worker_results
+        ) / max(1, result.packets)
+        modelled_mpps = (
+            model.multicore_pps(
+                workers, result.max_load_share, l1_rate, result.regulation_rate
+            )
+            / 1e6
+        )
+        shares = "/".join(f"{share:.2f}" for share in result.load_shares)
+        rows.append(
+            [
+                workers,
+                shares,
+                f"{result.parallel_speedup:.2f}x",
+                f"{modelled_mpps:.1f}",
+                f"{len(system.wsaf):,}",
+            ]
+        )
+    print_table(
+        ["workers", "load shares", "balance speedup", "model Mpps", "WSAF flows"],
+        rows,
+        "Multi-core InstaMeasure (popcount dispatch, shared WSAF)",
+    )
+    print(
+        "\nScaling is sublinear because real source addresses are skewed —\n"
+        "the busiest worker's share bounds the system, exactly the mechanism\n"
+        "behind the paper's 18.88/25.48/36.19/46.32 Mpps curve."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package installs in offline
+environments that lack the ``wheel`` package: there,
+``pip install -e . --no-build-isolation --no-use-pep517`` takes the legacy
+``setup.py develop`` path, which needs nothing beyond setuptools.
+"""
+
+from setuptools import setup
+
+setup()

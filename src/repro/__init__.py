@@ -1,0 +1,57 @@
+"""InstaMeasure reproduction — instant per-flow detection with an In-DRAM WSAF.
+
+A from-scratch Python implementation of *InstaMeasure: Instant Per-flow
+Detection Using Large In-DRAM Working Set of Active Flows* (ICDCS 2019):
+the two-layer FlowRegulator sketch, the In-DRAM WSAF table, single- and
+multi-core measurement engines, detection applications, comparison
+baselines, and the substrates (traffic synthesis, memory/timing models)
+needed to regenerate the paper's evaluation.
+
+Quickstart::
+
+    from repro import InstaMeasure, InstaMeasureConfig
+    from repro.traffic import build_caida_like_trace, CaidaLikeConfig
+
+    trace = build_caida_like_trace(CaidaLikeConfig(num_flows=20_000))
+    engine = InstaMeasure(InstaMeasureConfig(l1_memory_bytes=8192))
+    result = engine.process_trace(trace)
+    print(f"regulation rate: {result.regulation_rate:.2%}")
+    est_packets, est_bytes = engine.estimates_for(trace)
+"""
+
+from repro.core import (
+    FlowRegulator,
+    InstaMeasure,
+    InstaMeasureConfig,
+    MeasurementResult,
+    MultiCoreInstaMeasure,
+    MultiCoreResult,
+    RCCSketch,
+    WSAFTable,
+)
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    DecodeError,
+    ReproError,
+    TraceFormatError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityError",
+    "ConfigurationError",
+    "DecodeError",
+    "FlowRegulator",
+    "InstaMeasure",
+    "InstaMeasureConfig",
+    "MeasurementResult",
+    "MultiCoreInstaMeasure",
+    "MultiCoreResult",
+    "RCCSketch",
+    "ReproError",
+    "TraceFormatError",
+    "WSAFTable",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Analysis: error metrics, size-band reports, table printing.
+
+The paper reports per-size-band average error rates (Fig 10/11), standard
+errors (Fig 13), recall (Top-K), and FPR/FNR (Fig 14).  This package
+computes those metrics and renders the fixed-width tables the benchmark
+harness prints.
+"""
+
+from repro.analysis.ascii_chart import bar_chart, sparkline
+from repro.analysis.distribution import (
+    SizeClass,
+    ccdf_distance,
+    size_class_histogram,
+    traffic_share_curve,
+)
+from repro.analysis.metrics import (
+    BandError,
+    band_errors,
+    mean_relative_error,
+    relative_errors,
+    rms_relative_error,
+    standard_error,
+)
+from repro.analysis.report import format_table, print_table
+
+__all__ = [
+    "BandError",
+    "SizeClass",
+    "band_errors",
+    "bar_chart",
+    "ccdf_distance",
+    "size_class_histogram",
+    "traffic_share_curve",
+    "format_table",
+    "mean_relative_error",
+    "print_table",
+    "relative_errors",
+    "rms_relative_error",
+    "sparkline",
+    "standard_error",
+]

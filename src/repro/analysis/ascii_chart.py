@@ -1,0 +1,62 @@
+"""Text-based charts for benchmark reports.
+
+The benchmark harness is terminal-only, so time series (Fig 7's ips
+timeline, Fig 12's diurnal utilization) are rendered as horizontal bar
+charts and compact sparklines instead of images.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: "list[float]") -> str:
+    """A one-line unicode sparkline of ``values`` (min→max scaled)."""
+    if not values:
+        return ""
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        raise ConfigurationError("sparkline needs at least one finite value")
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if not math.isfinite(value):
+            chars.append("?")
+            continue
+        if span == 0:
+            chars.append(_SPARK_LEVELS[0])
+            continue
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def bar_chart(
+    labels: "list[str]",
+    values: "list[float]",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must be the same length")
+    if width < 1:
+        raise ConfigurationError("width must be >= 1")
+    if not labels:
+        return ""
+    peak = max(values)
+    if peak < 0:
+        raise ConfigurationError("bar_chart values must be non-negative")
+    label_width = max(len(label) for label in labels)
+    rows = []
+    for label, value in zip(labels, values):
+        if value < 0:
+            raise ConfigurationError("bar_chart values must be non-negative")
+        bar = "#" * (round(value / peak * width) if peak > 0 else 0)
+        rows.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| {value:g}{unit}")
+    return "\n".join(rows)

@@ -1,0 +1,120 @@
+"""Distribution-level accuracy metrics.
+
+Per-flow error (Fig 10/11) is one lens; operators also care whether the
+*distribution* of flow sizes is preserved — e.g. for capacity planning or
+for entropy-style anomaly baselines.  These helpers compare an estimated
+per-flow size vector against ground truth at the distribution level:
+size-class histograms, CCDF distance above a threshold, and the
+traffic-share curve (what fraction of packets the top-x% of flows carry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SizeClass:
+    """One size-class row of a histogram comparison."""
+
+    lower: float
+    upper: float
+    true_count: int
+    estimated_count: int
+
+    @property
+    def count_error(self) -> float:
+        """Relative error of the class population (inf-safe)."""
+        if self.true_count == 0:
+            return 0.0 if self.estimated_count == 0 else float("inf")
+        return abs(self.estimated_count - self.true_count) / self.true_count
+
+
+def size_class_histogram(
+    estimated: np.ndarray,
+    truth: np.ndarray,
+    edges: "list[float]",
+) -> "list[SizeClass]":
+    """Compare flow populations per size class.
+
+    Args:
+        estimated / truth: index-aligned per-flow sizes (zeros allowed —
+            flows invisible to the estimator).
+        edges: ascending class boundaries; classes are
+            ``[edges[i], edges[i+1])`` plus a final ``[edges[-1], inf)``.
+    """
+    if len(estimated) != len(truth):
+        raise ConfigurationError("estimated and truth must be index-aligned")
+    if len(edges) < 1 or sorted(edges) != list(edges):
+        raise ConfigurationError("edges must be ascending and non-empty")
+    bounds = list(edges) + [float("inf")]
+    classes: "list[SizeClass]" = []
+    estimated = np.asarray(estimated, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    for lower, upper in zip(bounds[:-1], bounds[1:]):
+        classes.append(
+            SizeClass(
+                lower=lower,
+                upper=upper,
+                true_count=int(((truth >= lower) & (truth < upper)).sum()),
+                estimated_count=int(
+                    ((estimated >= lower) & (estimated < upper)).sum()
+                ),
+            )
+        )
+    return classes
+
+
+def ccdf_distance(
+    estimated: np.ndarray,
+    truth: np.ndarray,
+    min_size: float,
+) -> float:
+    """Max CCDF gap (Kolmogorov-Smirnov style) above ``min_size``.
+
+    Both CCDFs are normalized by the number of *true* flows ≥ ``min_size``,
+    so over-/under-population of the tail shows up directly.
+    """
+    if min_size <= 0:
+        raise ConfigurationError("min_size must be positive")
+    if len(estimated) != len(truth):
+        raise ConfigurationError("estimated and truth must be index-aligned")
+    truth = np.asarray(truth, dtype=np.float64)
+    estimated = np.asarray(estimated, dtype=np.float64)
+    reference = np.sort(truth[truth >= min_size])
+    if len(reference) == 0:
+        raise ConfigurationError(f"no true flows of size >= {min_size}")
+    probes = np.unique(reference)
+    worst = 0.0
+    denominator = float(len(reference))
+    for probe in probes:
+        true_tail = float((truth >= probe).sum()) / denominator
+        est_tail = float((estimated >= probe).sum()) / denominator
+        worst = max(worst, abs(true_tail - est_tail))
+    return worst
+
+
+def traffic_share_curve(
+    flow_sizes: np.ndarray, fractions: "list[float]"
+) -> "list[float]":
+    """Packet share carried by the largest ``fraction`` of flows.
+
+    ``traffic_share_curve(sizes, [0.01])`` answers "what do the top-1 % of
+    flows carry?" — the skew statistic the paper's motivation leans on.
+    """
+    sizes = np.sort(np.asarray(flow_sizes, dtype=np.float64))[::-1]
+    sizes = sizes[sizes > 0]
+    if len(sizes) == 0:
+        raise ConfigurationError("no active flows")
+    if any(not 0.0 < fraction <= 1.0 for fraction in fractions):
+        raise ConfigurationError("fractions must be in (0, 1]")
+    total = sizes.sum()
+    shares = []
+    for fraction in fractions:
+        top = max(1, int(round(fraction * len(sizes))))
+        shares.append(float(sizes[:top].sum() / total))
+    return shares

@@ -1,0 +1,115 @@
+"""Estimation-error metrics in the paper's reporting vocabulary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def relative_errors(estimated: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """|est - truth| / truth, elementwise (truth must be positive)."""
+    estimated = np.asarray(estimated, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimated.shape != truth.shape:
+        raise ConfigurationError("estimated and truth must be index-aligned")
+    if np.any(truth <= 0):
+        raise ConfigurationError("relative error needs positive ground truth")
+    return np.abs(estimated - truth) / truth
+
+
+def mean_relative_error(estimated: np.ndarray, truth: np.ndarray) -> float:
+    """The paper's 'average error rate' of a flow population."""
+    return float(relative_errors(estimated, truth).mean())
+
+
+def rms_relative_error(estimated: np.ndarray, truth: np.ndarray) -> float:
+    """Root-mean-square relative error."""
+    return float(np.sqrt((relative_errors(estimated, truth) ** 2).mean()))
+
+
+def standard_error(estimated: np.ndarray, truth: np.ndarray) -> float:
+    """The paper's Fig 13 'standard error': std of the relative deviation.
+
+    Computed over signed relative deviations ``(est - truth) / truth`` so a
+    tight, unbiased estimator scores near zero.
+    """
+    estimated = np.asarray(estimated, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimated.shape != truth.shape:
+        raise ConfigurationError("estimated and truth must be index-aligned")
+    if np.any(truth <= 0):
+        raise ConfigurationError("standard error needs positive ground truth")
+    deviations = (estimated - truth) / truth
+    return float(np.sqrt((deviations**2).mean()))
+
+
+@dataclass
+class BandError:
+    """Error statistics of one flow-size band (a Fig 10/11 bar)."""
+
+    lower: float
+    upper: float
+    num_flows: int
+    mean_error: float
+    std_error: float
+
+    def label(self, unit: str = "pkts") -> str:
+        """Human-readable band label, e.g. ``[10, 100) pkts``."""
+        if np.isinf(self.upper):
+            return f">={self.lower:g} {unit}"
+        return f"[{self.lower:g}, {self.upper:g}) {unit}"
+
+
+def band_errors(
+    estimated: np.ndarray,
+    truth: np.ndarray,
+    bands: "list[tuple[float, float]]",
+) -> "list[BandError]":
+    """Per-band mean/standard error, like the paper's 10K+/100K+/1000K+ bars.
+
+    Args:
+        estimated / truth: index-aligned per-flow values.
+        bands: (lower, upper) half-open truth intervals; use ``np.inf`` for
+            an unbounded band.  Bands with no flows report NaN errors.
+    """
+    estimated = np.asarray(estimated, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimated.shape != truth.shape:
+        raise ConfigurationError("estimated and truth must be index-aligned")
+    results: "list[BandError]" = []
+    for lower, upper in bands:
+        if lower >= upper:
+            raise ConfigurationError(f"empty band [{lower}, {upper})")
+        mask = (truth >= lower) & (truth < upper)
+        count = int(mask.sum())
+        if count == 0:
+            results.append(BandError(lower, upper, 0, float("nan"), float("nan")))
+            continue
+        results.append(
+            BandError(
+                lower=lower,
+                upper=upper,
+                num_flows=count,
+                mean_error=mean_relative_error(estimated[mask], truth[mask]),
+                std_error=standard_error(estimated[mask], truth[mask]),
+            )
+        )
+    return results
+
+
+#: The paper's packet-count bands (Fig 10): 10K+, 100K+, 1000K+ packets.
+PAPER_PACKET_BANDS = [(1e4, 1e5), (1e5, 1e6), (1e6, float("inf"))]
+#: The paper's byte-volume bands (Fig 11): 10MB+, 100MB+, 1GB+.
+PAPER_BYTE_BANDS = [(1e7, 1e8), (1e8, 1e9), (1e9, float("inf"))]
+
+
+def scaled_bands(
+    bands: "list[tuple[float, float]]", scale: float
+) -> "list[tuple[float, float]]":
+    """Shrink the paper's bands by ``scale`` for reduced-scale traces."""
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    return [(lower * scale, upper * scale) for lower, upper in bands]

@@ -1,0 +1,57 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+Every bench prints the rows/series its figure or table reports; this module
+keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: "list[str]",
+    rows: "list[list[object]]",
+    title: "str | None" = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Cells are stringified; columns are padded to the widest cell; floats are
+    left to the caller to pre-format (benches care about significant digits).
+    """
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells))
+        if cells
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def line(parts: "list[str]") -> str:
+        return "  ".join(part.ljust(width) for part, width in zip(parts, widths))
+
+    out: "list[str]" = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * width for width in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def print_table(
+    headers: "list[str]",
+    rows: "list[list[object]]",
+    title: "str | None" = None,
+) -> None:
+    """Print :func:`format_table` output (with a leading blank line)."""
+    print()
+    print(format_table(headers, rows, title=title))

@@ -1,0 +1,54 @@
+"""Baselines the paper compares against (or builds on).
+
+* :func:`~repro.baselines.rcc_only.run_rcc_regulator` — single-layer RCC as
+  the WSAF front-end (Fig 1 / Fig 7: saturates at 12-19 % of pps, too often
+  for In-DRAM WSAF).
+* :class:`~repro.baselines.csm.CSMSketch` — randomized counter sharing
+  (Li, Chen, Ling; INFOCOM 2011), the offline-decoding comparator of
+  Section V-C.
+* :class:`~repro.baselines.netflow.NetFlowTable` — a NetFlow-style exact
+  flow cache with packet sampling and timeout eviction, the industry
+  practice the paper contrasts with ("registers every flow, if not
+  sampled, in the table regardless of its size").
+* :class:`~repro.baselines.countmin.CountMinSketch` — the classic sketch
+  baseline for heavy-hitter queries.
+* :class:`~repro.baselines.spacesaving.SpaceSaving` — the classic counter-
+  based Top-K baseline (cf. Ben-Basat et al.'s limited Top-512 lists).
+* :class:`~repro.baselines.flowradar.FlowRadar` /
+  :class:`~repro.baselines.iblt.IBLT` — the NSDI'16 design the paper calls
+  its closest relative (constant-time coded insertion vs. rate relaxation).
+* :class:`~repro.baselines.delegation.DelegatingMeasurer` — the
+  delegation-based decoding strategy of Section II made concrete (epoch
+  shipping to a remote collector, with bandwidth and latency costs).
+"""
+
+from repro.baselines.rcc_only import RCCRunResult, run_rcc_regulator
+from repro.baselines.csm import CSMSketch
+from repro.baselines.netflow import NetFlowStats, NetFlowTable
+from repro.baselines.countmin import CountMinSketch
+from repro.baselines.spacesaving import SpaceSaving
+from repro.baselines.iblt import IBLT
+from repro.baselines.flowradar import BloomFilter, FlowRadar, FlowRadarStats
+from repro.baselines.delegation import DelegatingMeasurer, DelegationRunStats
+from repro.baselines.countsketch import CountSketch
+from repro.baselines.countertree import CounterTree
+from repro.baselines.univmon import UnivMon
+
+__all__ = [
+    "BloomFilter",
+    "CSMSketch",
+    "CountMinSketch",
+    "CountSketch",
+    "CounterTree",
+    "UnivMon",
+    "DelegatingMeasurer",
+    "DelegationRunStats",
+    "FlowRadar",
+    "FlowRadarStats",
+    "IBLT",
+    "NetFlowStats",
+    "NetFlowTable",
+    "RCCRunResult",
+    "SpaceSaving",
+    "run_rcc_regulator",
+]

@@ -1,0 +1,191 @@
+"""Counter Tree (Chen, Chen, Cai; ToN 2017) — the cited multi-layer prior.
+
+Section II is explicit that "the multi-layer sketch is not first introduced
+by this paper (e.g., [20])" — reference [20] is Counter Tree.  Its layering
+is *vertical counter extension*: small leaf counters overflow into shared
+parent counters up a tree, so a few hot counters can grow large while the
+leaf array stays dense and memory-efficient.  Contrast with FlowRegulator's
+layering, which exists to *delay decoding* (retention), not to extend
+range — and which uniquely supports online decoding, the paper's point.
+
+Implementation: ``num_layers`` arrays of ``counter_bits``-wide counters;
+layer ``i+1`` has ``1/degree`` as many counters as layer ``i``; a counter
+that wraps carries +1 into its parent.  A leaf's *virtual counter* value is
+``leaf + 2^b·(parent + 2^b·(…))``.  Parents are shared by ``degree``
+children, so sibling carries are noise; flow estimates use CSM-style
+sharing (each flow owns ``counters_per_flow`` leaves) with mean-noise
+subtraction.  Decoding is offline, as with the rest of the sketch family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing import HashFamily, hash_u64_array
+from repro.traffic.packet import Trace
+
+
+class CounterTree:
+    """A counter tree over flow keys.
+
+    Args:
+        memory_bytes: total memory across all layers.
+        counter_bits: width of each counter (the paper's point is that
+            small, overflowing counters beat wide flat ones).
+        degree: children per parent.
+        num_layers: tree height.
+        counters_per_flow: leaves per flow (CSM-style sharing).
+        seed: hash seed.
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        counter_bits: int = 8,
+        degree: int = 2,
+        num_layers: int = 3,
+        counters_per_flow: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if not 2 <= counter_bits <= 32:
+            raise ConfigurationError("counter_bits must be in [2, 32]")
+        if degree < 2:
+            raise ConfigurationError("degree must be >= 2")
+        if num_layers < 1:
+            raise ConfigurationError("num_layers must be >= 1")
+        if counters_per_flow < 1:
+            raise ConfigurationError("counters_per_flow must be >= 1")
+
+        # Split memory: layer i has degree^-i of the leaves, so the leaf
+        # layer gets the geometric share of the budget.
+        weight = sum(degree**-i for i in range(num_layers))
+        total_counters = int(memory_bytes * 8 // counter_bits)
+        num_leaves = int(total_counters / weight)
+        if num_leaves < counters_per_flow:
+            raise ConfigurationError(
+                f"{memory_bytes} bytes cannot hold {counters_per_flow} leaves"
+            )
+        self.counter_bits = counter_bits
+        self.degree = degree
+        self.num_layers = num_layers
+        self.counters_per_flow = counters_per_flow
+        self._limit = 1 << counter_bits
+        self.layers: "list[np.ndarray]" = []
+        size = num_leaves
+        for _ in range(num_layers):
+            self.layers.append(np.zeros(max(1, size), dtype=np.int64))
+            size = -(-size // degree)  # ceil: every child needs a parent
+        self.num_leaves = num_leaves
+        self.total_packets = 0
+        self.overflows = 0
+        self._family = HashFamily(counters_per_flow, seed=seed)
+        self.seed = seed
+
+    # -- placement ---------------------------------------------------------
+
+    def flow_leaves(self, flow_key: int) -> "list[int]":
+        """Leaf indices of ``flow_key``'s storage vector."""
+        return [
+            self._family.hash_mod(j, flow_key, self.num_leaves)
+            for j in range(self.counters_per_flow)
+        ]
+
+    def _flow_leaves_array(self, flow_keys: np.ndarray) -> np.ndarray:
+        columns = [
+            hash_u64_array(flow_keys, self._family.seed_of(j))
+            % np.uint64(self.num_leaves)
+            for j in range(self.counters_per_flow)
+        ]
+        return np.stack(columns, axis=1).astype(np.int64)
+
+    # -- encode ------------------------------------------------------------
+
+    def _bump(self, layer: int, index: int) -> None:
+        """Increment one counter, carrying into the parent on wrap."""
+        array = self.layers[layer]
+        array[index] += 1
+        if array[index] < self._limit:
+            return
+        array[index] = 0
+        self.overflows += 1
+        if layer + 1 < self.num_layers:
+            self._bump(layer + 1, index // self.degree)
+
+    def encode(self, flow_key: int, choice: int) -> None:
+        """Record one packet in the ``choice``-th leaf of the flow."""
+        if not 0 <= choice < self.counters_per_flow:
+            raise ConfigurationError("choice outside the storage vector")
+        self._bump(0, self.flow_leaves(flow_key)[choice])
+        self.total_packets += 1
+
+    def encode_trace(self, trace: Trace) -> None:
+        """Encode every packet of ``trace``."""
+        if trace.num_packets == 0:
+            return
+        leaves = self._flow_leaves_array(trace.flows.key64)
+        rng = np.random.default_rng(self.seed ^ 0xC7EE)
+        choices = rng.integers(
+            0, self.counters_per_flow, size=trace.num_packets, dtype=np.int64
+        )
+        targets = leaves[trace.flow_ids, choices].tolist()
+        bump = self._bump
+        for index in targets:
+            bump(0, index)
+        self.total_packets += trace.num_packets
+
+    # -- decode ------------------------------------------------------------
+
+    def virtual_value(self, leaf_index: int) -> int:
+        """Raw virtual counter of one leaf (leaf + scaled ancestors).
+
+        Ancestors are shared; their value includes sibling carries, so this
+        upper-bounds the leaf's own accumulation.
+        """
+        value = 0
+        scale = 1
+        index = leaf_index
+        for layer in range(self.num_layers):
+            value += scale * int(self.layers[layer][index])
+            scale *= self._limit
+            index //= self.degree
+        return value
+
+    def decode(self, flow_key: int) -> float:
+        """CSM-style estimate: virtual-counter sum minus expected noise."""
+        own = sum(self.virtual_value(leaf) for leaf in self.flow_leaves(flow_key))
+        noise = self.counters_per_flow * self._expected_noise_per_leaf()
+        return max(0.0, own - noise)
+
+    def decode_flows(self, flow_keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`decode`."""
+        virtual = self._virtual_leaves()
+        leaves = self._flow_leaves_array(flow_keys)
+        own = virtual[leaves].sum(axis=1).astype(np.float64)
+        noise = self.counters_per_flow * self._expected_noise_per_leaf()
+        return np.maximum(0.0, own - noise)
+
+    def _virtual_leaves(self) -> np.ndarray:
+        """Virtual values of every leaf, vectorized."""
+        values = self.layers[0].astype(np.float64).copy()
+        scale = float(self._limit)
+        parent_index = np.arange(self.num_leaves) // self.degree
+        for layer in range(1, self.num_layers):
+            values += scale * self.layers[layer][parent_index]
+            scale *= self._limit
+            parent_index //= self.degree
+        return values
+
+    def _expected_noise_per_leaf(self) -> float:
+        """Mean other-flow contribution visible through one leaf.
+
+        A leaf's virtual counter sees its own share plus the carries of
+        every leaf under the same ancestors, so the data-driven baseline is
+        the mean virtual leaf value (the analogue of CSM's ``l·n/m``).
+        """
+        return float(self._virtual_leaves().mean())
+
+    @property
+    def memory_bytes(self) -> int:
+        bits = sum(len(layer) for layer in self.layers) * self.counter_bits
+        return bits // 8

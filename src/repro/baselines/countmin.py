@@ -1,0 +1,118 @@
+"""Count-Min sketch baseline.
+
+The classic frequency sketch (Cormode & Muthukrishnan): ``depth`` rows of
+``width`` counters; each packet increments one counter per row; a flow's
+estimate is the minimum over its row counters, an upper bound on the truth.
+Included as the representative of the sketch family whose offline decoding
+the paper contrasts with InstaMeasure's online saturation-based decoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing import HashFamily, hash_u64_array
+from repro.traffic.packet import Trace
+
+COUNTER_BYTES = 4
+
+
+class CountMinSketch:
+    """A depth × width Count-Min sketch of packet counts.
+
+    Args:
+        memory_bytes: total counter memory (4-byte counters).
+        depth: number of rows (independent hash functions).
+        seed: hash seed.
+        conservative: enable conservative update (only raise the minimum
+            counters), reducing overestimation at the cost of a scalar
+            per-packet path.
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        depth: int = 4,
+        seed: int = 0,
+        conservative: bool = False,
+    ) -> None:
+        if depth < 1:
+            raise ConfigurationError("depth must be >= 1")
+        width = memory_bytes // (COUNTER_BYTES * depth)
+        if width < 1:
+            raise ConfigurationError(
+                f"{memory_bytes} bytes cannot hold {depth} rows of counters"
+            )
+        self.depth = depth
+        self.width = width
+        self.conservative = conservative
+        self.rows = np.zeros((depth, width), dtype=np.int64)
+        self.total_packets = 0
+        self._family = HashFamily(depth, seed=seed)
+
+    def _columns(self, flow_key: int) -> "list[int]":
+        return [
+            self._family.hash_mod(row, flow_key, self.width)
+            for row in range(self.depth)
+        ]
+
+    def _columns_array(self, flow_keys: np.ndarray) -> np.ndarray:
+        """(depth, num_flows) column indices, matching :meth:`_columns`."""
+        return np.stack(
+            [
+                hash_u64_array(flow_keys, self._family.seed_of(row))
+                % np.uint64(self.width)
+                for row in range(self.depth)
+            ]
+        ).astype(np.int64)
+
+    def encode(self, flow_key: int, count: int = 1) -> None:
+        """Add ``count`` packets of ``flow_key``."""
+        columns = self._columns(flow_key)
+        self.total_packets += count
+        if not self.conservative:
+            for row, column in enumerate(columns):
+                self.rows[row, column] += count
+            return
+        current = min(int(self.rows[row, columns[row]]) for row in range(self.depth))
+        target = current + count
+        for row, column in enumerate(columns):
+            if self.rows[row, column] < target:
+                self.rows[row, column] = target
+
+    def encode_trace(self, trace: Trace) -> None:
+        """Encode every packet of ``trace``.
+
+        Vectorized for the plain sketch; conservative update is inherently
+        sequential and falls back to the per-packet path.
+        """
+        if trace.num_packets == 0:
+            return
+        if self.conservative:
+            keys = trace.flows.key64.tolist()
+            for flow in trace.flow_ids.tolist():
+                self.encode(keys[flow])
+            return
+        columns = self._columns_array(trace.flows.key64)
+        packet_counts = trace.ground_truth_packets()
+        for row in range(self.depth):
+            np.add.at(self.rows[row], columns[row], packet_counts)
+        self.total_packets += trace.num_packets
+
+    def query(self, flow_key: int) -> int:
+        """Estimated packet count (never underestimates)."""
+        columns = self._columns(flow_key)
+        return min(int(self.rows[row, columns[row]]) for row in range(self.depth))
+
+    def query_flows(self, flow_keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`query`."""
+        columns = self._columns_array(flow_keys)
+        values = np.stack(
+            [self.rows[row, columns[row]] for row in range(self.depth)]
+        )
+        return values.min(axis=0)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.depth * self.width * COUNTER_BYTES

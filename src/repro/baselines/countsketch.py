@@ -1,0 +1,120 @@
+"""Count-Sketch (Charikar, Chen, Farach-Colton 2002).
+
+The signed cousin of Count-Min: each packet adds ±1 (a hashed sign) to one
+counter per row, and a flow's estimate is the *median* of its signed row
+counters.  Unbiased (unlike Count-Min's one-sided overestimate), with error
+proportional to the stream's L2 norm — which is why UnivMon builds on it
+(see :mod:`repro.baselines.univmon`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing import HashFamily, hash_u64_array
+from repro.traffic.packet import Trace
+
+COUNTER_BYTES = 4
+
+
+class CountSketch:
+    """A depth × width Count-Sketch of packet counts.
+
+    Args:
+        memory_bytes: total counter memory (4-byte counters).
+        depth: number of rows; estimates are row medians, so odd depths
+            give cleaner medians.
+        seed: hash seed (drives both bucket and sign hashes).
+    """
+
+    def __init__(self, memory_bytes: int, depth: int = 5, seed: int = 0) -> None:
+        if depth < 1:
+            raise ConfigurationError("depth must be >= 1")
+        width = memory_bytes // (COUNTER_BYTES * depth)
+        if width < 1:
+            raise ConfigurationError(
+                f"{memory_bytes} bytes cannot hold {depth} rows of counters"
+            )
+        self.depth = depth
+        self.width = width
+        self.rows = np.zeros((depth, width), dtype=np.int64)
+        self.total_packets = 0
+        self._bucket_family = HashFamily(depth, seed=seed)
+        self._sign_family = HashFamily(depth, seed=seed ^ 0x5160)
+
+    # -- placement ---------------------------------------------------------
+
+    def _bucket(self, row: int, flow_key: int) -> int:
+        return self._bucket_family.hash_mod(row, flow_key, self.width)
+
+    def _sign(self, row: int, flow_key: int) -> int:
+        return 1 if self._sign_family.hash(row, flow_key) & 1 else -1
+
+    def _buckets_array(self, flow_keys: np.ndarray) -> np.ndarray:
+        return np.stack(
+            [
+                hash_u64_array(flow_keys, self._bucket_family.seed_of(row))
+                % np.uint64(self.width)
+                for row in range(self.depth)
+            ]
+        ).astype(np.int64)
+
+    def _signs_array(self, flow_keys: np.ndarray) -> np.ndarray:
+        return np.stack(
+            [
+                np.where(
+                    hash_u64_array(flow_keys, self._sign_family.seed_of(row))
+                    & np.uint64(1),
+                    1,
+                    -1,
+                )
+                for row in range(self.depth)
+            ]
+        ).astype(np.int64)
+
+    # -- encode / query ------------------------------------------------------
+
+    def encode(self, flow_key: int, count: int = 1) -> None:
+        """Add ``count`` packets of ``flow_key``."""
+        self.total_packets += count
+        for row in range(self.depth):
+            self.rows[row, self._bucket(row, flow_key)] += (
+                self._sign(row, flow_key) * count
+            )
+
+    def encode_trace(self, trace: Trace) -> None:
+        """Encode every packet of ``trace`` (vectorized per flow)."""
+        if trace.num_packets == 0:
+            return
+        buckets = self._buckets_array(trace.flows.key64)
+        signs = self._signs_array(trace.flows.key64)
+        counts = trace.ground_truth_packets()
+        for row in range(self.depth):
+            np.add.at(self.rows[row], buckets[row], signs[row] * counts)
+        self.total_packets += trace.num_packets
+
+    def query(self, flow_key: int) -> float:
+        """Median-of-rows estimate (unbiased; can be negative for mice)."""
+        values = [
+            self._sign(row, flow_key) * self.rows[row, self._bucket(row, flow_key)]
+            for row in range(self.depth)
+        ]
+        return float(np.median(values))
+
+    def query_flows(self, flow_keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`query`."""
+        buckets = self._buckets_array(flow_keys)
+        signs = self._signs_array(flow_keys)
+        values = np.stack(
+            [signs[row] * self.rows[row, buckets[row]] for row in range(self.depth)]
+        )
+        return np.median(values, axis=0)
+
+    def l2_estimate(self) -> float:
+        """Estimate of the stream's L2 norm (median of per-row norms)."""
+        return float(np.median(np.sqrt((self.rows.astype(np.float64) ** 2).sum(axis=1))))
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.depth * self.width * COUNTER_BYTES

@@ -1,0 +1,110 @@
+"""CSM — per-flow counting through randomized counter sharing.
+
+The comparator of Section V-C (Li, Chen, Ling: "Fast and compact per-flow
+traffic measurement through randomized counter sharing", INFOCOM 2011).
+Every flow owns ``counters_per_flow`` counters drawn by hashing from one
+shared pool; encoding increments a uniformly random one of them; decoding
+sums the flow's counters and subtracts the expected noise contributed by
+all other flows (``l × n / m``).
+
+CSM decodes *offline* — the paper's point is exactly that: with 60 MB (2×
+InstaMeasure's largest memory) CSM "did not terminate" decoding the full
+hour, and its top-100/top-1000 error was far higher.  The reproduction
+makes the same comparison at reproduction scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing import HashFamily, hash_u64_array
+from repro.traffic.packet import Trace
+
+COUNTER_BYTES = 4
+
+
+class CSMSketch:
+    """A randomized-counter-sharing sketch.
+
+    Args:
+        memory_bytes: pool size (4-byte counters).
+        counters_per_flow: the per-flow storage vector length ``l``.
+        seed: hash seed.
+    """
+
+    def __init__(
+        self, memory_bytes: int, counters_per_flow: int = 16, seed: int = 0
+    ) -> None:
+        pool_size = memory_bytes // COUNTER_BYTES
+        if pool_size < counters_per_flow:
+            raise ConfigurationError(
+                f"{memory_bytes} bytes cannot hold {counters_per_flow} counters"
+            )
+        if counters_per_flow < 1:
+            raise ConfigurationError("counters_per_flow must be >= 1")
+        self.pool_size = pool_size
+        self.counters_per_flow = counters_per_flow
+        self.pool = np.zeros(pool_size, dtype=np.int64)
+        self.total_packets = 0
+        self._family = HashFamily(counters_per_flow, seed=seed)
+        self.seed = seed
+
+    # -- placement ---------------------------------------------------------
+
+    def flow_counters(self, flow_key: int) -> "list[int]":
+        """Pool indices of ``flow_key``'s storage vector."""
+        return [
+            self._family.hash_mod(j, flow_key, self.pool_size)
+            for j in range(self.counters_per_flow)
+        ]
+
+    def _flow_counters_array(self, flow_keys: np.ndarray) -> np.ndarray:
+        """(num_flows, l) pool indices, vectorized; matches :meth:`flow_counters`."""
+        columns = [
+            hash_u64_array(flow_keys, self._family.seed_of(j))
+            % np.uint64(self.pool_size)
+            for j in range(self.counters_per_flow)
+        ]
+        return np.stack(columns, axis=1).astype(np.int64)
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(self, flow_key: int, choice: int) -> None:
+        """Increment the ``choice``-th counter of the flow's vector."""
+        if not 0 <= choice < self.counters_per_flow:
+            raise ConfigurationError("choice outside the storage vector")
+        self.pool[self._family.hash_mod(choice, flow_key, self.pool_size)] += 1
+        self.total_packets += 1
+
+    def encode_trace(self, trace: Trace) -> None:
+        """Encode every packet of ``trace`` (vectorized)."""
+        if trace.num_packets == 0:
+            return
+        locations = self._flow_counters_array(trace.flows.key64)
+        rng = np.random.default_rng(self.seed ^ 0xC5A)
+        choices = rng.integers(
+            0, self.counters_per_flow, size=trace.num_packets, dtype=np.int64
+        )
+        counter_index = locations[trace.flow_ids, choices]
+        np.add.at(self.pool, counter_index, 1)
+        self.total_packets += trace.num_packets
+
+    # -- decode ------------------------------------------------------------
+
+    def decode(self, flow_key: int) -> float:
+        """CSM estimate: own-counter sum minus expected shared noise."""
+        own = int(self.pool[self.flow_counters(flow_key)].sum())
+        noise = self.counters_per_flow * self.total_packets / self.pool_size
+        return max(0.0, own - noise)
+
+    def decode_flows(self, flow_keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`decode` over a key array."""
+        locations = self._flow_counters_array(flow_keys)
+        own = self.pool[locations].sum(axis=1).astype(np.float64)
+        noise = self.counters_per_flow * self.total_packets / self.pool_size
+        return np.maximum(0.0, own - noise)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.pool_size * COUNTER_BYTES

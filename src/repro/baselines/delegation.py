@@ -1,0 +1,142 @@
+"""Delegation-based measurement — the remote-collector strategy, concrete.
+
+Section II's taxonomy calls the conventional design "delegation-based
+decoding": the device encodes into a sketch, periodically ships the sketch
+(plus the flow-ID set, which lives in DRAM) to a remote collector, and the
+collector decodes.  Detection then waits for the end of the epoch plus the
+network/decode delay, and every epoch costs transfer bandwidth.
+
+This module implements that whole loop so it can be compared against
+InstaMeasure's saturation-based decoding on equal terms: same trace, same
+thresholds, measured detection times *and* measured bytes shipped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.csm import CSMSketch
+from repro.errors import ConfigurationError
+from repro.traffic.packet import Trace
+
+#: Wire bytes per flow ID shipped alongside each epoch's sketch.
+FLOW_ID_BYTES = 8
+
+
+@dataclass
+class DelegationRunStats:
+    """Costs and outcomes of a delegation-based run."""
+
+    epochs: int
+    packets: int
+    bytes_shipped: int
+    detections: "dict[int, float]"
+
+    def shipping_overhead_bps(self, duration: float) -> float:
+        """Average collector-link bandwidth consumed, bits per second."""
+        if duration <= 0:
+            return 0.0
+        return self.bytes_shipped * 8 / duration
+
+
+class DelegatingMeasurer:
+    """Epoch-sketch-ship-decode measurement (the conventional pipeline).
+
+    Args:
+        sketch_memory_bytes: per-epoch sketch size (a fresh CSM each epoch,
+            the offline-decodable sketch family the paper benchmarks).
+        epoch_seconds: shipping period.
+        network_delay_seconds: transfer + collector decode delay.
+        counters_per_flow: CSM storage-vector length.
+        seed: hash/randomness seed.
+    """
+
+    def __init__(
+        self,
+        sketch_memory_bytes: int,
+        epoch_seconds: float,
+        network_delay_seconds: float,
+        counters_per_flow: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if epoch_seconds <= 0:
+            raise ConfigurationError("epoch_seconds must be positive")
+        if network_delay_seconds < 0:
+            raise ConfigurationError("network_delay_seconds must be >= 0")
+        self.sketch_memory_bytes = sketch_memory_bytes
+        self.epoch_seconds = epoch_seconds
+        self.network_delay_seconds = network_delay_seconds
+        self.counters_per_flow = counters_per_flow
+        self.seed = seed
+
+    def process_trace(
+        self,
+        trace: Trace,
+        threshold_packets: "float | None" = None,
+    ) -> "tuple[np.ndarray, DelegationRunStats]":
+        """Run the full delegate-and-decode loop over ``trace``.
+
+        Returns:
+            (final per-flow packet estimates at the collector, stats).
+            ``stats.detections`` maps flow index → time the collector first
+            saw the flow's cumulative estimate cross ``threshold_packets``
+            (absent flows never crossed; empty dict if no threshold given).
+        """
+        collector = np.zeros(trace.num_flows)
+        detections: "dict[int, float]" = {}
+        bytes_shipped = 0
+        epochs = 0
+
+        if trace.num_packets == 0:
+            return collector, DelegationRunStats(0, 0, 0, detections)
+
+        start = float(trace.timestamps[0])
+        end = float(trace.timestamps[-1])
+        num_epochs = max(1, math.ceil((end - start) / self.epoch_seconds))
+        for epoch in range(num_epochs):
+            window = trace.time_slice(
+                start + epoch * self.epoch_seconds,
+                start + (epoch + 1) * self.epoch_seconds
+                if epoch < num_epochs - 1
+                else np.inf,
+            )
+            if window.num_packets == 0:
+                continue
+            epochs += 1
+            sketch = CSMSketch(
+                self.sketch_memory_bytes,
+                counters_per_flow=self.counters_per_flow,
+                seed=self.seed + epoch,
+            )
+            sketch.encode_trace(window)
+
+            seen = np.flatnonzero(np.bincount(window.flow_ids, minlength=trace.num_flows))
+            estimates = sketch.decode_flows(trace.flows.key64[seen])
+            collector[seen] += estimates
+
+            # Shipping cost: the sketch plus this epoch's flow-ID set.
+            bytes_shipped += self.sketch_memory_bytes + FLOW_ID_BYTES * len(seen)
+
+            if threshold_packets is not None:
+                available_at = (
+                    start
+                    + (epoch + 1) * self.epoch_seconds
+                    + self.network_delay_seconds
+                )
+                for flow in seen:
+                    if (
+                        collector[flow] >= threshold_packets
+                        and int(flow) not in detections
+                    ):
+                        detections[int(flow)] = available_at
+
+        stats = DelegationRunStats(
+            epochs=epochs,
+            packets=trace.num_packets,
+            bytes_shipped=bytes_shipped,
+            detections=detections,
+        )
+        return collector, stats

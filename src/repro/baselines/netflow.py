@@ -1,0 +1,113 @@
+"""NetFlow-style exact flow cache (the industry-practice baseline).
+
+NetFlow "registers every flow, if not sampled, in the table regardless of
+its size" (Section II): every packet is a table operation, the {ips = pps}
+regime the paper's FlowRegulator exists to relax.  This baseline models
+that design point: an exact flow cache with a capacity limit, optional
+1-in-N packet sampling (NetFlow's actual mitigation), and inactive-timeout
+eviction of the oldest entry when full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import Trace
+
+
+@dataclass
+class NetFlowStats:
+    """Outcome of a NetFlow run."""
+
+    packets_seen: int
+    packets_sampled: int
+    table_operations: int
+    insertions: int
+    evictions: int
+
+    @property
+    def operations_per_packet(self) -> float:
+        """Table operations per arriving packet — ≈1 unless sampled,
+        the {ips = pps} constraint in numbers."""
+        if self.packets_seen == 0:
+            return 0.0
+        return self.table_operations / self.packets_seen
+
+
+class NetFlowTable:
+    """An exact flow cache with sampling and capacity eviction.
+
+    Args:
+        max_entries: flow-cache capacity (TCAM/CAM tables hold only
+            thousands of entries — the paper's scalability complaint).
+        sampling_rate: probability a packet is examined (1.0 = unsampled).
+        seed: sampling RNG seed.
+    """
+
+    def __init__(
+        self, max_entries: int, sampling_rate: float = 1.0, seed: int = 0
+    ) -> None:
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1")
+        if not 0.0 < sampling_rate <= 1.0:
+            raise ConfigurationError("sampling_rate must be in (0, 1]")
+        self.max_entries = max_entries
+        self.sampling_rate = sampling_rate
+        self.seed = seed
+        # key → [packets, bytes, last_update]; dict order gives LRU.
+        self._table: "dict[int, list[float]]" = {}
+        self.stats = NetFlowStats(0, 0, 0, 0, 0)
+
+    def process_trace(self, trace: Trace) -> NetFlowStats:
+        """Feed every packet of ``trace`` through the cache."""
+        rng = np.random.default_rng(self.seed)
+        if self.sampling_rate < 1.0:
+            sampled = (
+                rng.random(trace.num_packets) < self.sampling_rate
+            ).tolist()
+        else:
+            sampled = None
+        keys = trace.flows.key64.tolist()
+        flow_ids = trace.flow_ids.tolist()
+        sizes = trace.sizes.tolist()
+        timestamps = trace.timestamps.tolist()
+        table = self._table
+        stats = self.stats
+
+        for p in range(trace.num_packets):
+            stats.packets_seen += 1
+            if sampled is not None and not sampled[p]:
+                continue
+            stats.packets_sampled += 1
+            stats.table_operations += 1
+            key = keys[flow_ids[p]]
+            record = table.get(key)
+            if record is not None:
+                record[0] += 1
+                record[1] += sizes[p]
+                record[2] = timestamps[p]
+                # LRU refresh: re-insert at the back of the dict order.
+                del table[key]
+                table[key] = record
+                continue
+            if len(table) >= self.max_entries:
+                oldest = next(iter(table))
+                del table[oldest]
+                stats.evictions += 1
+            table[key] = [1.0, float(sizes[p]), timestamps[p]]
+            stats.insertions += 1
+        return stats
+
+    def estimates(self) -> "dict[int, tuple[float, float]]":
+        """Flow key → (packets, bytes), scaled up by the sampling rate."""
+        scale = 1.0 / self.sampling_rate
+        return {
+            key: (record[0] * scale, record[1] * scale)
+            for key, record in self._table.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._table)

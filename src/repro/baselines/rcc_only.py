@@ -1,0 +1,112 @@
+"""Single-layer RCC as a WSAF front-end (the Fig 1 / Fig 7 baseline).
+
+The paper first tries plain RCC as the FlowRegulator and finds its
+"saturation occurs in the speed of 12-19 % of packet arrival rate … which is
+too frequent to compensate for SRAM's speed margin over DRAM's (5-10 %)".
+This module runs exactly that experiment: every RCC saturation is one WSAF
+insertion, and the per-bucket insertion rate over the trace timeline is the
+series Fig 1 and Fig 7 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rcc import RCCSketch
+from repro.traffic.packet import Trace
+
+
+@dataclass
+class RCCRunResult:
+    """Outcome of regulating a trace with a single-layer RCC."""
+
+    packets: int
+    saturations: int
+    bucket_times: np.ndarray
+    bucket_pps: np.ndarray
+    bucket_ips: np.ndarray
+    estimates: "dict[int, float]"
+
+    @property
+    def regulation_rate(self) -> float:
+        """WSAF insertions per packet (= RCC saturations per packet)."""
+        return self.saturations / self.packets if self.packets else 0.0
+
+
+def run_rcc_regulator(
+    trace: Trace,
+    memory_bytes: int,
+    vector_bits: int = 8,
+    word_bits: int = 32,
+    seed: int = 0,
+    bucket_seconds: float = 1.0,
+) -> RCCRunResult:
+    """Regulate ``trace`` with one RCC sketch; every saturation hits the WSAF.
+
+    Returns per-bucket pps/ips series (Fig 1/7) plus accumulated per-flow
+    estimates keyed by the flows' key64 (so accuracy can also be compared).
+    """
+    sketch = RCCSketch(
+        memory_bytes, vector_bits=vector_bits, word_bits=word_bits, seed=seed
+    )
+    num_packets = trace.num_packets
+    if num_packets == 0:
+        empty = np.array([])
+        return RCCRunResult(0, 0, empty, empty, empty, {})
+
+    idx_by_flow, off_by_flow = sketch.place_array(trace.flows.key64)
+    idx_by_flow = idx_by_flow.tolist()
+    off_by_flow = off_by_flow.tolist()
+    keys = trace.flows.key64.tolist()
+
+    rng = np.random.default_rng(seed ^ 0xACC)
+    bits = rng.integers(0, vector_bits, size=num_packets, dtype=np.int64).tolist()
+    flow_ids = trace.flow_ids.tolist()
+
+    start = float(trace.timestamps[0])
+    bucket_of_packet = (
+        ((trace.timestamps - start) / bucket_seconds).astype(np.int64).tolist()
+    )
+    num_buckets = bucket_of_packet[-1] + 1
+    bucket_pps = np.zeros(num_buckets)
+    bucket_ips = np.zeros(num_buckets)
+
+    words = sketch.words
+    bit_masks = sketch._bit_masks
+    window_masks = sketch._window_masks
+    noise_max = sketch.noise_max
+    decode = sketch._decode_table
+    estimates: "dict[int, float]" = {}
+
+    saturations = 0
+    for p in range(num_packets):
+        flow = flow_ids[p]
+        idx = idx_by_flow[flow]
+        offset = off_by_flow[flow]
+        window = window_masks[offset]
+        bucket = bucket_of_packet[p]
+        bucket_pps[bucket] += 1
+        word = words[idx] | bit_masks[offset][bits[p]]
+        zeros = vector_bits - (word & window).bit_count()
+        if zeros > noise_max:
+            words[idx] = word
+            continue
+        words[idx] = word & ~window
+        saturations += 1
+        bucket_ips[bucket] += 1
+        key = keys[flow]
+        estimates[key] = estimates.get(key, 0.0) + decode[zeros]
+
+    sketch.packets_encoded += num_packets
+    sketch.saturations += saturations
+    times = start + bucket_seconds * np.arange(num_buckets)
+    return RCCRunResult(
+        packets=num_packets,
+        saturations=saturations,
+        bucket_times=times,
+        bucket_pps=bucket_pps / bucket_seconds,
+        bucket_ips=bucket_ips / bucket_seconds,
+        estimates=estimates,
+    )

@@ -1,0 +1,92 @@
+"""Space-Saving — the classic counter-based Top-K baseline.
+
+Metwally et al.'s stream summary: at most ``capacity`` monitored flows;
+an unmonitored arrival replaces the currently-smallest flow, inheriting
+its count as over-estimation error.  Guarantees every flow with true count
+above n/capacity is in the summary.  The paper cites Ben-Basat et al.'s
+counter-based Top-K work as limited to small K ("up to top-512") versus
+InstaMeasure's Top-million; this baseline lets the benches make that
+comparison concrete.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import Trace
+
+
+class SpaceSaving:
+    """A Space-Saving stream summary.
+
+    Args:
+        capacity: maximum number of monitored flows.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self.capacity = capacity
+        self._counts: "dict[int, int]" = {}
+        self._errors: "dict[int, int]" = {}
+        # Lazy min-heap of (count, sequence, key); stale entries are skipped.
+        self._heap: "list[tuple[int, int, int]]" = []
+        self._sequence = 0
+        self.packets = 0
+
+    def _push(self, key: int) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._counts[key], self._sequence, key))
+
+    def _pop_minimum(self) -> int:
+        """Key of the current minimum (heap cleaned of stale entries)."""
+        while True:
+            count, _seq, key = self._heap[0]
+            if self._counts.get(key) == count:
+                heapq.heappop(self._heap)
+                return key
+            heapq.heappop(self._heap)  # stale
+
+    def offer(self, key: int, count: int = 1) -> None:
+        """Observe ``count`` packets of flow ``key``."""
+        self.packets += count
+        if key in self._counts:
+            self._counts[key] += count
+            self._push(key)
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = count
+            self._errors[key] = 0
+            self._push(key)
+            return
+        victim = self._pop_minimum()
+        inherited = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = inherited + count
+        self._errors[key] = inherited
+        self._push(key)
+
+    def process_trace(self, trace: Trace) -> None:
+        """Feed every packet of ``trace`` (keys are the flows' key64)."""
+        keys = trace.flows.key64.tolist()
+        for flow in trace.flow_ids.tolist():
+            self.offer(keys[flow])
+
+    def estimate(self, key: int) -> int:
+        """Estimated count (0 if unmonitored; never underestimates)."""
+        return self._counts.get(key, 0)
+
+    def guaranteed(self, key: int) -> int:
+        """Lower bound on the true count (count minus inherited error)."""
+        return self._counts.get(key, 0) - self._errors.get(key, 0)
+
+    def topk(self, k: int) -> "list[tuple[int, int]]":
+        """The ``k`` largest (key, estimated count) pairs, descending."""
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        ranked = sorted(self._counts.items(), key=lambda item: -item[1])
+        return ranked[:k]
+
+    def __len__(self) -> int:
+        return len(self._counts)

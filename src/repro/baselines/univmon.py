@@ -1,0 +1,164 @@
+"""UnivMon-style universal sketch (Liu et al., SIGCOMM 2016).
+
+The paper's Related Work: "UnivMon, which uses a single universal sketch".
+Universal sketching runs log(n) levels of Count-Sketch; level *i* sees only
+the flows whose hash has *i* leading sampled bits (each level halves the
+flow population).  Any G-sum statistic — heavy hitters, entropy, F2 — can
+then be answered from the one structure via recursive estimation over the
+levels' heavy hitters.
+
+This implementation covers the parts the comparison needs: leveled
+Count-Sketch encoding, per-level heavy-hitter extraction, and heavy-hitter
+/ entropy queries.  Like all delegation-family sketches it decodes offline,
+which is the axis InstaMeasure differs on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.countsketch import CountSketch
+from repro.errors import ConfigurationError
+from repro.hashing import hash_u64, hash_u64_array
+from repro.traffic.packet import Trace
+
+_LEVEL_SEED = 0x10E7
+
+
+class UnivMon:
+    """A universal sketch over flow keys.
+
+    Args:
+        memory_bytes: total memory across all levels (split evenly).
+        num_levels: sampling levels (log-many; 8 covers 256:1 subsampling).
+        depth: Count-Sketch depth per level.
+        heavy_candidates: per-level Top-K candidate set size used by the
+            offline decode.
+        seed: hash seed.
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        num_levels: int = 8,
+        depth: int = 5,
+        heavy_candidates: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if num_levels < 1:
+            raise ConfigurationError("num_levels must be >= 1")
+        if heavy_candidates < 1:
+            raise ConfigurationError("heavy_candidates must be >= 1")
+        per_level = memory_bytes // num_levels
+        self.levels = [
+            CountSketch(per_level, depth=depth, seed=seed + level)
+            for level in range(num_levels)
+        ]
+        self.num_levels = num_levels
+        self.heavy_candidates = heavy_candidates
+        self.seed = seed
+        #: per-level observed candidate keys (a real implementation keeps a
+        #: small heap next to each sketch; we keep the key set).
+        self._candidates: "list[set[int]]" = [set() for _ in range(num_levels)]
+        self.total_packets = 0
+
+    def _level_of(self, flow_key: int) -> int:
+        """Deepest level this key is sampled into (leading hash bits)."""
+        bits = hash_u64(flow_key, _LEVEL_SEED)
+        level = 0
+        while level + 1 < self.num_levels and bits & (1 << level):
+            level += 1
+        return level
+
+    def _levels_array(self, flow_keys: np.ndarray) -> np.ndarray:
+        bits = hash_u64_array(flow_keys, _LEVEL_SEED)
+        levels = np.zeros(len(flow_keys), dtype=np.int64)
+        mask = np.ones(len(flow_keys), dtype=bool)
+        for level in range(self.num_levels - 1):
+            mask = mask & ((bits >> np.uint64(level)) & np.uint64(1)).astype(bool)
+            levels[mask] = level + 1
+        return levels
+
+    def encode_trace(self, trace: Trace) -> None:
+        """Encode every packet of ``trace`` into its flows' levels."""
+        if trace.num_packets == 0:
+            return
+        keys = trace.flows.key64
+        counts = trace.ground_truth_packets()
+        deepest = self._levels_array(keys)
+        for level in range(self.num_levels):
+            # A flow sampled to depth d appears in levels 0..d.
+            member = deepest >= level
+            if not member.any():
+                continue
+            # Encode per flow directly (counts known) — equivalent to
+            # packet-by-packet for Count-Sketch.
+            sketch = self.levels[level]
+            buckets = sketch._buckets_array(keys[member])
+            signs = sketch._signs_array(keys[member])
+            for row in range(sketch.depth):
+                np.add.at(sketch.rows[row], buckets[row], signs[row] * counts[member])
+            sketch.total_packets += int(counts[member].sum())
+            # Track the level's largest flows as decode candidates (a real
+            # implementation keeps a small heap next to each sketch).
+            member_keys = keys[member]
+            member_counts = counts[member]
+            keep = np.argsort(-member_counts)[: self.heavy_candidates * 4]
+            self._candidates[level].update(int(k) for k in member_keys[keep])
+        self.total_packets += trace.num_packets
+
+    def level_heavy_hitters(self, level: int) -> "dict[int, float]":
+        """Top candidate flows of one level by Count-Sketch estimate."""
+        sketch = self.levels[level]
+        candidates = list(self._candidates[level])
+        if not candidates:
+            return {}
+        estimates = sketch.query_flows(np.array(candidates, dtype=np.uint64))
+        order = np.argsort(-estimates)[: self.heavy_candidates]
+        return {
+            candidates[i]: float(estimates[i]) for i in order if estimates[i] > 0
+        }
+
+    def heavy_hitters(self, threshold: float) -> "dict[int, float]":
+        """Flows whose level-0 estimate crosses ``threshold``."""
+        if threshold <= 0:
+            raise ConfigurationError("threshold must be positive")
+        return {
+            key: value
+            for key, value in self.level_heavy_hitters(0).items()
+            if value >= threshold
+        }
+
+    def entropy_estimate(self) -> float:
+        """G-sum entropy estimate via the recursive UnivMon estimator.
+
+        ``Y_L = G over level-L heavy hitters``;
+        ``Y_i = 2·Y_{i+1} + Σ_{HH at level i} g(w) · (1 - 2·sampled(w))``.
+        Returns Shannon entropy in bits (normalized by total packets).
+        """
+        total = max(1, self.total_packets)
+
+        def g(count: float) -> float:
+            if count <= 0:
+                return 0.0
+            p = count / total
+            return -p * math.log2(p)
+
+        estimate = sum(
+            g(value)
+            for value in self.level_heavy_hitters(self.num_levels - 1).values()
+        )
+        for level in range(self.num_levels - 2, -1, -1):
+            heavy = self.level_heavy_hitters(level)
+            correction = 0.0
+            for key, value in heavy.items():
+                sampled_deeper = 1.0 if self._level_of(key) >= level + 1 else 0.0
+                correction += g(value) * (1.0 - 2.0 * sampled_deeper)
+            estimate = 2.0 * estimate + correction
+        return max(0.0, estimate)
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(level.memory_bytes for level in self.levels)

@@ -1,0 +1,259 @@
+"""``instameasure`` command-line interface.
+
+Subcommands::
+
+    instameasure gen-trace caida --flows 20000 --out trace.npz
+    instameasure gen-trace campus --hours 24 --out campus.npz
+    instameasure summarize trace.npz
+    instameasure run trace.npz --l1-kb 8
+    instameasure hh trace.npz --threshold-packets 1000
+
+Traces are the NPZ files of :mod:`repro.traffic.trace_io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import print_table
+from repro.analysis.metrics import standard_error
+from repro.core import InstaMeasure, InstaMeasureConfig
+from repro.detection import (
+    HeavyHitterDetector,
+    classify_detections,
+    ground_truth_heavy_hitters,
+    keys_to_flow_indices,
+)
+from repro.errors import ReproError
+from repro.traffic import (
+    CaidaLikeConfig,
+    CampusConfig,
+    build_caida_like_trace,
+    build_campus_trace,
+    load_trace,
+    save_trace,
+    summarize_trace,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="instameasure",
+        description="InstaMeasure (ICDCS 2019) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("gen-trace", help="generate a synthetic trace")
+    gen.add_argument("kind", choices=["caida", "campus"])
+    gen.add_argument("--out", required=True, help="output NPZ path")
+    gen.add_argument("--flows", type=int, default=20_000)
+    gen.add_argument("--duration", type=float, default=30.0, help="caida: seconds")
+    gen.add_argument("--hours", type=int, default=24, help="campus: modelled hours")
+    gen.add_argument("--seed", type=int, default=0)
+
+    summarize = commands.add_parser("summarize", help="print trace statistics")
+    summarize.add_argument("trace", help="trace NPZ path")
+
+    run = commands.add_parser("run", help="measure a trace with InstaMeasure")
+    run.add_argument("trace", help="trace NPZ path")
+    run.add_argument("--l1-kb", type=float, default=8.0, help="L1 sketch size (KB)")
+    run.add_argument("--wsaf-bits", type=int, default=16, help="WSAF size = 2^bits")
+    run.add_argument("--seed", type=int, default=0)
+
+    hh = commands.add_parser("hh", help="heavy-hitter detection on a trace")
+    hh.add_argument("trace", help="trace NPZ path")
+    hh.add_argument("--threshold-packets", type=float, default=None)
+    hh.add_argument("--threshold-bytes", type=float, default=None)
+    hh.add_argument("--l1-kb", type=float, default=8.0)
+    hh.add_argument("--wsaf-bits", type=int, default=16)
+
+    topk = commands.add_parser("topk", help="Top-K flows by packets and bytes")
+    topk.add_argument("trace", help="trace NPZ path")
+    topk.add_argument("-k", type=int, default=10)
+    topk.add_argument("--l1-kb", type=float, default=8.0)
+    topk.add_argument("--wsaf-bits", type=int, default=16)
+
+    spread = commands.add_parser(
+        "spreaders", help="superspreader sources from the WSAF"
+    )
+    spread.add_argument("trace", help="trace NPZ path")
+    spread.add_argument("--min-destinations", type=int, default=10)
+    spread.add_argument("--l1-kb", type=float, default=8.0)
+    spread.add_argument("--wsaf-bits", type=int, default=16)
+    return parser
+
+
+def _cmd_gen_trace(args: argparse.Namespace) -> int:
+    if args.kind == "caida":
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(
+                num_flows=args.flows, duration=args.duration, seed=args.seed
+            )
+        )
+    else:
+        trace = build_campus_trace(
+            CampusConfig(hours=args.hours, num_flows=args.flows, seed=args.seed)
+        )
+    save_trace(trace, args.out)
+    print(
+        f"wrote {args.out}: {trace.num_packets:,} packets, "
+        f"{trace.num_flows:,} flows, {trace.duration:.1f}s"
+    )
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    print_table(["statistic", "value"], summarize_trace(trace).rows(), args.trace)
+    return 0
+
+
+def _engine_from_args(args: argparse.Namespace) -> InstaMeasure:
+    return InstaMeasure(
+        InstaMeasureConfig(
+            l1_memory_bytes=int(args.l1_kb * 1024),
+            wsaf_entries=1 << args.wsaf_bits,
+            seed=getattr(args, "seed", 0),
+        )
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    engine = _engine_from_args(args)
+    result = engine.process_trace(trace)
+    est_packets, _est_bytes = engine.estimates_for(trace)
+    truth = trace.ground_truth_packets().astype(float)
+    rows = [
+        ["packets", f"{result.packets:,}"],
+        ["WSAF insertions", f"{result.insertions:,}"],
+        ["regulation rate", f"{result.regulation_rate:.2%}"],
+        ["L1 saturation rate", f"{result.regulator_stats.l1_saturation_rate:.2%}"],
+        ["python throughput", f"{result.python_pps / 1e6:.2f} Mpps"],
+        ["WSAF flows", f"{len(engine.wsaf):,}"],
+        ["WSAF load factor", f"{engine.wsaf.load_factor:.2%}"],
+        ["WSAF evictions", f"{engine.wsaf.evictions:,}"],
+    ]
+    big = truth >= 1000
+    if big.any():
+        rows.append(
+            ["std error (1K+ pkt flows)",
+             f"{standard_error(est_packets[big], truth[big]):.2%}"]
+        )
+    print_table(["metric", "value"], rows, "InstaMeasure run")
+    return 0
+
+
+def _cmd_hh(args: argparse.Namespace) -> int:
+    if args.threshold_packets is None and args.threshold_bytes is None:
+        print("error: provide --threshold-packets and/or --threshold-bytes",
+              file=sys.stderr)
+        return 2
+    trace = load_trace(args.trace)
+    detector = HeavyHitterDetector(
+        threshold_packets=args.threshold_packets,
+        threshold_bytes=args.threshold_bytes,
+    )
+    engine = _engine_from_args(args)
+    engine.process_trace(trace, on_accumulate=detector.on_accumulate)
+
+    rows = []
+    for label, detections, threshold_kw in (
+        ("packets", detector.packet_detections,
+         {"threshold_packets": args.threshold_packets}),
+        ("bytes", detector.byte_detections,
+         {"threshold_bytes": args.threshold_bytes}),
+    ):
+        if next(iter(threshold_kw.values())) is None:
+            continue
+        truth_pkt, truth_byte = ground_truth_heavy_hitters(trace, **threshold_kw)
+        truth_set = truth_pkt if label == "packets" else truth_byte
+        detected = keys_to_flow_indices(trace, set(detections))
+        outcome = classify_detections(detected, truth_set, trace.num_flows)
+        rows.append(
+            [
+                label,
+                len(truth_set),
+                len(detected),
+                f"{outcome.false_positive_rate:.3%}",
+                f"{outcome.false_negative_rate:.3%}",
+            ]
+        )
+    print_table(
+        ["metric", "true HH", "detected", "FPR", "FNR"],
+        rows,
+        "Heavy-hitter detection",
+    )
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    engine = _engine_from_args(args)
+    engine.process_trace(trace)
+    est_packets, est_bytes = engine.estimates_for(trace)
+    truth_packets = trace.ground_truth_packets()
+    order = np.argsort(-est_packets)[: args.k]
+    rows = []
+    for rank, flow in enumerate(order, start=1):
+        five_tuple = trace.flows.five_tuple(int(flow))
+        rows.append(
+            [
+                rank,
+                f"{five_tuple.src_ip:#010x}:{five_tuple.src_port}",
+                f"{five_tuple.dst_ip:#010x}:{five_tuple.dst_port}",
+                f"{est_packets[flow]:,.0f}",
+                f"{truth_packets[flow]:,}",
+                f"{est_bytes[flow] / 1e6:.2f}",
+            ]
+        )
+    print_table(
+        ["rank", "source", "destination", "est pkts", "true pkts", "est MB"],
+        rows,
+        f"Top-{args.k} flows (by estimated packets)",
+    )
+    return 0
+
+
+def _cmd_spreaders(args: argparse.Namespace) -> int:
+    from repro.detection import detect_superspreaders, ground_truth_fanout
+
+    trace = load_trace(args.trace)
+    engine = _engine_from_args(args)
+    engine.process_trace(trace)
+    spreaders = detect_superspreaders(engine.wsaf, args.min_destinations)
+    truth = ground_truth_fanout(trace)
+    rows = [
+        [f"{src:#010x}", fanout, truth.get(src, 0)]
+        for src, fanout in sorted(spreaders.items(), key=lambda kv: -kv[1])
+    ]
+    print_table(
+        ["source", "observed fan-out", "true fan-out"],
+        rows,
+        f"Superspreaders (>= {args.min_destinations} destinations)",
+    )
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "gen-trace": _cmd_gen_trace,
+        "summarize": _cmd_summarize,
+        "run": _cmd_run,
+        "hh": _cmd_hh,
+        "topk": _cmd_topk,
+        "spreaders": _cmd_spreaders,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

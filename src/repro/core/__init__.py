@@ -1,0 +1,55 @@
+"""The paper's contribution: RCC, FlowRegulator, WSAF, and the engines.
+
+Data path (Fig 2(a) of the paper)::
+
+    packet ──► L1 RCC sketch ──saturation──► L2 RCC bank ──saturation──►
+           est_pkt = unit × count, est_byte = est_pkt × len(pkt) ──► WSAF
+
+* :class:`~repro.core.rcc.RCCSketch` — the Recyclable Counter with
+  Confinement (Nyang & Shin), the building block of both layers.
+* :class:`~repro.core.regulator.FlowRegulator` — the two-layer counter that
+  regulates the WSAF insertion rate down to ~1 % of pps.
+* :class:`~repro.core.wsaf.WSAFTable` — the In-DRAM working set of active
+  flows: quadratic probing, probe-limit second-chance eviction, opportunistic
+  garbage collection.
+* :class:`~repro.core.instameasure.InstaMeasure` — the single-core
+  measurement engine tying them together.
+* :class:`~repro.core.multicore.MultiCoreInstaMeasure` — the manager/worker
+  system of Section IV-C (popcount dispatch, per-worker FlowRegulators,
+  shared WSAF).
+"""
+
+from repro.core.analytic import (
+    SingleFlowRegulatorModel,
+    saturation_time_pmf,
+    saturation_time_variance,
+)
+from repro.core.rcc import RCCSketch, coupon_partial_sum
+from repro.core.regulator import FlowRegulator, RegulatorStats
+from repro.core.wsaf import WSAFEntry, WSAFTable
+from repro.core.instameasure import (
+    InstaMeasure,
+    InstaMeasureConfig,
+    MeasurementResult,
+)
+from repro.core.multicore import MultiCoreInstaMeasure, MultiCoreResult
+from repro.core.multilayer import MultiLayerRegulator, required_layers_for_margin
+
+__all__ = [
+    "FlowRegulator",
+    "InstaMeasure",
+    "InstaMeasureConfig",
+    "MeasurementResult",
+    "MultiCoreInstaMeasure",
+    "MultiCoreResult",
+    "MultiLayerRegulator",
+    "RCCSketch",
+    "SingleFlowRegulatorModel",
+    "required_layers_for_margin",
+    "saturation_time_pmf",
+    "saturation_time_variance",
+    "RegulatorStats",
+    "WSAFEntry",
+    "WSAFTable",
+    "coupon_partial_sum",
+]

@@ -1,0 +1,162 @@
+"""Exact single-flow analytics for RCC and the FlowRegulator.
+
+For one flow in an otherwise empty sketch, the encoder is a small Markov
+chain: each packet sets a uniformly random bit of the b-bit virtual vector,
+the vector saturates when ``ceil(fill·b)`` distinct bits are set, and (for
+the two-layer regulator) each L1 saturation sets one random bit of the L2
+vector.  Everything the paper plots in Fig 8 — retention capacity,
+saturation frequency, and the size a flow must reach to leak into the WSAF
+— is a functional of this chain, so this module computes those quantities
+*exactly* and the test suite pins the simulator against them.
+
+Classic identities used:
+
+* mean packets to set ``s`` distinct bits: ``Σ_{j<s} b/(b-j)`` (the coupon
+  collector partial sum, also :func:`repro.core.rcc.coupon_partial_sum`);
+* its variance: ``Σ_{j<s} (1-p_j)/p_j²`` with ``p_j = (b-j)/b``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def saturation_time_variance(vector_bits: int, bits_needed: int) -> float:
+    """Variance of the packets-to-saturation time (sum of geometrics)."""
+    if not 1 <= bits_needed <= vector_bits:
+        raise ConfigurationError("bits_needed must be in [1, vector_bits]")
+    variance = 0.0
+    for j in range(bits_needed):
+        p = (vector_bits - j) / vector_bits
+        variance += (1.0 - p) / (p * p)
+    return variance
+
+
+def saturation_time_pmf(
+    vector_bits: int, bits_needed: int, max_packets: int
+) -> np.ndarray:
+    """P(first saturation happens exactly at packet n), n = 0..max_packets.
+
+    Computed by dynamic programming over the distinct-bits count; the mass
+    beyond ``max_packets`` is simply not included (the array need not sum
+    to 1).
+    """
+    if not 1 <= bits_needed <= vector_bits:
+        raise ConfigurationError("bits_needed must be in [1, vector_bits]")
+    if max_packets < 0:
+        raise ConfigurationError("max_packets must be >= 0")
+    pmf = np.zeros(max_packets + 1)
+    # state distribution over number of distinct bits set (0..bits_needed-1)
+    state = np.zeros(bits_needed)
+    state[0] = 1.0
+    for n in range(1, max_packets + 1):
+        fresh = (vector_bits - np.arange(bits_needed)) / vector_bits
+        # Probability of saturating at this packet: being one bit short and
+        # drawing a fresh bit.
+        pmf[n] = state[bits_needed - 1] * fresh[bits_needed - 1]
+        advanced = state * fresh
+        state = state * (1.0 - fresh)
+        state[1:] += advanced[:-1]
+    return pmf
+
+
+class SingleFlowRegulatorModel:
+    """Exact two-layer chain for one flow in an empty FlowRegulator.
+
+    With no competing flows, L1 always saturates at exactly ``noise_max``
+    zeros (bits only ever arrive one at a time), so the flow always counts
+    in ``L2[noise_max]`` and the joint state is just
+    ``(bits set in L1, bits set in L2)`` — ``sat_bits²`` states.
+
+    Args:
+        vector_bits: per-layer virtual-vector width.
+        saturation_fill: per-layer saturation threshold.
+    """
+
+    def __init__(self, vector_bits: int = 8, saturation_fill: float = 0.7) -> None:
+        if vector_bits < 2:
+            raise ConfigurationError("vector_bits must be >= 2")
+        if not 0.0 < saturation_fill <= 1.0:
+            raise ConfigurationError("saturation_fill must be in (0, 1]")
+        self.vector_bits = vector_bits
+        self.sat_bits = math.ceil(saturation_fill * vector_bits)
+        b = vector_bits
+        s = self.sat_bits
+        size = s * s
+
+        # Transition matrix over (k1, k2) plus an insertion-emission vector.
+        transition = np.zeros((size, size))
+        emission = np.zeros(size)
+
+        def index(k1: int, k2: int) -> int:
+            return k1 * s + k2
+
+        for k1 in range(s):
+            for k2 in range(s):
+                here = index(k1, k2)
+                p_fresh1 = (b - k1) / b
+                # Packet hits an already-set L1 bit: nothing changes.
+                transition[here, index(k1, k2)] += 1.0 - p_fresh1
+                if k1 + 1 < s:
+                    transition[here, index(k1 + 1, k2)] += p_fresh1
+                    continue
+                # L1 saturates and recycles; one bit goes into L2.
+                p_fresh2 = (b - k2) / b
+                transition[here, index(0, k2)] += p_fresh1 * (1.0 - p_fresh2)
+                if k2 + 1 < s:
+                    transition[here, index(0, k2 + 1)] += p_fresh1 * p_fresh2
+                else:
+                    # L2 saturates too: WSAF insertion, both layers recycle.
+                    transition[here, index(0, 0)] += p_fresh1 * p_fresh2
+                    emission[here] += p_fresh1 * p_fresh2
+        self._transition = transition
+        self._emission = emission
+        self._size = size
+
+    def _run(self, packets: int) -> "tuple[np.ndarray, np.ndarray]":
+        """(per-packet insertion probability, final state distribution)."""
+        if packets < 0:
+            raise ConfigurationError("packets must be >= 0")
+        state = np.zeros(self._size)
+        state[0] = 1.0
+        insert_probability = np.zeros(packets)
+        for n in range(packets):
+            insert_probability[n] = float(state @ self._emission)
+            state = state @ self._transition
+        return insert_probability, state
+
+    def expected_insertions(self, packets: int) -> float:
+        """Expected WSAF insertions a flow of this size produces."""
+        insert_probability, _state = self._run(packets)
+        return float(insert_probability.sum())
+
+    def passage_probability(self, packets: int) -> float:
+        """P(a flow of this size reaches the WSAF at least once).
+
+        Uses an absorbing copy of the chain (no re-emission after the first
+        insertion is needed: we track the complement of 'never inserted').
+        """
+        if packets < 0:
+            raise ConfigurationError("packets must be >= 0")
+        # Chain restricted to 'never inserted': drop emitted mass.
+        survive = self._transition.copy()
+        size = self._size
+        # Remove the insertion transitions' mass from the survive matrix.
+        for here in range(size):
+            if self._emission[here] > 0:
+                survive[here, 0] -= self._emission[here]
+        state = np.zeros(size)
+        state[0] = 1.0
+        for _ in range(packets):
+            state = state @ survive
+        return 1.0 - float(state.sum())
+
+    def expected_regulation_rate(self, packets: int) -> float:
+        """Expected insertions per packet for a flow of this size."""
+        if packets == 0:
+            return 0.0
+        return self.expected_insertions(packets) / packets

@@ -1,0 +1,422 @@
+"""InstaMeasure — the single-core measurement engine (Algorithm 1).
+
+Ties a :class:`FlowRegulator` to a :class:`WSAFTable`: every packet encodes
+into the regulator; on L2 saturation the decoded ``(est_pkt, est_byte)``
+pair is accumulated into the WSAF under the flow's ID.  Callers can observe
+accumulations through a callback (that is where saturation-based heavy-
+hitter detection hooks in).
+
+Two equivalent data paths are provided:
+
+* :meth:`InstaMeasure.process_packet` — the literal per-packet API, one call
+  per packet, the shape a real pipeline would use.
+* :meth:`InstaMeasure.process_trace` — a trace-driven loop with hoisted
+  placement hashing and a pre-drawn randomness stream.  It produces
+  bit-identical state to the per-packet path given the same random bits
+  (tested), and exists because pure-Python per-call overhead would otherwise
+  dominate million-packet experiments.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.multilayer import MultiLayerRegulator
+from repro.core.regulator import FlowRegulator, RegulatorStats
+from repro.core.wsaf import WSAFTable
+from repro.errors import ConfigurationError
+from repro.memmodel import AccessAccountant
+from repro.traffic.packet import FlowTable, Trace
+
+#: Callback fired after each WSAF accumulation:
+#: (flow_key, total_packets, total_bytes, timestamp).
+AccumulateCallback = Callable[[int, float, float, float], None]
+
+
+def packed_five_tuples(flows: FlowTable) -> "list[int]":
+    """Per-flow 104-bit packed 5-tuples (what the WSAF record stores)."""
+    src = flows.src_ip.tolist()
+    dst = flows.dst_ip.tolist()
+    sport = flows.src_port.tolist()
+    dport = flows.dst_port.tolist()
+    proto = flows.protocol.tolist()
+    return [
+        src[i] << 72 | dst[i] << 40 | sport[i] << 24 | dport[i] << 8 | proto[i]
+        for i in range(len(src))
+    ]
+
+
+@dataclass
+class InstaMeasureConfig:
+    """Engine parameters (defaults follow Section IV-D, scaled knobs exposed).
+
+    Attributes:
+        l1_memory_bytes: L1 sketch size; total regulator memory is 4× this
+            for 8-bit vectors (paper: 32 KB L1 → 128 KB total).
+        num_layers: regulator depth.  2 is the paper's FlowRegulator and
+            runs on the specialized fast path; other depths (1, 3, 4) use
+            the generic :class:`MultiLayerRegulator` path.
+        vector_bits / word_bits / saturation_fill: RCC geometry.
+        wsaf_entries: WSAF capacity, a power of two (paper: 2^20).
+        probe_limit: WSAF probe window.
+        gc_timeout: WSAF inactivity timeout in seconds (None disables).
+        eviction_policy: WSAF overflow policy (see :class:`WSAFTable`).
+        seed: seed for placement hashing and the per-packet bit stream.
+    """
+
+    l1_memory_bytes: int = 32 * 1024
+    num_layers: int = 2
+    vector_bits: int = 8
+    word_bits: int = 32
+    saturation_fill: float = 0.7
+    wsaf_entries: int = 1 << 20
+    probe_limit: int = 16
+    gc_timeout: "float | None" = None
+    eviction_policy: str = "second-chance"
+    seed: int = 0
+
+
+@dataclass
+class MeasurementResult:
+    """Outcome of processing a trace through an engine."""
+
+    packets: int
+    insertions: int
+    elapsed_seconds: float
+    regulator_stats: RegulatorStats
+    wsaf: WSAFTable
+
+    @property
+    def regulation_rate(self) -> float:
+        """WSAF insertions per processed packet (ips/pps)."""
+        return self.insertions / self.packets if self.packets else 0.0
+
+    @property
+    def python_pps(self) -> float:
+        """Measured pure-Python packet throughput (not the paper's Mpps —
+        see the cycle cost model for the modelled figure)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.packets / self.elapsed_seconds
+
+
+class InstaMeasure:
+    """Single-core InstaMeasure engine."""
+
+    def __init__(
+        self,
+        config: "InstaMeasureConfig | None" = None,
+        accountant: "AccessAccountant | None" = None,
+    ) -> None:
+        self.config = config or InstaMeasureConfig()
+        if self.config.num_layers == 2:
+            self.regulator: "FlowRegulator | MultiLayerRegulator" = FlowRegulator(
+                self.config.l1_memory_bytes,
+                vector_bits=self.config.vector_bits,
+                word_bits=self.config.word_bits,
+                saturation_fill=self.config.saturation_fill,
+                seed=self.config.seed,
+                accountant=accountant,
+            )
+        else:
+            self.regulator = MultiLayerRegulator(
+                self.config.l1_memory_bytes,
+                num_layers=self.config.num_layers,
+                vector_bits=self.config.vector_bits,
+                word_bits=self.config.word_bits,
+                saturation_fill=self.config.saturation_fill,
+                seed=self.config.seed,
+                accountant=accountant,
+            )
+        self.wsaf = WSAFTable(
+            num_entries=self.config.wsaf_entries,
+            probe_limit=self.config.probe_limit,
+            gc_timeout=self.config.gc_timeout,
+            accountant=accountant,
+            eviction_policy=self.config.eviction_policy,
+        )
+        self._rng = random.Random(self.config.seed ^ 0x5EED)
+
+    # -- per-packet path -----------------------------------------------------
+
+    def process_packet(
+        self,
+        flow_key: int,
+        size: int,
+        timestamp: float,
+        five_tuple_packed: "int | None" = None,
+        bit1: "int | None" = None,
+        bit2: "int | None" = None,
+        on_accumulate: "AccumulateCallback | None" = None,
+    ) -> "tuple[float, float] | None":
+        """Process one packet.
+
+        ``bit1``/``bit2`` override the per-packet random bit choices (used
+        by tests to pin the randomness stream); by default they are drawn
+        from the engine's own RNG.
+
+        Returns:
+            The flow's accumulated WSAF ``(packets, bytes)`` if this packet
+            caused an accumulation, else ``None``.
+        """
+        bits = self.config.vector_bits
+        if bit1 is None:
+            bit1 = self._rng.randrange(bits)
+        if bit2 is None:
+            bit2 = self._rng.randrange(bits)
+        if isinstance(self.regulator, FlowRegulator):
+            est_pkt = self.regulator.process(flow_key, bit1, bit2)
+        else:
+            extra = [
+                self._rng.randrange(bits)
+                for _ in range(self.config.num_layers - 2)
+            ]
+            est_pkt = self.regulator.process(
+                flow_key, [bit1, bit2][: self.config.num_layers] + extra
+            )
+        if est_pkt is None:
+            return None
+        est_byte = est_pkt * size
+        totals = self.wsaf.accumulate(
+            flow_key, est_pkt, est_byte, timestamp, five_tuple_packed
+        )
+        if on_accumulate is not None:
+            on_accumulate(flow_key, totals[0], totals[1], timestamp)
+        return totals
+
+    # -- trace path ------------------------------------------------------------
+
+    def process_trace(
+        self,
+        trace: Trace,
+        on_accumulate: "AccumulateCallback | None" = None,
+    ) -> MeasurementResult:
+        """Process every packet of ``trace`` in timestamp order.
+
+        Equivalent to calling :meth:`process_packet` per packet; the loop is
+        manually specialized (placement hoisted per flow, randomness drawn
+        up front, sketch state bound to locals) for pure-Python speed.
+        Non-default regulator depths take a generic (slower) loop.
+        """
+        if not isinstance(self.regulator, FlowRegulator):
+            return self._process_trace_generic(trace, on_accumulate)
+        num_packets = trace.num_packets
+        regulator = self.regulator
+        l1 = regulator.l1
+        vector_bits = l1.vector_bits
+
+        idx_by_flow, off_by_flow = l1.place_array(trace.flows.key64)
+        idx_by_flow = idx_by_flow.tolist()
+        off_by_flow = off_by_flow.tolist()
+        keys = trace.flows.key64.tolist()
+        packed_tuples = packed_five_tuples(trace.flows)
+
+        rng = np.random.default_rng(self.config.seed ^ 0xB17)
+        bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.int64).tolist()
+        bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.int64).tolist()
+
+        flow_ids = trace.flow_ids.tolist()
+        sizes = trace.sizes.tolist()
+        timestamps = trace.timestamps.tolist()
+
+        words1 = l1.words
+        l2_words = [sketch.words for sketch in regulator.l2]
+        bit_masks = l1._bit_masks
+        window_masks = l1._window_masks
+        noise_max = l1.noise_max
+        decode = l1._decode_table
+        accumulate = self.wsaf.accumulate
+
+        packets = 0
+        l1_saturations = 0
+        insertions = 0
+        l2_encoded = [0] * len(l2_words)
+        l2_saturated = [0] * len(l2_words)
+
+        start = time.perf_counter()
+        for p in range(num_packets):
+            flow = flow_ids[p]
+            idx = idx_by_flow[flow]
+            offset = off_by_flow[flow]
+            window = window_masks[offset]
+            masks = bit_masks[offset]
+            packets += 1
+
+            word = words1[idx] | masks[bits1[p]]
+            zeros = vector_bits - (word & window).bit_count()
+            if zeros > noise_max:
+                words1[idx] = word
+                continue
+            # L1 saturated: recycle and push one bit into L2[noise].
+            words1[idx] = word & ~window
+            l1_saturations += 1
+            words2 = l2_words[zeros]
+            l2_encoded[zeros] += 1
+            word2 = words2[idx] | masks[bits2[p]]
+            zeros2 = vector_bits - (word2 & window).bit_count()
+            if zeros2 > noise_max:
+                words2[idx] = word2
+                continue
+            words2[idx] = word2 & ~window
+            l2_saturated[zeros] += 1
+            insertions += 1
+            est_pkt = decode[zeros] * decode[zeros2]
+            timestamp = timestamps[p]
+            key = keys[flow]
+            totals = accumulate(
+                key, est_pkt, est_pkt * sizes[p], timestamp, packed_tuples[flow]
+            )
+            if on_accumulate is not None:
+                on_accumulate(key, totals[0], totals[1], timestamp)
+        elapsed = time.perf_counter() - start
+
+        # Fold the loop's counters into the shared sketch/regulator stats so
+        # both data paths leave identical state behind.
+        stats = regulator.stats
+        stats.packets += packets
+        stats.l1_saturations += l1_saturations
+        stats.insertions += insertions
+        l1.packets_encoded += packets
+        l1.saturations += l1_saturations
+        for noise, sketch in enumerate(regulator.l2):
+            sketch.packets_encoded += l2_encoded[noise]
+            sketch.saturations += l2_saturated[noise]
+        # The specialized loop bypasses per-access accounting; settle the
+        # sketch accesses in bulk (WSAF accesses were recorded live by
+        # accumulate).  One read+write per packet on L1, plus one per L1
+        # saturation on the chosen L2 bank.
+        if l1.accountant is not None:
+            l1.accountant.record(l1.label, reads=packets, writes=packets)
+            for noise, sketch in enumerate(regulator.l2):
+                sketch.accountant.record(
+                    sketch.label,
+                    reads=l2_encoded[noise],
+                    writes=l2_encoded[noise],
+                )
+
+        return MeasurementResult(
+            packets=stats.packets,
+            insertions=stats.insertions,
+            elapsed_seconds=elapsed,
+            regulator_stats=stats,
+            wsaf=self.wsaf,
+        )
+
+    def _process_trace_generic(
+        self,
+        trace: Trace,
+        on_accumulate: "AccumulateCallback | None" = None,
+    ) -> MeasurementResult:
+        """Trace loop for :class:`MultiLayerRegulator` depths (1, 3, 4)."""
+        regulator = self.regulator
+        num_packets = trace.num_packets
+        vector_bits = self.config.vector_bits
+        num_layers = self.config.num_layers
+
+        idx_by_flow, off_by_flow = regulator.l1.place_array(trace.flows.key64)
+        idx_by_flow = idx_by_flow.tolist()
+        off_by_flow = off_by_flow.tolist()
+        keys = trace.flows.key64.tolist()
+        packed_tuples = packed_five_tuples(trace.flows)
+
+        rng = np.random.default_rng(self.config.seed ^ 0xB17)
+        bit_choices = rng.integers(
+            0, vector_bits, size=(num_packets, num_layers), dtype=np.int64
+        ).tolist()
+        flow_ids = trace.flow_ids.tolist()
+        sizes = trace.sizes.tolist()
+        timestamps = trace.timestamps.tolist()
+        process_at = regulator.process_at
+        accumulate = self.wsaf.accumulate
+
+        start = time.perf_counter()
+        for p in range(num_packets):
+            flow = flow_ids[p]
+            est_pkt = process_at(
+                idx_by_flow[flow], off_by_flow[flow], bit_choices[p]
+            )
+            if est_pkt is None:
+                continue
+            timestamp = timestamps[p]
+            key = keys[flow]
+            totals = accumulate(
+                key, est_pkt, est_pkt * sizes[p], timestamp, packed_tuples[flow]
+            )
+            if on_accumulate is not None:
+                on_accumulate(key, totals[0], totals[1], timestamp)
+        elapsed = time.perf_counter() - start
+
+        stats = regulator.stats
+        return MeasurementResult(
+            packets=stats.packets,
+            insertions=stats.insertions,
+            elapsed_seconds=elapsed,
+            regulator_stats=stats,
+            wsaf=self.wsaf,
+        )
+
+    # -- long-run operation ------------------------------------------------------
+
+    def rotate(
+        self, now: float, wsaf_timeout: "float | None" = None
+    ) -> "dict[int, tuple[float, float]]":
+        """Periodic maintenance for multi-day runs.
+
+        Snapshots the WSAF estimates, bulk-expires entries idle for longer
+        than ``wsaf_timeout`` (defaults to the configured ``gc_timeout``),
+        and resets the regulator's statistics window (sketch *contents* are
+        left alone — retained counts must survive, or flows straddling the
+        rotation would lose packets).
+
+        Returns the snapshot taken before expiry, so callers can archive
+        per-epoch measurements the way the paper's long campus run reports
+        per-interval results.
+        """
+        snapshot = self.wsaf.estimates()
+        timeout = wsaf_timeout if wsaf_timeout is not None else self.config.gc_timeout
+        if timeout is not None:
+            self.wsaf.expire_older_than(now - timeout)
+        self.regulator.stats = RegulatorStats()
+        return snapshot
+
+    # -- results ---------------------------------------------------------------
+
+    def estimates_for(
+        self, trace: Trace, include_residual: bool = False
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-flow (packets, bytes) estimates aligned with ``trace.flows``.
+
+        Flows absent from the WSAF estimate 0.  With ``include_residual``,
+        the regulator's retained-but-unflushed residual is added (evaluation
+        aid; see :meth:`FlowRegulator.residual_estimate`).
+        """
+        est_packets = np.zeros(trace.num_flows)
+        est_bytes = np.zeros(trace.num_flows)
+        table = self.wsaf.estimates()
+        for flow_index in range(trace.num_flows):
+            key = int(trace.flows.key64[flow_index])
+            record = table.get(key)
+            if record is not None:
+                est_packets[flow_index] = record[0]
+                est_bytes[flow_index] = record[1]
+            if include_residual:
+                est_packets[flow_index] += self.regulator.residual_estimate(key)
+        return est_packets, est_bytes
+
+
+def run_measurement(
+    trace: Trace,
+    config: "InstaMeasureConfig | None" = None,
+    on_accumulate: "AccumulateCallback | None" = None,
+) -> "tuple[InstaMeasure, MeasurementResult]":
+    """Convenience one-shot: build an engine, process ``trace``, return both."""
+    if config is not None and config.wsaf_entries < 2:
+        raise ConfigurationError("wsaf_entries must be >= 2")
+    engine = InstaMeasure(config)
+    result = engine.process_trace(trace, on_accumulate=on_accumulate)
+    return engine, result

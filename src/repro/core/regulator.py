@@ -1,0 +1,201 @@
+"""FlowRegulator — the two-layer probabilistic counter (Section III).
+
+The regulator sits in front of the WSAF table and retains a fraction of
+every flow's count so that only ~1 % of packets become WSAF insertions:
+
+* **L1** is one RCC sketch.  A packet encodes into L1; most packets stop
+  there.
+* **L2** is a bank of RCC sketches, one per L1 noise level (three for the
+  paper's 8-bit vectors).  When L1 saturates at noise level ``z``, one
+  random bit is set in the flow's vector inside ``L2[z]`` — "the second
+  (higher) layer's one bit encodes multiple packets of a flow".
+* When the L2 vector saturates, the flow's retained count is decoded as
+  ``est_pkt = RCC_Decode(z) × RCC_Decode(z2)`` (Algorithm 1, lines 13-14)
+  and handed to the WSAF; the byte estimate is ``est_pkt × len(pkt)``
+  (the saturation-sampling byte counter of Section III-C).
+
+All L2 sketches share L1's word index and bit offset (the paper's "hash
+function reuse"), so the whole regulator costs one hash and at most two
+memory accesses per packet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.rcc import RCCSketch, coupon_partial_sum
+from repro.errors import ConfigurationError
+from repro.memmodel import AccessAccountant
+
+
+@dataclass
+class RegulatorStats:
+    """Counters describing a regulator's observed behaviour."""
+
+    packets: int = 0
+    l1_saturations: int = 0
+    insertions: int = 0
+
+    @property
+    def l1_saturation_rate(self) -> float:
+        """L1 saturations per packet (RCC's would-be regulation rate)."""
+        return self.l1_saturations / self.packets if self.packets else 0.0
+
+    @property
+    def regulation_rate(self) -> float:
+        """WSAF insertions per packet — the paper's output-ips / input-pps."""
+        return self.insertions / self.packets if self.packets else 0.0
+
+
+class FlowRegulator:
+    """Two-layer RCC counter with saturation-based decoding.
+
+    Args:
+        l1_memory_bytes: word-array size of the L1 sketch.  Each L2 bank
+            member is the same size, so total memory is
+            ``(1 + noise_levels) * l1_memory_bytes`` (4× for 8-bit vectors,
+            matching the paper's "32KB L1 counter → 128KB total").
+        vector_bits: virtual-vector width of each layer (paper: 8).
+        word_bits: machine word size (32 or 64).
+        saturation_fill: per-layer saturation threshold (paper: 70 %).
+        seed: placement seed (shared by both layers by design).
+        accountant: optional access accountant.
+    """
+
+    def __init__(
+        self,
+        l1_memory_bytes: int,
+        vector_bits: int = 8,
+        word_bits: int = 32,
+        saturation_fill: float = 0.7,
+        seed: int = 0,
+        accountant: "AccessAccountant | None" = None,
+    ) -> None:
+        self.l1 = RCCSketch(
+            l1_memory_bytes,
+            vector_bits=vector_bits,
+            word_bits=word_bits,
+            saturation_fill=saturation_fill,
+            seed=seed,
+            accountant=accountant,
+            label="flowregulator.l1",
+        )
+        # One L2 sketch per L1 noise level; identical geometry and placement
+        # seed so (idx, offset) can be reused across layers.
+        self.l2 = [
+            RCCSketch(
+                l1_memory_bytes,
+                vector_bits=vector_bits,
+                word_bits=word_bits,
+                saturation_fill=saturation_fill,
+                seed=seed,
+                accountant=accountant,
+                label=f"flowregulator.l2[{noise}]",
+            )
+            for noise in range(self.l1.noise_levels)
+        ]
+        self.stats = RegulatorStats()
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def vector_bits(self) -> int:
+        return self.l1.vector_bits
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """L1 plus the whole L2 bank."""
+        return self.l1.memory_bytes * (1 + len(self.l2))
+
+    @property
+    def retention_capacity(self) -> float:
+        """Expected packets retained between WSAF insertions (≈ L1 cap²).
+
+        For the paper's 8-bit layers this is ≈ 9.7² ≈ 95 — "up to around 100
+        packets for a single flow, 10 times more than that of RCC".
+        """
+        return self.l1.retention_capacity * self.l1.retention_capacity
+
+    def place(self, flow_key: int) -> "tuple[int, int]":
+        """Shared (word index, bit offset) used by L1 and every L2 bank."""
+        return self.l1.place(flow_key)
+
+    # -- data path ---------------------------------------------------------
+
+    def process_at(
+        self, idx: int, offset: int, bit1: int, bit2: int
+    ) -> "float | None":
+        """Encode one packet at a precomputed placement.
+
+        Args:
+            idx, offset: the flow's placement (from :meth:`place`).
+            bit1, bit2: the packet's random bit choices for L1 and (if L1
+                saturates) L2, each uniform in ``[0, vector_bits)``.
+
+        Returns:
+            ``est_pkt`` if this packet saturated L2 (the caller must
+            accumulate it — and ``est_pkt × packet_len`` — into the WSAF),
+            else ``None``.
+        """
+        self.stats.packets += 1
+        noise1 = self.l1.encode_at(idx, offset, bit1)
+        if noise1 is None:
+            return None
+        self.stats.l1_saturations += 1
+        noise2 = self.l2[noise1].encode_at(idx, offset, bit2)
+        if noise2 is None:
+            return None
+        self.stats.insertions += 1
+        unit = self.l1.decode(noise1)
+        return unit * self.l2[noise1].decode(noise2)
+
+    def process(self, flow_key: int, bit1: int, bit2: int) -> "float | None":
+        """Hash-place ``flow_key`` and encode one packet (see :meth:`process_at`)."""
+        idx, offset = self.place(flow_key)
+        return self.process_at(idx, offset, bit1, bit2)
+
+    # -- evaluation helpers --------------------------------------------------
+
+    def residual_estimate(self, flow_key: int) -> float:
+        """Decode the count still retained (not yet flushed to the WSAF).
+
+        Evaluation-only: attributes all set bits in the flow's windows to the
+        flow, so it over-estimates under heavy word sharing.  The deployed
+        system never reads this; accuracy harnesses may add it to reduce
+        truncation error for flows that ended mid-retention.
+        """
+        idx, offset = self.place(flow_key)
+        window_l1 = self.l1._window_masks[offset]
+        fill_l1 = (self.l1.words[idx] & window_l1).bit_count()
+        total = coupon_partial_sum(self.vector_bits, fill_l1)
+        for noise, sketch in enumerate(self.l2):
+            fill_l2 = (sketch.words[idx] & window_l1).bit_count()
+            if fill_l2:
+                total += self.l1.decode(noise) * coupon_partial_sum(
+                    self.vector_bits, fill_l2
+                )
+        return total
+
+    def reset(self) -> None:
+        """Clear both layers and statistics."""
+        self.l1.reset()
+        for sketch in self.l2:
+            sketch.reset()
+        self.stats = RegulatorStats()
+
+
+def required_l1_bytes(total_memory_bytes: int, vector_bits: int = 8) -> int:
+    """L1 size such that L1 + L2 bank fit ``total_memory_bytes``.
+
+    Inverse of :attr:`FlowRegulator.total_memory_bytes` for a given vector
+    width (e.g. the paper's 128 KB total → 32 KB L1 for 8-bit vectors).
+    """
+    noise_levels = vector_bits - math.ceil(0.7 * vector_bits) + 1
+    banks = 1 + noise_levels
+    l1_bytes = total_memory_bytes // banks
+    if l1_bytes <= 0:
+        raise ConfigurationError(
+            f"{total_memory_bytes} bytes cannot hold a {banks}-bank regulator"
+        )
+    return l1_bytes

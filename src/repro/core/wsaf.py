@@ -1,0 +1,301 @@
+"""WSAF — the In-DRAM Working Set of Active Flows (Section III-B).
+
+An open-addressing hash table of flow records, sized in powers of two and
+probed with the paper's quadratic sequence ``h(k, i) = hash(k) + 0.5·i +
+0.5·i² mod m``.  Triangular-number probing on a power-of-two table visits
+every slot exactly once over ``i ∈ [0, m)`` (property-tested), which is why
+the paper calls out these "specific parameters … for probing all table
+positions in [0, m-1] to achieve a high load factor".
+
+Because mice flows leak through the FlowRegulator probabilistically, the
+table evicts under pressure with a *probe-limit second-chance* policy:
+probing stops after ``probe_limit`` slots; if neither the key nor a free
+slot was found, entries in the probe window that have a second-chance bit
+get it cleared and are spared, and the smallest unspared entry (a mouse) is
+evicted.  Expired entries are garbage-collected opportunistically during
+probing, as the paper describes ("when a new flow is inserted, and an empty
+slot is searched by hash chaining, garbage collection is performed").
+
+Each record mirrors the paper's 33-byte layout: flow-ID hash, packet
+counter, byte counter, timestamp, and the 104-bit 5-tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.memmodel import AccessAccountant
+
+#: Bytes per table entry in the paper's layout (Section IV-D).
+ENTRY_BYTES = 33
+
+
+@dataclass
+class WSAFEntry:
+    """A materialized view of one WSAF record."""
+
+    key: int
+    packets: float
+    bytes: float
+    last_update: float
+    five_tuple_packed: "int | None"
+
+
+class WSAFTable:
+    """The working set of active flows.
+
+    Args:
+        num_entries: table capacity; must be a power of two.
+        probe_limit: maximum probed slots per operation (the paper's probe
+            limit).
+        gc_timeout: seconds of inactivity after which an entry may be
+            reclaimed during probing; ``None`` disables garbage collection.
+        accountant: optional memory-access accountant (the WSAF is the
+            structure whose DRAM accesses the FlowRegulator exists to
+            reduce, so experiments cost it explicitly).
+        eviction_policy: what to do when the probe window is full —
+            ``"second-chance"`` (the paper's design: spare recently-updated
+            entries once, then evict the smallest mouse), ``"min"`` (always
+            evict the smallest, no second chances), or ``"reject"`` (never
+            evict; drop the incoming estimate).  The non-default policies
+            exist for the ablation study.
+    """
+
+    EVICTION_POLICIES = ("second-chance", "min", "reject")
+
+    def __init__(
+        self,
+        num_entries: int = 1 << 20,
+        probe_limit: int = 16,
+        gc_timeout: "float | None" = None,
+        accountant: "AccessAccountant | None" = None,
+        eviction_policy: str = "second-chance",
+    ) -> None:
+        if num_entries < 2 or num_entries & (num_entries - 1):
+            raise ConfigurationError(
+                f"num_entries must be a power of two >= 2, got {num_entries}"
+            )
+        if probe_limit < 1:
+            raise ConfigurationError(f"probe_limit must be >= 1, got {probe_limit}")
+        if gc_timeout is not None and gc_timeout <= 0:
+            raise ConfigurationError("gc_timeout must be positive or None")
+        if eviction_policy not in self.EVICTION_POLICIES:
+            raise ConfigurationError(
+                f"unknown eviction_policy {eviction_policy!r}; "
+                f"known: {self.EVICTION_POLICIES}"
+            )
+        self.eviction_policy = eviction_policy
+        self.num_entries = num_entries
+        self.probe_limit = min(probe_limit, num_entries)
+        self.gc_timeout = gc_timeout
+        self.accountant = accountant
+        self._mask = num_entries - 1
+
+        # Parallel columns; key 0 in an unoccupied slot is the empty marker.
+        self._occupied = [False] * num_entries
+        self._keys = [0] * num_entries
+        self._packets = [0.0] * num_entries
+        self._bytes = [0.0] * num_entries
+        self._timestamps = [0.0] * num_entries
+        self._chance = [False] * num_entries
+        self._tuples: "list[int | None]" = [None] * num_entries
+
+        self.size = 0
+        self.insertions = 0
+        self.updates = 0
+        self.evictions = 0
+        self.gc_reclaimed = 0
+        self.rejected = 0
+
+    # -- probing -----------------------------------------------------------
+
+    def probe_sequence(self, key: int, length: "int | None" = None) -> Iterator[int]:
+        """Slot indices visited for ``key``: h + (i + i²)/2 mod m."""
+        length = self.probe_limit if length is None else length
+        base = key & self._mask
+        for i in range(length):
+            yield (base + ((i + i * i) >> 1)) & self._mask
+
+    def _expired(self, slot: int, now: float) -> bool:
+        return (
+            self.gc_timeout is not None
+            and now - self._timestamps[slot] > self.gc_timeout
+        )
+
+    # -- operations ----------------------------------------------------------
+
+    def accumulate(
+        self,
+        key: int,
+        est_packets: float,
+        est_bytes: float,
+        timestamp: float,
+        five_tuple_packed: "int | None" = None,
+    ) -> "tuple[float, float]":
+        """Add a decoded estimate to ``key``'s record, inserting if needed.
+
+        This is the paper's ``ACC_WSAF(f, est_pkt, est_byte)`` (Algorithm 1
+        line 16).  Returns the flow's accumulated ``(packets, bytes)`` after
+        the update, which heavy-hitter detection thresholds against.
+        """
+        probes = 0
+        first_free = -1
+        for slot in self.probe_sequence(key):
+            probes += 1
+            if self._occupied[slot]:
+                if self._keys[slot] == key:
+                    if self.accountant is not None:
+                        self.accountant.record("wsaf", reads=probes, writes=1)
+                    self._packets[slot] += est_packets
+                    self._bytes[slot] += est_bytes
+                    self._timestamps[slot] = timestamp
+                    self._chance[slot] = True
+                    self.updates += 1
+                    return self._packets[slot], self._bytes[slot]
+                if first_free < 0 and self._expired(slot, timestamp):
+                    # Opportunistic garbage collection during hash chaining.
+                    self._clear(slot)
+                    self.gc_reclaimed += 1
+                    first_free = slot
+            elif first_free < 0:
+                first_free = slot
+
+        if first_free < 0:
+            first_free = self._find_victim(key, timestamp)
+        if first_free < 0:
+            # Pathological: every window entry is a heavier flow that just
+            # received its second chance.  Drop the estimate (counted).
+            self.rejected += 1
+            if self.accountant is not None:
+                self.accountant.record("wsaf", reads=probes)
+            return 0.0, 0.0
+
+        if self.accountant is not None:
+            self.accountant.record("wsaf", reads=probes, writes=1)
+        self._occupied[first_free] = True
+        self._keys[first_free] = key
+        self._packets[first_free] = est_packets
+        self._bytes[first_free] = est_bytes
+        self._timestamps[first_free] = timestamp
+        self._chance[first_free] = True
+        self._tuples[first_free] = five_tuple_packed
+        self.size += 1
+        self.insertions += 1
+        return est_packets, est_bytes
+
+    def _find_victim(self, key: int, now: float) -> int:
+        """Free a slot in ``key``'s probe window per the eviction policy.
+
+        Expired entries are always reclaimed first (garbage collection).
+        Under ``second-chance``, entries whose chance bit is set are spared
+        once (bit cleared); if every entry was spared, the insert is
+        rejected (returns -1) and will win a slot on a later attempt once
+        chance bits have decayed.  Under ``min``, the smallest entry is
+        evicted unconditionally.  Under ``reject``, nothing is evicted.
+        """
+        victim = -1
+        victim_packets = float("inf")
+        for slot in self.probe_sequence(key):
+            if self._expired(slot, now):
+                self._clear(slot)
+                self.gc_reclaimed += 1
+                return slot
+            if self.eviction_policy == "reject":
+                continue
+            if self.eviction_policy == "second-chance" and self._chance[slot]:
+                self._chance[slot] = False
+                continue
+            if self._packets[slot] < victim_packets:
+                victim = slot
+                victim_packets = self._packets[slot]
+        if victim >= 0:
+            self._clear(victim)
+            self.evictions += 1
+        return victim
+
+    def _clear(self, slot: int) -> None:
+        self._occupied[slot] = False
+        self._keys[slot] = 0
+        self._packets[slot] = 0.0
+        self._bytes[slot] = 0.0
+        self._timestamps[slot] = 0.0
+        self._chance[slot] = False
+        self._tuples[slot] = None
+        self.size -= 1
+
+    def lookup(self, key: int) -> "WSAFEntry | None":
+        """The record for ``key``, or ``None`` if absent."""
+        for slot in self.probe_sequence(key):
+            if self._occupied[slot] and self._keys[slot] == key:
+                return WSAFEntry(
+                    key=key,
+                    packets=self._packets[slot],
+                    bytes=self._bytes[slot],
+                    last_update=self._timestamps[slot],
+                    five_tuple_packed=self._tuples[slot],
+                )
+        return None
+
+    def entries(self) -> Iterator[WSAFEntry]:
+        """All occupied records, in table order."""
+        for slot in range(self.num_entries):
+            if self._occupied[slot]:
+                yield WSAFEntry(
+                    key=self._keys[slot],
+                    packets=self._packets[slot],
+                    bytes=self._bytes[slot],
+                    last_update=self._timestamps[slot],
+                    five_tuple_packed=self._tuples[slot],
+                )
+
+    def estimates(self) -> "dict[int, tuple[float, float]]":
+        """Mapping of flow key → (packets, bytes) for all records."""
+        return {
+            self._keys[slot]: (self._packets[slot], self._bytes[slot])
+            for slot in range(self.num_entries)
+            if self._occupied[slot]
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def expire_older_than(self, cutoff: float) -> int:
+        """Bulk-reclaim entries last updated before ``cutoff``.
+
+        The opportunistic probe-time GC only touches slots it happens to
+        walk; long-running deployments (the 113-hour campus run) can sweep
+        periodically with this instead.  Returns the number reclaimed.
+        """
+        reclaimed = 0
+        for slot in range(self.num_entries):
+            if self._occupied[slot] and self._timestamps[slot] < cutoff:
+                self._clear(slot)
+                reclaimed += 1
+        self.gc_reclaimed += reclaimed
+        return reclaimed
+
+    def active_entries(self, now: float, window: float) -> Iterator[WSAFEntry]:
+        """Records updated within the last ``window`` seconds.
+
+        The "working set of *active* flows" view: what a TE or detection
+        application should consider live at time ``now``.
+        """
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        for entry in self.entries():
+            if now - entry.last_update <= window:
+                yield entry
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def load_factor(self) -> float:
+        return self.size / self.num_entries
+
+    def memory_bytes(self) -> int:
+        """DRAM footprint under the paper's 33-byte entry layout."""
+        return self.num_entries * ENTRY_BYTES

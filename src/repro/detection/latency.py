@@ -1,0 +1,134 @@
+"""Detection-latency experiment (Fig 9(b)) and the decoding taxonomies.
+
+Section II distinguishes three decoding strategies:
+
+* **packet-arrival-based** — decode on every packet; exact, used as the
+  ground-truth baseline (infeasible in deployment).
+* **saturation-based** — InstaMeasure: decode when the FlowRegulator's L2
+  saturates.  The lag is the time to accumulate one retention quantum, so
+  it shrinks as the attacker speeds up ("significant attackers … can be
+  caught earlier than slow attackers").
+* **delegation-based** — ship the sketch to a remote collector every epoch;
+  detection happens at the end of the epoch containing the crossing, plus
+  network delay ("tens of milliseconds").
+
+:func:`detection_latency_experiment` injects constant-rate flows into
+background traffic, runs a real engine with a real detector, and reports
+per-rate latencies for the saturation and delegation strategies relative to
+the packet-arrival baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.instameasure import InstaMeasure, InstaMeasureConfig
+from repro.detection.heavy_hitter import (
+    HeavyHitterDetector,
+    ground_truth_detection_times,
+)
+from repro.errors import ConfigurationError
+from repro.traffic.attack import AttackConfig, inject_attack_flows
+from repro.traffic.packet import Trace
+
+
+@dataclass
+class DelegationModel:
+    """Periodic sketch shipping to a remote collector.
+
+    Args:
+        epoch_seconds: how often the sketch is flushed to the collector.
+        network_delay_seconds: one-way transfer + decode delay at the
+            collector.
+    """
+
+    epoch_seconds: float = 0.02
+    network_delay_seconds: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.epoch_seconds <= 0 or self.network_delay_seconds < 0:
+            raise ConfigurationError("invalid delegation parameters")
+
+    def detection_time(self, crossing_time: float) -> float:
+        """When a crossing at ``crossing_time`` is noticed at the collector."""
+        epoch_end = math.ceil(crossing_time / self.epoch_seconds) * self.epoch_seconds
+        return epoch_end + self.network_delay_seconds
+
+
+@dataclass
+class LatencySample:
+    """One point of the Fig 9(b) curve."""
+
+    rate_pps: float
+    ground_truth_time: float
+    saturation_time: "float | None"
+    delegation_time: float
+
+    @property
+    def saturation_latency(self) -> "float | None":
+        """Saturation-based detection lag behind packet-arrival-based."""
+        if self.saturation_time is None:
+            return None
+        return self.saturation_time - self.ground_truth_time
+
+    @property
+    def delegation_latency(self) -> float:
+        return self.delegation_time - self.ground_truth_time
+
+
+def detection_latency_experiment(
+    background: Trace,
+    rates_pps: "list[float]",
+    threshold_packets: float,
+    engine_config: "InstaMeasureConfig | None" = None,
+    delegation: "DelegationModel | None" = None,
+    attack_duration: float = 2.0,
+    attack_start: float = 0.5,
+    seed: int = 7,
+) -> "list[LatencySample]":
+    """Measure heavy-hitter detection latency at each attack rate.
+
+    One attack flow per rate is injected into ``background``; the engine
+    processes the merged trace with a saturation-based detector attached;
+    latencies are scored against exact crossing times.  Flows whose rate
+    cannot reach the threshold within ``attack_duration`` are skipped.
+    """
+    if threshold_packets <= 0:
+        raise ConfigurationError("threshold_packets must be positive")
+    if not rates_pps:
+        raise ConfigurationError("rates_pps must not be empty")
+    delegation = delegation or DelegationModel()
+
+    merged, injected = inject_attack_flows(
+        background,
+        AttackConfig(
+            rates_pps=list(rates_pps),
+            duration=attack_duration,
+            start_time=attack_start,
+            seed=seed,
+        ),
+    )
+    truth_times, _ = ground_truth_detection_times(
+        merged, threshold_packets=threshold_packets
+    )
+
+    detector = HeavyHitterDetector(threshold_packets=threshold_packets)
+    engine = InstaMeasure(engine_config or InstaMeasureConfig())
+    engine.process_trace(merged, on_accumulate=detector.on_accumulate)
+
+    samples: "list[LatencySample]" = []
+    for rate, flow_index in zip(rates_pps, injected):
+        if flow_index not in truth_times:
+            continue  # too slow to cross the threshold in the window
+        flow_key = int(merged.flows.key64[flow_index])
+        ground_truth = truth_times[flow_index]
+        samples.append(
+            LatencySample(
+                rate_pps=rate,
+                ground_truth_time=ground_truth,
+                saturation_time=detector.packet_detections.get(flow_key),
+                delegation_time=delegation.detection_time(ground_truth),
+            )
+        )
+    return samples

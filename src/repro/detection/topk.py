@@ -1,0 +1,50 @@
+"""Top-K identification and recall scoring (Fig 10/11, right panels).
+
+InstaMeasure serves packet Top-K and byte Top-K lists simultaneously from
+the WSAF.  The standard recall metric scores an estimated Top-K list
+against the exact one: |estimated ∩ true| / K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def topk_flows(values: np.ndarray, k: int) -> "set[int]":
+    """Indices of the ``k`` largest entries of ``values``.
+
+    Ties at the boundary resolve by index order (deterministic).
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    values = np.asarray(values)
+    k = min(k, len(values))
+    if k == 0:
+        return set()
+    # argsort descending, stable for determinism on ties.
+    order = np.argsort(-values, kind="stable")
+    return set(order[:k].tolist())
+
+
+def topk_recall(estimated: np.ndarray, truth: np.ndarray, k: int) -> float:
+    """Recall of the estimated Top-K against the exact Top-K.
+
+    Both arrays must be index-aligned per flow (e.g. packet estimates vs
+    packet ground truth over the same flow table).
+    """
+    if len(estimated) != len(truth):
+        raise ConfigurationError("estimated and truth must be index-aligned")
+    true_top = topk_flows(truth, k)
+    estimated_top = topk_flows(estimated, k)
+    if not true_top:
+        return 1.0
+    return len(true_top & estimated_top) / len(true_top)
+
+
+def topk_recall_series(
+    estimated: np.ndarray, truth: np.ndarray, ks: "list[int]"
+) -> "dict[int, float]":
+    """Recall at each K in ``ks`` (one pass per K)."""
+    return {k: topk_recall(estimated, truth, k) for k in ks}

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the InstaMeasure reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch package-level failures with a single ``except`` clause
+without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class CapacityError(ReproError):
+    """A bounded structure (queue, table, pool) could not absorb an item."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file is malformed or was written by an incompatible version."""
+
+
+class DecodeError(ReproError):
+    """A sketch decode was requested in a state that cannot be decoded."""

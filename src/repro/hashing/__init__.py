@@ -1,0 +1,45 @@
+"""Hashing substrate.
+
+InstaMeasure's data-plane structures (RCC sketches, the WSAF table, the
+multi-core dispatcher) all need cheap, deterministic, well-mixed hash
+functions that are independent of Python's randomized ``hash()``.  This
+package provides:
+
+* :func:`splitmix64` / :func:`mix64` — fast 64-bit finalizer-style mixers.
+* :func:`hash_bytes` / :func:`hash_u64` — seeded stable hashes.
+* :class:`HashFamily` — an indexed family of pairwise-independent-ish hashes
+  built from seeded mixers, used wherever a structure needs ``k`` hash
+  functions.
+* :class:`TabulationHash` — 4-wise independent tabulation hashing for the
+  property tests that need stronger independence guarantees.
+* :func:`popcount32` — the source-IP population count used by the multi-core
+  dispatcher (Section IV-C of the paper).
+"""
+
+from repro.hashing.mix import (
+    MASK64,
+    hash_bytes,
+    hash_u64,
+    hash_u64_array,
+    mix64,
+    mix64_array,
+    popcount32,
+    splitmix64,
+    splitmix64_array,
+)
+from repro.hashing.family import HashFamily
+from repro.hashing.tabulation import TabulationHash
+
+__all__ = [
+    "MASK64",
+    "HashFamily",
+    "TabulationHash",
+    "hash_bytes",
+    "hash_u64",
+    "hash_u64_array",
+    "mix64",
+    "mix64_array",
+    "popcount32",
+    "splitmix64",
+    "splitmix64_array",
+]

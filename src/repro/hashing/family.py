@@ -1,0 +1,41 @@
+"""Indexed families of seeded hash functions."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hashing.mix import MASK64, hash_u64, splitmix64
+
+
+class HashFamily:
+    """A family of ``k`` independent-looking 64-bit hash functions.
+
+    Each member is the seeded mixer :func:`repro.hashing.mix.hash_u64` with a
+    per-member seed derived from the family seed via splitmix64.  Sketches
+    that need several hash functions (e.g. CSM's counter selection, the WSAF
+    probe hash, RCC's index/offset split) take a family and index into it, so
+    all randomness in an experiment flows from a single seed.
+    """
+
+    def __init__(self, size: int, seed: int = 0) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"hash family size must be positive, got {size}")
+        self._seeds = []
+        state = seed & MASK64
+        for _ in range(size):
+            state = splitmix64(state)
+            self._seeds.append(state)
+
+    def __len__(self) -> int:
+        return len(self._seeds)
+
+    def hash(self, index: int, value: int) -> int:
+        """Apply the ``index``-th member to ``value`` (64-bit output)."""
+        return hash_u64(value, self._seeds[index])
+
+    def hash_mod(self, index: int, value: int, modulus: int) -> int:
+        """Apply the ``index``-th member and reduce modulo ``modulus``."""
+        return self.hash(index, value) % modulus
+
+    def seed_of(self, index: int) -> int:
+        """The derived seed of the ``index``-th member (for vectorized use)."""
+        return self._seeds[index]

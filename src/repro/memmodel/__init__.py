@@ -1,0 +1,35 @@
+"""Memory-technology model (DRAM vs SRAM vs TCAM).
+
+The paper's central argument is arithmetic over memory speeds: a WSAF in
+DRAM can only absorb insertions at some fraction of the packet arrival rate
+("SRAM is 10-20 times faster than DRAM"), so the FlowRegulator must push the
+insertion rate below that margin.  This package makes that arithmetic an
+explicit, testable model:
+
+* :class:`~repro.memmodel.technology.MemoryTechnology` — named technologies
+  with access latency and cost per MB.
+* :class:`~repro.memmodel.accounting.AccessAccountant` — counts structure
+  accesses and converts them to time on a given technology.
+* :func:`~repro.memmodel.accounting.ips_margin` — the maximum insertion rate
+  a WSAF on a technology can sustain, as a fraction of a reference pps.
+"""
+
+from repro.memmodel.technology import (
+    DRAM,
+    SRAM,
+    TCAM,
+    MemoryTechnology,
+    technology_by_name,
+)
+from repro.memmodel.accounting import AccessAccountant, ips_margin, sustainable_ips
+
+__all__ = [
+    "DRAM",
+    "SRAM",
+    "TCAM",
+    "AccessAccountant",
+    "MemoryTechnology",
+    "ips_margin",
+    "sustainable_ips",
+    "technology_by_name",
+]

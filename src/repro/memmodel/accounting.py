@@ -1,0 +1,93 @@
+"""Access accounting and ips/pps margin arithmetic.
+
+Section II frames the design constraint as ``ips = pps``: a WSAF must absorb
+one insertion/lookup per arriving packet.  FlowRegulator relaxes this by
+regulating the insertion stream down to ~1 % of pps.  These helpers express
+the two sides of that inequality:
+
+* :func:`sustainable_ips` — insertions/second a WSAF on a technology can
+  absorb, given how many memory accesses one insertion costs (probing).
+* :func:`ips_margin` — the same, as a fraction of a reference packet rate;
+  a regulator is feasible on a technology iff its measured regulation rate
+  is below this margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.memmodel.technology import MemoryTechnology
+
+
+def sustainable_ips(
+    technology: MemoryTechnology, accesses_per_insertion: float = 2.0
+) -> float:
+    """Insertions per second a table on ``technology`` sustains.
+
+    ``accesses_per_insertion`` is the average number of random memory
+    accesses one table operation costs (≥1; ~2 for a lightly loaded
+    open-addressing table: one probe read plus the write).
+    """
+    if accesses_per_insertion < 1.0:
+        raise ConfigurationError("an insertion costs at least one access")
+    return technology.accesses_per_second() / accesses_per_insertion
+
+
+def ips_margin(
+    technology: MemoryTechnology,
+    reference_pps: float,
+    accesses_per_insertion: float = 2.0,
+) -> float:
+    """Maximum regulation rate (ips/pps) feasible on ``technology``.
+
+    A FlowRegulator whose measured regulation rate is below this value can
+    feed a WSAF on ``technology`` without the table becoming the bottleneck
+    at ``reference_pps`` packets per second.
+    """
+    if reference_pps <= 0:
+        raise ConfigurationError("reference_pps must be positive")
+    return sustainable_ips(technology, accesses_per_insertion) / reference_pps
+
+
+@dataclass
+class AccessAccountant:
+    """Counts memory accesses of a structure and prices them on a technology.
+
+    Data-plane structures accept an optional accountant and call
+    :meth:`record` on every random access; experiments then read total
+    modelled time.  Keeping the accountant separate from the structures
+    keeps the hot path allocation-free when accounting is off.
+    """
+
+    technology: MemoryTechnology
+    reads: int = 0
+    writes: int = 0
+    _label_counts: "dict[str, int]" = field(default_factory=dict)
+
+    def record(self, label: str, reads: int = 0, writes: int = 0) -> None:
+        """Record ``reads``/``writes`` random accesses attributed to ``label``."""
+        self.reads += reads
+        self.writes += writes
+        if reads or writes:
+            self._label_counts[label] = (
+                self._label_counts.get(label, 0) + reads + writes
+            )
+
+    @property
+    def total_accesses(self) -> int:
+        return self.reads + self.writes
+
+    def modelled_seconds(self) -> float:
+        """Total time the recorded accesses take on the technology."""
+        return self.total_accesses * self.technology.access_ns * 1e-9
+
+    def by_label(self) -> "dict[str, int]":
+        """Access counts per structure label (copy)."""
+        return dict(self._label_counts)
+
+    def reset(self) -> None:
+        """Zero all counters and per-label attribution."""
+        self.reads = 0
+        self.writes = 0
+        self._label_counts.clear()

@@ -1,0 +1,70 @@
+"""Named memory technologies with latency and cost parameters.
+
+Latencies are representative random-access figures for commodity parts of
+the paper's era (2018-2019): DRAM random access ≈ 60 ns (row miss), on-chip
+SRAM ≈ 3-6 ns, TCAM lookup ≈ 2 ns.  The ratios — DRAM 10-20× slower than
+SRAM — are what the paper's Section II reasoning relies on, and what the
+defaults here encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """A memory technology the WSAF or a sketch can live in.
+
+    Attributes:
+        name: human-readable name.
+        access_ns: latency of one random access (read or write), ns.
+        cost_per_mb_usd: rough part cost per megabyte (drives the paper's
+            cost-effectiveness argument for large In-DRAM WSAFs).
+        typical_capacity_mb: capacity a single measurement device would
+            realistically dedicate.
+    """
+
+    name: str
+    access_ns: float
+    cost_per_mb_usd: float
+    typical_capacity_mb: float
+
+    def __post_init__(self) -> None:
+        if self.access_ns <= 0:
+            raise ConfigurationError(f"{self.name}: access_ns must be positive")
+        if self.cost_per_mb_usd < 0 or self.typical_capacity_mb <= 0:
+            raise ConfigurationError(f"{self.name}: invalid cost/capacity")
+
+    def accesses_per_second(self) -> float:
+        """How many random accesses per second the technology sustains."""
+        return 1e9 / self.access_ns
+
+    def speed_ratio(self, other: "MemoryTechnology") -> float:
+        """How many times faster ``self`` is than ``other`` (>1 = faster)."""
+        return other.access_ns / self.access_ns
+
+
+DRAM = MemoryTechnology(
+    name="DRAM", access_ns=60.0, cost_per_mb_usd=0.005, typical_capacity_mb=16_384.0
+)
+SRAM = MemoryTechnology(
+    name="SRAM", access_ns=4.0, cost_per_mb_usd=10.0, typical_capacity_mb=32.0
+)
+TCAM = MemoryTechnology(
+    name="TCAM", access_ns=2.0, cost_per_mb_usd=100.0, typical_capacity_mb=2.0
+)
+
+_BY_NAME = {tech.name.lower(): tech for tech in (DRAM, SRAM, TCAM)}
+
+
+def technology_by_name(name: str) -> MemoryTechnology:
+    """Look up a built-in technology by case-insensitive name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown memory technology {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,27 @@
+"""Simulation substrate: timing, link, and queueing models.
+
+Pure Python cannot hit the paper's 18.88 Mpps per Atom core, so the timing
+side of the evaluation (Fig 9(a), Fig 12(c)) is reproduced with explicit
+models fed by *measured* algorithmic quantities (saturation rates, load
+shares) from the real data-path implementation:
+
+* :class:`~repro.simulate.costmodel.CycleCostModel` — per-packet nanosecond
+  cost of the InstaMeasure pipeline, calibrated to the paper's single-core
+  throughput.
+* :class:`~repro.simulate.linkmodel.MirrorPort` — the gateway mirror port
+  that "starts to drop packets when port capacity is exceeded".
+* :func:`~repro.simulate.engine.simulate_queues` — a discrete-time
+  queue/utilization simulation of the manager/worker system.
+"""
+
+from repro.simulate.costmodel import CycleCostModel
+from repro.simulate.linkmodel import MirrorPort, MirrorPortStats
+from repro.simulate.engine import QueueSeries, simulate_queues
+
+__all__ = [
+    "CycleCostModel",
+    "MirrorPort",
+    "MirrorPortStats",
+    "QueueSeries",
+    "simulate_queues",
+]

@@ -1,0 +1,141 @@
+"""Per-packet cycle/latency cost model (the Fig 9(a) substitute).
+
+The paper measures 18.88 / 25.48 / 36.19 / 46.32 Mpps on 1-4 Atom cores.
+Those numbers are produced by per-packet work that this reproduction also
+performs — one 5-tuple hash, one L1 word access, an L2 access on L1
+saturation, a WSAF probe-and-write on L2 saturation — plus fixed packet-I/O
+overhead.  The model prices each component in nanoseconds and combines them
+with *measured* rates (L1 saturation rate, regulation rate, dispatch load
+shares) from the actual data path, so everything that can be measured is
+measured and only raw silicon speed is assumed.
+
+Defaults are calibrated so a single modelled core lands at ≈19 Mpps on a
+CAIDA-like mix, and multi-core scaling is sublinear through the two
+mechanisms the paper's numbers imply: imperfect popcount load balance and
+shared-memory contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CycleCostModel:
+    """Nanosecond prices of the InstaMeasure per-packet pipeline.
+
+    Attributes:
+        parse_ns: packet RX + header parse (DPDK burst amortized).
+        hash_ns: one 5-tuple hash (shared by L1/L2 placement).
+        overhead_ns: fixed per-packet framework overhead (queueing, loop).
+        sketch_access_ns: one sketch word access.  Sketches are small and
+            hot, so this is a DRAM row-buffer/L2-cache hit, not a 60 ns
+            random DRAM access.
+        wsaf_access_ns: one WSAF access (random DRAM).
+        wsaf_accesses_per_insertion: average probes + write per insertion.
+        manager_ns: manager-core work per packet (popcount + enqueue).
+        contention_per_worker: fractional slowdown each additional worker
+            adds through shared memory/bus contention.
+    """
+
+    parse_ns: float = 10.0
+    hash_ns: float = 12.0
+    overhead_ns: float = 12.0
+    sketch_access_ns: float = 16.0
+    wsaf_access_ns: float = 60.0
+    wsaf_accesses_per_insertion: float = 3.0
+    manager_ns: float = 6.0
+    contention_per_worker: float = 0.18
+
+    def __post_init__(self) -> None:
+        for name in (
+            "parse_ns",
+            "hash_ns",
+            "overhead_ns",
+            "sketch_access_ns",
+            "wsaf_access_ns",
+            "wsaf_accesses_per_insertion",
+            "manager_ns",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.contention_per_worker < 0:
+            raise ConfigurationError("contention_per_worker must be >= 0")
+
+    def packet_cost_ns(self, l1_saturation_rate: float, regulation_rate: float) -> float:
+        """Expected worker nanoseconds per packet.
+
+        Args:
+            l1_saturation_rate: measured L1 saturations per packet (adds the
+                L2 access).
+            regulation_rate: measured WSAF insertions per packet (adds the
+                WSAF probe/write).
+        """
+        if not 0.0 <= regulation_rate <= l1_saturation_rate <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= regulation_rate <= l1_saturation_rate <= 1"
+            )
+        return (
+            self.parse_ns
+            + self.hash_ns
+            + self.overhead_ns
+            + self.sketch_access_ns  # L1, every packet
+            + l1_saturation_rate * self.sketch_access_ns  # L2 on saturation
+            + regulation_rate
+            * self.wsaf_accesses_per_insertion
+            * self.wsaf_access_ns
+        )
+
+    def single_core_pps(
+        self, l1_saturation_rate: float, regulation_rate: float
+    ) -> float:
+        """Modelled single-worker throughput in packets per second."""
+        return 1e9 / self.packet_cost_ns(l1_saturation_rate, regulation_rate)
+
+    def manager_pps(self) -> float:
+        """Modelled manager-core dispatch capacity."""
+        return 1e9 / self.manager_ns
+
+    def multicore_pps(
+        self,
+        num_workers: int,
+        max_load_share: float,
+        l1_saturation_rate: float,
+        regulation_rate: float,
+    ) -> float:
+        """Modelled system throughput with ``num_workers`` workers.
+
+        The system saturates when its busiest worker does — so capacity is
+        ``worker_rate / max_load_share`` — degraded by memory contention and
+        capped by the manager core (the single-worker case has no manager).
+        """
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
+        if not 0.0 < max_load_share <= 1.0:
+            raise ConfigurationError("max_load_share must be in (0, 1]")
+        if max_load_share < 1.0 / num_workers:
+            raise ConfigurationError(
+                "max_load_share cannot be below 1/num_workers"
+            )
+        worker_rate = self.single_core_pps(l1_saturation_rate, regulation_rate)
+        contention = 1.0 + self.contention_per_worker * (num_workers - 1)
+        capacity = worker_rate / max_load_share / contention
+        if num_workers == 1:
+            return worker_rate
+        return min(capacity, self.manager_pps())
+
+    def utilization(
+        self,
+        offered_pps: float,
+        l1_saturation_rate: float,
+        regulation_rate: float,
+    ) -> float:
+        """Fraction of one worker core busy at ``offered_pps`` (clamped to 1)."""
+        if offered_pps < 0:
+            raise ConfigurationError("offered_pps must be >= 0")
+        busy = offered_pps * self.packet_cost_ns(
+            l1_saturation_rate, regulation_rate
+        ) * 1e-9
+        return min(1.0, busy)

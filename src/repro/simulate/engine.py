@@ -1,0 +1,128 @@
+"""Discrete-time queue/utilization simulation (Fig 12(c) substitute).
+
+The multi-core system of Section IV-C is a manager feeding per-worker FIFO
+queues.  Given a trace, a dispatch assignment and a per-worker service rate,
+this module plays the arrival process against the service process in fixed
+time buckets, producing the utilization and queue-depth time series the
+paper plots for the 113-hour run ("the core's workload matches the traffic
+pattern, and the core usage did not go over 40 %; the queue did not grow
+noticeably").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import Trace
+
+
+@dataclass
+class QueueSeries:
+    """Per-bucket time series of a queue simulation.
+
+    Attributes:
+        times: bucket start times, shape (T,).
+        offered: packets offered per worker per bucket, shape (W, T).
+        utilization: busy fraction per worker per bucket, shape (W, T),
+            clamped to 1.0.
+        queue_depth: backlog (packets) per worker at each bucket end (W, T).
+    """
+
+    times: np.ndarray
+    offered: np.ndarray
+    utilization: np.ndarray
+    queue_depth: np.ndarray
+
+    @property
+    def num_workers(self) -> int:
+        return self.offered.shape[0]
+
+    def peak_utilization(self) -> float:
+        """Highest per-worker utilization over the whole run."""
+        return float(self.utilization.max()) if self.utilization.size else 0.0
+
+    def peak_queue_depth(self) -> float:
+        """Deepest per-worker backlog (packets) over the whole run."""
+        return float(self.queue_depth.max()) if self.queue_depth.size else 0.0
+
+    def mean_wait_seconds(self, bucket_seconds: float) -> float:
+        """Average queueing delay via Little's law (W = L / λ).
+
+        ``L`` is the time-averaged backlog across workers and ``λ`` the
+        aggregate arrival rate; zero when nothing was offered.
+        """
+        total_offered = float(self.offered.sum())
+        if total_offered == 0.0 or self.queue_depth.size == 0:
+            return 0.0
+        mean_backlog = float(self.queue_depth.sum(axis=0).mean())
+        arrival_rate = total_offered / (self.offered.shape[1] * bucket_seconds)
+        return mean_backlog / arrival_rate
+
+
+def simulate_queues(
+    trace: Trace,
+    assignment: np.ndarray,
+    num_workers: int,
+    service_pps: float,
+    bucket_seconds: float,
+) -> QueueSeries:
+    """Play ``trace`` through per-worker FIFO queues.
+
+    Args:
+        trace: arrival process (timestamps define the buckets).
+        assignment: per-packet worker index (e.g. from
+            :meth:`MultiCoreInstaMeasure.dispatch`).
+        num_workers: worker count.
+        service_pps: packets per second one worker can drain.
+        bucket_seconds: time-bucket width.
+
+    Each bucket drains ``service_pps * bucket_seconds`` packets per worker
+    from backlog + arrivals; the remainder carries over as queue depth.
+    Utilization is work performed over capacity.
+    """
+    if num_workers < 1:
+        raise ConfigurationError("num_workers must be >= 1")
+    if service_pps <= 0:
+        raise ConfigurationError("service_pps must be positive")
+    if bucket_seconds <= 0:
+        raise ConfigurationError("bucket_seconds must be positive")
+    if len(assignment) != trace.num_packets:
+        raise ConfigurationError("assignment length must match the trace")
+
+    if trace.num_packets == 0:
+        empty = np.zeros((num_workers, 0))
+        return QueueSeries(np.array([]), empty, empty, empty)
+
+    start = float(trace.timestamps[0])
+    bucket_of_packet = ((trace.timestamps - start) / bucket_seconds).astype(np.int64)
+    num_buckets = int(bucket_of_packet.max()) + 1
+
+    offered = np.zeros((num_workers, num_buckets))
+    for worker in range(num_workers):
+        mask = assignment == worker
+        if mask.any():
+            offered[worker] = np.bincount(
+                bucket_of_packet[mask], minlength=num_buckets
+            )
+
+    capacity = service_pps * bucket_seconds
+    utilization = np.zeros_like(offered)
+    queue_depth = np.zeros_like(offered)
+    backlog = np.zeros(num_workers)
+    for bucket in range(num_buckets):
+        workload = backlog + offered[:, bucket]
+        served = np.minimum(workload, capacity)
+        backlog = workload - served
+        utilization[:, bucket] = served / capacity
+        queue_depth[:, bucket] = backlog
+
+    times = start + bucket_seconds * np.arange(num_buckets)
+    return QueueSeries(
+        times=times,
+        offered=offered,
+        utilization=utilization,
+        queue_depth=queue_depth,
+    )

@@ -1,0 +1,94 @@
+"""Mirror-port model (the campus experiment's observation point).
+
+The paper taps the campus gateway through a mirroring port that "starts to
+drop packets when port capacity is exceeded", and evaluates estimation
+accuracy against ground truth recorded *after* those drops.  This module is
+that port: a token bucket at the port's line rate with a small port buffer.
+Applying it to a trace yields the post-drop trace both the estimator and
+the ground-truth recorder observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import Trace
+
+
+@dataclass
+class MirrorPortStats:
+    """Outcome of pushing a trace through a mirror port."""
+
+    offered_packets: int
+    delivered_packets: int
+    dropped_packets: int
+
+    @property
+    def drop_rate(self) -> float:
+        if self.offered_packets == 0:
+            return 0.0
+        return self.dropped_packets / self.offered_packets
+
+
+class MirrorPort:
+    """A mirroring port with finite line rate and buffer.
+
+    Modelled as a byte token bucket: tokens refill at ``capacity_bps / 8``
+    bytes per second up to ``buffer_bytes``; a packet is forwarded iff the
+    bucket holds its size, else it is dropped (mirror ports do not
+    backpressure the switch).
+
+    Args:
+        capacity_bps: mirror port line rate in bits per second.
+        buffer_bytes: port buffer depth in bytes.
+    """
+
+    def __init__(self, capacity_bps: float, buffer_bytes: int = 512 * 1024) -> None:
+        if capacity_bps <= 0:
+            raise ConfigurationError("capacity_bps must be positive")
+        if buffer_bytes <= 0:
+            raise ConfigurationError("buffer_bytes must be positive")
+        self.capacity_bps = capacity_bps
+        self.buffer_bytes = buffer_bytes
+
+    def apply(self, trace: Trace) -> "tuple[Trace, MirrorPortStats]":
+        """The post-drop trace and drop statistics for ``trace``."""
+        num_packets = trace.num_packets
+        if num_packets == 0:
+            return trace, MirrorPortStats(0, 0, 0)
+
+        refill_per_second = self.capacity_bps / 8.0
+        depth = float(self.buffer_bytes)
+        tokens = depth
+        last_time = float(trace.timestamps[0])
+
+        timestamps = trace.timestamps.tolist()
+        sizes = trace.sizes.tolist()
+        keep = np.ones(num_packets, dtype=bool)
+        dropped = 0
+        for p in range(num_packets):
+            now = timestamps[p]
+            tokens = min(depth, tokens + (now - last_time) * refill_per_second)
+            last_time = now
+            size = sizes[p]
+            if tokens >= size:
+                tokens -= size
+            else:
+                keep[p] = False
+                dropped += 1
+
+        delivered = Trace(
+            timestamps=trace.timestamps[keep],
+            flow_ids=trace.flow_ids[keep],
+            sizes=trace.sizes[keep],
+            flows=trace.flows,
+        )
+        stats = MirrorPortStats(
+            offered_packets=num_packets,
+            delivered_packets=num_packets - dropped,
+            dropped_packets=dropped,
+        )
+        return delivered, stats

@@ -1,0 +1,64 @@
+"""Traffic substrate: flows, packets, synthetic traces, trace IO.
+
+The paper evaluates on two datasets we cannot ship (the 2016 CAIDA
+Equinix-Chicago trace and a 113-hour campus gateway capture), so this package
+provides faithful synthetic stand-ins:
+
+* :class:`~repro.traffic.synth.CaidaLikeConfig` /
+  :func:`~repro.traffic.synth.build_caida_like_trace` — a Zipf-sized,
+  mice-dominated internet-mix trace.
+* :class:`~repro.traffic.campus.CampusConfig` /
+  :func:`~repro.traffic.campus.build_campus_trace` — a diurnal long-run
+  campus-gateway trace.
+* :class:`~repro.traffic.attack.AttackConfig` /
+  :func:`~repro.traffic.attack.inject_attack_flows` — constant-rate heavy
+  flows for the detection-latency experiment.
+
+Traces are columnar (:class:`~repro.traffic.packet.Trace`): parallel numpy
+arrays over packets plus a :class:`~repro.traffic.packet.FlowTable` of
+5-tuples, which keeps million-packet experiments fast in pure Python.
+"""
+
+from repro.traffic.packet import FiveTuple, FlowTable, Trace
+from repro.traffic.zipf import ZipfFlowSizes, zipf_sizes
+from repro.traffic.synth import CaidaLikeConfig, build_caida_like_trace
+from repro.traffic.campus import CampusConfig, build_campus_trace
+from repro.traffic.attack import AttackConfig, inject_attack_flows
+from repro.traffic.merge import merge_traces
+from repro.traffic.trace_io import load_trace, save_trace
+from repro.traffic.pcaplite import (
+    PacketRecordReader,
+    PacketRecordWriter,
+    read_pcaplite,
+    write_pcaplite,
+)
+from repro.traffic.replay import loop, restrict_flows, scale_rate, thin
+from repro.traffic.stats import TraceSummary, fit_zipf_exponent, summarize_trace
+
+__all__ = [
+    "AttackConfig",
+    "CaidaLikeConfig",
+    "CampusConfig",
+    "FiveTuple",
+    "FlowTable",
+    "PacketRecordReader",
+    "PacketRecordWriter",
+    "Trace",
+    "read_pcaplite",
+    "write_pcaplite",
+    "TraceSummary",
+    "ZipfFlowSizes",
+    "build_caida_like_trace",
+    "build_campus_trace",
+    "fit_zipf_exponent",
+    "inject_attack_flows",
+    "load_trace",
+    "loop",
+    "merge_traces",
+    "restrict_flows",
+    "scale_rate",
+    "thin",
+    "save_trace",
+    "summarize_trace",
+    "zipf_sizes",
+]

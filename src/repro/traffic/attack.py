@@ -1,0 +1,99 @@
+"""Heavy-flow (attack) injection for the detection-latency experiment.
+
+Figure 9(b) measures heavy-hitter detection latency by pointing a traffic
+generator at the InstaMeasure device at 10-200 kpps.  This module reproduces
+that setup in trace space: it synthesizes constant-rate flows and merges
+them into background traffic, returning the indices of the injected flows so
+an experiment can score detection time against the known onset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.merge import merge_traces
+from repro.traffic.packet import PROTO_UDP, FlowTable, Trace
+
+
+@dataclass
+class AttackConfig:
+    """Parameters of one injected constant-rate flow set.
+
+    Attributes:
+        rates_pps: packet rate of each injected flow (one flow per entry).
+        start_time: onset of every injected flow, in trace seconds.
+        duration: how long each flow transmits.
+        packet_size: fixed wire size of attack packets (bytes).
+        seed: rng seed for tuple synthesis and arrival jitter.
+    """
+
+    rates_pps: "list[float]" = field(default_factory=lambda: [10_000.0])
+    start_time: float = 0.0
+    duration: float = 1.0
+    packet_size: int = 512
+    seed: int = 7
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid parameter combinations."""
+        if not self.rates_pps:
+            raise ConfigurationError("rates_pps must not be empty")
+        if any(rate <= 0 for rate in self.rates_pps):
+            raise ConfigurationError("attack rates must be positive")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.packet_size <= 0:
+            raise ConfigurationError("packet_size must be positive")
+
+
+def build_attack_trace(config: AttackConfig, hash_seed: int = 0) -> Trace:
+    """A trace containing only the injected flows (no background)."""
+    config.validate()
+    rng = np.random.default_rng(config.seed)
+    num_flows = len(config.rates_pps)
+
+    src_ip = rng.integers(0, 1 << 32, size=num_flows, dtype=np.uint32)
+    dst_ip = rng.integers(0, 1 << 32, size=num_flows, dtype=np.uint32)
+    src_port = rng.integers(1024, 1 << 16, size=num_flows, dtype=np.uint16)
+    dst_port = np.full(num_flows, 80, dtype=np.uint16)
+    protocol = np.full(num_flows, PROTO_UDP, dtype=np.uint8)
+    flows = FlowTable(src_ip, dst_ip, src_port, dst_port, protocol, hash_seed=hash_seed)
+
+    all_ts: "list[np.ndarray]" = []
+    all_ids: "list[np.ndarray]" = []
+    for index, rate in enumerate(config.rates_pps):
+        count = max(1, int(round(rate * config.duration)))
+        # Poisson arrivals at the configured mean rate.
+        gaps = rng.exponential(1.0 / rate, size=count)
+        ts = config.start_time + np.cumsum(gaps)
+        all_ts.append(ts)
+        all_ids.append(np.full(count, index, dtype=np.int64))
+
+    timestamps = np.concatenate(all_ts)
+    flow_ids = np.concatenate(all_ids)
+    order = np.argsort(timestamps, kind="stable")
+    sizes = np.full(len(timestamps), config.packet_size, dtype=np.int64)
+    return Trace(
+        timestamps=timestamps[order],
+        flow_ids=flow_ids[order],
+        sizes=sizes,
+        flows=flows,
+    )
+
+
+def inject_attack_flows(
+    background: Trace, config: AttackConfig
+) -> "tuple[Trace, list[int]]":
+    """Merge constant-rate flows into ``background``.
+
+    Returns:
+        (merged trace, indices of the injected flows in the merged flow
+        table — in the same order as ``config.rates_pps``).
+    """
+    attack = build_attack_trace(config, hash_seed=background.flows.hash_seed)
+    merged = merge_traces(background, attack)
+    first_injected = len(background.flows)
+    injected = list(range(first_injected, first_injected + len(attack.flows)))
+    return merged, injected

@@ -1,0 +1,92 @@
+"""Trace merging.
+
+The paper merges the two directions of the CAIDA link "in the order of
+timestamp to evaluate InstaMeasure with larger-scale network trace"
+(Section V-A).  :func:`merge_traces` is that operation: it concatenates the
+flow tables (optionally deduplicating identical 5-tuples) and interleaves
+the packet columns by timestamp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import FlowTable, Trace
+
+
+def _concatenate_flow_tables(
+    a: FlowTable, b: FlowTable, deduplicate: bool
+) -> "tuple[FlowTable, np.ndarray]":
+    """Append ``b``'s flows to ``a``'s.
+
+    Returns:
+        (combined table, remap array of length ``len(b)`` giving each
+        b-flow's index in the combined table).
+    """
+    if a.hash_seed != b.hash_seed:
+        raise ConfigurationError(
+            "cannot merge traces with different measurement hash seeds "
+            f"({a.hash_seed} vs {b.hash_seed})"
+        )
+    if not deduplicate:
+        combined = FlowTable(
+            src_ip=np.concatenate([a.src_ip, b.src_ip]),
+            dst_ip=np.concatenate([a.dst_ip, b.dst_ip]),
+            src_port=np.concatenate([a.src_port, b.src_port]),
+            dst_port=np.concatenate([a.dst_port, b.dst_port]),
+            protocol=np.concatenate([a.protocol, b.protocol]),
+            hash_seed=a.hash_seed,
+        )
+        remap = np.arange(len(a), len(a) + len(b), dtype=np.int64)
+        return combined, remap
+
+    index_of: "dict[tuple[int, int, int, int, int], int]" = {
+        tuple(flow): i for i, flow in enumerate(a)
+    }
+    extra: "list[tuple[int, int, int, int, int]]" = []
+    remap = np.empty(len(b), dtype=np.int64)
+    for i, flow in enumerate(b):
+        key = tuple(flow)
+        existing = index_of.get(key)
+        if existing is None:
+            existing = len(a) + len(extra)
+            index_of[key] = existing
+            extra.append(key)
+        remap[i] = existing
+    if extra:
+        columns = list(zip(*extra))
+    else:
+        columns = [[], [], [], [], []]
+    combined = FlowTable(
+        src_ip=np.concatenate([a.src_ip, np.asarray(columns[0], dtype=np.uint32)]),
+        dst_ip=np.concatenate([a.dst_ip, np.asarray(columns[1], dtype=np.uint32)]),
+        src_port=np.concatenate([a.src_port, np.asarray(columns[2], dtype=np.uint16)]),
+        dst_port=np.concatenate([a.dst_port, np.asarray(columns[3], dtype=np.uint16)]),
+        protocol=np.concatenate([a.protocol, np.asarray(columns[4], dtype=np.uint8)]),
+        hash_seed=a.hash_seed,
+    )
+    return combined, remap
+
+
+def merge_traces(a: Trace, b: Trace, deduplicate: bool = False) -> Trace:
+    """Interleave two traces by timestamp.
+
+    Args:
+        a, b: traces to merge (must share the measurement hash seed).
+        deduplicate: when True, flows with identical 5-tuples in both traces
+            become a single flow in the result (the right choice when merging
+            the two directions of one capture); when False, all flows stay
+            distinct.
+    """
+    flows, remap = _concatenate_flow_tables(a.flows, b.flows, deduplicate)
+    timestamps = np.concatenate([a.timestamps, b.timestamps])
+    flow_ids = np.concatenate([a.flow_ids, remap[b.flow_ids]])
+    sizes = np.concatenate([a.sizes, b.sizes])
+    order = np.argsort(timestamps, kind="stable")
+    return Trace(
+        timestamps=timestamps[order],
+        flow_ids=flow_ids[order],
+        sizes=sizes[order],
+        flows=flows,
+    )

@@ -1,0 +1,160 @@
+"""pcap-lite: a streaming fixed-record packet format.
+
+The NPZ trace format (:mod:`repro.traffic.trace_io`) is columnar and must
+be materialized whole.  Long captures — the paper records "5-tuple, the
+packet size and the timestamp of every single packet" for 113 hours onto a
+4 TB disk — want an appendable, streamable format instead.  pcap-lite is
+that: a 16-byte header followed by fixed 24-byte records::
+
+    timestamp  f64   (seconds)
+    src_ip     u32
+    dst_ip     u32
+    src_port   u16
+    dst_port   u16
+    protocol   u8
+    (pad)      u8    (zero)
+    size       u16   (wire bytes)
+
+Little-endian throughout.  The reader streams records without loading the
+file; converters bridge to/from the columnar :class:`Trace`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.traffic.packet import FiveTuple, FlowTable, Trace
+
+MAGIC = b"IMPL"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sHH8x")  # magic, version, reserved, pad to 16
+_RECORD = struct.Struct("<dIIHHBxH")
+RECORD_BYTES = _RECORD.size
+
+
+class PacketRecordWriter:
+    """Streaming pcap-lite writer (context manager)."""
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self._file = open(path, "wb")
+        self._file.write(_HEADER.pack(MAGIC, FORMAT_VERSION, 0))
+        self.records_written = 0
+
+    def write(self, timestamp: float, five_tuple: FiveTuple, size: int) -> None:
+        """Append one packet record."""
+        self._file.write(
+            _RECORD.pack(
+                timestamp,
+                five_tuple.src_ip,
+                five_tuple.dst_ip,
+                five_tuple.src_port,
+                five_tuple.dst_port,
+                five_tuple.protocol,
+                size,
+            )
+        )
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        self._file.close()
+
+    def __enter__(self) -> "PacketRecordWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PacketRecordReader:
+    """Streaming pcap-lite reader: iterates (timestamp, FiveTuple, size)."""
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = os.fspath(path)
+        try:
+            self._file = open(path, "rb")
+        except OSError as exc:
+            raise TraceFormatError(f"cannot open {path!r}: {exc}") from exc
+        header = self._file.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            self._file.close()
+            raise TraceFormatError(f"{path!r}: truncated pcap-lite header")
+        magic, version, _reserved = _HEADER.unpack(header)
+        if magic != MAGIC:
+            self._file.close()
+            raise TraceFormatError(f"{path!r}: not a pcap-lite file")
+        if version != FORMAT_VERSION:
+            self._file.close()
+            raise TraceFormatError(
+                f"{path!r}: pcap-lite version {version}, expected {FORMAT_VERSION}"
+            )
+
+    def __iter__(self) -> Iterator["tuple[float, FiveTuple, int]"]:
+        while True:
+            chunk = self._file.read(RECORD_BYTES)
+            if not chunk:
+                return
+            if len(chunk) != RECORD_BYTES:
+                raise TraceFormatError(f"{self.path!r}: truncated record")
+            (ts, src_ip, dst_ip, src_port, dst_port, proto, size) = _RECORD.unpack(
+                chunk
+            )
+            yield ts, FiveTuple(src_ip, dst_ip, src_port, dst_port, proto), size
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        self._file.close()
+
+    def __enter__(self) -> "PacketRecordReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_pcaplite(trace: Trace, path: "str | os.PathLike[str]") -> int:
+    """Dump a columnar trace as pcap-lite records; returns records written."""
+    with PacketRecordWriter(path) as writer:
+        tuples = [trace.flows.five_tuple(i) for i in range(trace.num_flows)]
+        timestamps = trace.timestamps.tolist()
+        flow_ids = trace.flow_ids.tolist()
+        sizes = trace.sizes.tolist()
+        for p in range(trace.num_packets):
+            writer.write(timestamps[p], tuples[flow_ids[p]], sizes[p])
+        return writer.records_written
+
+
+def read_pcaplite(
+    path: "str | os.PathLike[str]", hash_seed: int = 0
+) -> Trace:
+    """Load a pcap-lite file into a columnar trace.
+
+    Flows are rebuilt by deduplicating 5-tuples in arrival order, so the
+    round trip preserves ground truth exactly (flow indices may differ).
+    """
+    timestamps: "list[float]" = []
+    flow_ids: "list[int]" = []
+    sizes: "list[int]" = []
+    index_of: "dict[FiveTuple, int]" = {}
+    tuples: "list[FiveTuple]" = []
+    with PacketRecordReader(path) as reader:
+        for ts, five_tuple, size in reader:
+            flow = index_of.get(five_tuple)
+            if flow is None:
+                flow = len(tuples)
+                index_of[five_tuple] = flow
+                tuples.append(five_tuple)
+            timestamps.append(ts)
+            flow_ids.append(flow)
+            sizes.append(size)
+    return Trace(
+        timestamps=np.asarray(timestamps),
+        flow_ids=np.asarray(flow_ids, dtype=np.int64),
+        sizes=np.asarray(sizes, dtype=np.int64),
+        flows=FlowTable.from_five_tuples(tuples, hash_seed=hash_seed),
+    )

@@ -1,0 +1,107 @@
+"""Trace replay utilities: time scaling, thinning, concatenation.
+
+Experiment harnesses keep needing the same transformations of a recorded
+trace — play it faster or slower (the paper's traffic generator sweeps
+10-200 kpps), sample it down (NetFlow-style 1-in-N), or loop it to extend a
+run.  These helpers produce new :class:`Trace` objects without touching the
+flow table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import FlowTable, Trace
+
+
+def scale_rate(trace: Trace, factor: float) -> Trace:
+    """Replay ``trace`` at ``factor``× its original packet rate.
+
+    Timestamps are compressed (factor > 1 speeds the trace up) around the
+    trace start; flow mix and packet order are untouched.
+    """
+    if factor <= 0:
+        raise ConfigurationError("factor must be positive")
+    if trace.num_packets == 0:
+        return trace
+    start = trace.timestamps[0]
+    return Trace(
+        timestamps=start + (trace.timestamps - start) / factor,
+        flow_ids=trace.flow_ids.copy(),
+        sizes=trace.sizes.copy(),
+        flows=trace.flows,
+    )
+
+
+def thin(trace: Trace, keep_probability: float, seed: int = 0) -> Trace:
+    """Independently keep each packet with ``keep_probability``.
+
+    The packet-sampling primitive NetFlow-style systems rely on; estimates
+    from a thinned trace must be scaled back up by ``1/keep_probability``.
+    """
+    if not 0.0 < keep_probability <= 1.0:
+        raise ConfigurationError("keep_probability must be in (0, 1]")
+    if keep_probability == 1.0 or trace.num_packets == 0:
+        return trace
+    rng = np.random.default_rng(seed)
+    keep = rng.random(trace.num_packets) < keep_probability
+    return Trace(
+        timestamps=trace.timestamps[keep],
+        flow_ids=trace.flow_ids[keep],
+        sizes=trace.sizes[keep],
+        flows=trace.flows,
+    )
+
+
+def loop(trace: Trace, repetitions: int, gap_seconds: float = 0.0) -> Trace:
+    """Concatenate ``repetitions`` back-to-back copies of ``trace``.
+
+    Flow identities persist across repetitions (the same flows come back),
+    which is how long-lived services look in a long capture.
+    """
+    if repetitions < 1:
+        raise ConfigurationError("repetitions must be >= 1")
+    if gap_seconds < 0:
+        raise ConfigurationError("gap_seconds must be >= 0")
+    if repetitions == 1 or trace.num_packets == 0:
+        return trace
+    span = trace.duration + gap_seconds
+    timestamps = np.concatenate(
+        [trace.timestamps + r * span for r in range(repetitions)]
+    )
+    return Trace(
+        timestamps=timestamps,
+        flow_ids=np.tile(trace.flow_ids, repetitions),
+        sizes=np.tile(trace.sizes, repetitions),
+        flows=trace.flows,
+    )
+
+
+def restrict_flows(trace: Trace, flow_indices: "list[int]") -> Trace:
+    """Keep only packets of the given flows (flow table re-indexed)."""
+    if not flow_indices:
+        raise ConfigurationError("flow_indices must not be empty")
+    wanted = np.zeros(trace.num_flows, dtype=bool)
+    for flow in flow_indices:
+        if not 0 <= flow < trace.num_flows:
+            raise ConfigurationError(f"flow index {flow} out of range")
+        wanted[flow] = True
+    keep = wanted[trace.flow_ids]
+    remap = -np.ones(trace.num_flows, dtype=np.int64)
+    kept_flows = np.flatnonzero(wanted)
+    remap[kept_flows] = np.arange(len(kept_flows))
+    flows = FlowTable(
+        src_ip=trace.flows.src_ip[kept_flows],
+        dst_ip=trace.flows.dst_ip[kept_flows],
+        src_port=trace.flows.src_port[kept_flows],
+        dst_port=trace.flows.dst_port[kept_flows],
+        protocol=trace.flows.protocol[kept_flows],
+        hash_seed=trace.flows.hash_seed,
+    )
+    return Trace(
+        timestamps=trace.timestamps[keep],
+        flow_ids=remap[trace.flow_ids[keep]],
+        sizes=trace.sizes[keep],
+        flows=flows,
+    )

@@ -1,0 +1,91 @@
+"""Trace statistics (Fig 6: dataset distributions).
+
+Summaries and distribution fits used both to report the synthetic datasets
+the way the paper reports CAIDA/campus (flow-size distribution, mice share,
+Zipf exponent) and to sanity-check that the generators produced the intended
+traffic shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import Trace
+
+
+@dataclass
+class TraceSummary:
+    """Headline statistics of a trace, in the paper's reporting vocabulary."""
+
+    num_packets: int
+    num_flows: int
+    total_bytes: int
+    duration: float
+    mean_pps: float
+    mean_flow_size: float
+    mice_fraction: float
+    top_1pct_packet_share: float
+    zipf_exponent: float
+
+    def rows(self) -> "list[tuple[str, str]]":
+        """(name, value) rows for tabular printing."""
+        return [
+            ("packets", f"{self.num_packets:,}"),
+            ("L4 flows", f"{self.num_flows:,}"),
+            ("bytes", f"{self.total_bytes:,}"),
+            ("duration (s)", f"{self.duration:.2f}"),
+            ("mean pps", f"{self.mean_pps:,.0f}"),
+            ("mean flow size (pkts)", f"{self.mean_flow_size:.1f}"),
+            ("mice flows (<=10 pkts)", f"{self.mice_fraction:.1%}"),
+            ("top-1% flows' packet share", f"{self.top_1pct_packet_share:.1%}"),
+            ("fitted Zipf exponent", f"{self.zipf_exponent:.2f}"),
+        ]
+
+
+def fit_zipf_exponent(flow_sizes: np.ndarray) -> float:
+    """Least-squares slope of the log-log rank-size curve (Zipf exponent).
+
+    A Zipf-like trace has ``size(rank) ∝ rank^-s``; the returned value is
+    ``s`` (positive for a decaying distribution).
+    """
+    sizes = np.sort(np.asarray(flow_sizes, dtype=np.float64))[::-1]
+    sizes = sizes[sizes > 0]
+    if len(sizes) < 2:
+        raise ConfigurationError("need at least two non-empty flows to fit")
+    ranks = np.arange(1, len(sizes) + 1, dtype=np.float64)
+    slope, _intercept = np.polyfit(np.log(ranks), np.log(sizes), deg=1)
+    return float(-slope)
+
+
+def flow_size_ccdf(flow_sizes: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """(size, P[flow size >= size]) over the distinct sizes present."""
+    sizes = np.asarray(flow_sizes, dtype=np.int64)
+    if len(sizes) == 0:
+        return np.array([], dtype=np.int64), np.array([])
+    values, counts = np.unique(sizes, return_counts=True)
+    survivors = np.cumsum(counts[::-1])[::-1]
+    return values, survivors / len(sizes)
+
+
+def summarize_trace(trace: Trace) -> TraceSummary:
+    """Compute :class:`TraceSummary` for ``trace``."""
+    flow_sizes = trace.ground_truth_packets()
+    active = flow_sizes[flow_sizes > 0]
+    if len(active) == 0:
+        raise ConfigurationError("cannot summarize an empty trace")
+    sorted_sizes = np.sort(active)[::-1]
+    top = max(1, len(sorted_sizes) // 100)
+    return TraceSummary(
+        num_packets=trace.num_packets,
+        num_flows=int(len(active)),
+        total_bytes=trace.total_bytes,
+        duration=trace.duration,
+        mean_pps=trace.mean_pps(),
+        mean_flow_size=float(active.mean()),
+        mice_fraction=float((active <= 10).mean()),
+        top_1pct_packet_share=float(sorted_sizes[:top].sum() / sorted_sizes.sum()),
+        zipf_exponent=fit_zipf_exponent(active),
+    )

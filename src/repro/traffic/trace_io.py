@@ -1,0 +1,85 @@
+"""Trace persistence.
+
+Traces are stored as compressed NPZ archives with an explicit format version
+so experiments can cache expensive synthetic traces on disk.  The format is
+columnar and loss-free: per-packet columns plus the flow-table columns and
+the measurement hash seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.traffic.packet import FlowTable, Trace
+
+FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = (
+    "version",
+    "timestamps",
+    "flow_ids",
+    "sizes",
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "protocol",
+    "hash_seed",
+)
+
+
+def save_trace(trace: Trace, path: "str | os.PathLike[str]") -> None:
+    """Write ``trace`` to ``path`` as a compressed NPZ archive."""
+    np.savez_compressed(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        timestamps=trace.timestamps,
+        flow_ids=trace.flow_ids,
+        sizes=trace.sizes,
+        src_ip=trace.flows.src_ip,
+        dst_ip=trace.flows.dst_ip,
+        src_port=trace.flows.src_port,
+        dst_port=trace.flows.dst_port,
+        protocol=trace.flows.protocol,
+        hash_seed=np.int64(trace.flows.hash_seed),
+    )
+
+
+def load_trace(path: "str | os.PathLike[str]") -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises:
+        TraceFormatError: if the archive is missing columns or was written
+            by an incompatible format version.
+    """
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise TraceFormatError(f"cannot read trace archive {path!r}: {exc}") from exc
+    with archive:
+        missing = [key for key in _REQUIRED_KEYS if key not in archive]
+        if missing:
+            raise TraceFormatError(f"trace archive {path!r} missing keys {missing}")
+        version = int(archive["version"])
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"trace archive {path!r} has format version {version}, "
+                f"expected {FORMAT_VERSION}"
+            )
+        flows = FlowTable(
+            src_ip=archive["src_ip"],
+            dst_ip=archive["dst_ip"],
+            src_port=archive["src_port"],
+            dst_port=archive["dst_port"],
+            protocol=archive["protocol"],
+            hash_seed=int(archive["hash_seed"]),
+        )
+        return Trace(
+            timestamps=archive["timestamps"],
+            flow_ids=archive["flow_ids"],
+            sizes=archive["sizes"],
+            flows=flows,
+        )

@@ -1,0 +1,68 @@
+"""Zipf-distributed flow sizes.
+
+"Today's Internet traffic follows a Zipf-like distribution, and mice flows
+(e.g., 1-10 packets flows) are the majority of network flows" (Section III).
+The generators here sample flow sizes from a truncated discrete power law
+``P(size = k) ∝ k^-alpha`` for ``k`` in ``[1, max_size]`` via inverse-CDF,
+which keeps the tail bounded (numpy's ``rng.zipf`` occasionally emits
+astronomically large samples that would swamp a scaled-down trace).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ZipfFlowSizes:
+    """Sampler for truncated Zipf flow sizes.
+
+    Args:
+        alpha: power-law exponent (> 1 for a mice-dominated mix; the paper's
+            traces look like alpha ≈ 1.6-2.0).
+        max_size: largest sampleable flow size in packets.
+    """
+
+    def __init__(self, alpha: float = 1.8, max_size: int = 1_000_000) -> None:
+        if alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {alpha}")
+        if max_size < 1:
+            raise ConfigurationError(f"max_size must be >= 1, got {max_size}")
+        self.alpha = alpha
+        self.max_size = max_size
+        weights = np.arange(1, max_size + 1, dtype=np.float64) ** (-alpha)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def pmf(self, k: int) -> float:
+        """Probability of a flow having exactly ``k`` packets."""
+        if not 1 <= k <= self.max_size:
+            return 0.0
+        if k == 1:
+            return float(self._cdf[0])
+        return float(self._cdf[k - 1] - self._cdf[k - 2])
+
+    def mean(self) -> float:
+        """Expected flow size in packets."""
+        sizes = np.arange(1, self.max_size + 1, dtype=np.float64)
+        pmf = np.diff(self._cdf, prepend=0.0)
+        return float(np.dot(sizes, pmf))
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` flow sizes (int64 array, each in [1, max_size])."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        uniforms = rng.random(count)
+        return np.searchsorted(self._cdf, uniforms, side="left").astype(np.int64) + 1
+
+
+def zipf_sizes(
+    count: int,
+    alpha: float = 1.8,
+    max_size: int = 1_000_000,
+    seed: int = 0,
+) -> np.ndarray:
+    """Convenience wrapper: ``count`` truncated-Zipf flow sizes."""
+    sampler = ZipfFlowSizes(alpha=alpha, max_size=max_size)
+    return sampler.sample(count, np.random.default_rng(seed))

@@ -1,0 +1,114 @@
+"""Tests for error metrics and table rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    band_errors,
+    format_table,
+    mean_relative_error,
+    relative_errors,
+    rms_relative_error,
+    standard_error,
+)
+from repro.analysis.metrics import (
+    PAPER_BYTE_BANDS,
+    PAPER_PACKET_BANDS,
+    scaled_bands,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRelativeErrors:
+    def test_exact_estimates_have_zero_error(self):
+        truth = np.array([10.0, 20.0, 30.0])
+        assert mean_relative_error(truth, truth) == 0.0
+        assert rms_relative_error(truth, truth) == 0.0
+        assert standard_error(truth, truth) == 0.0
+
+    def test_known_errors(self):
+        truth = np.array([100.0, 100.0])
+        estimated = np.array([110.0, 90.0])
+        errors = relative_errors(estimated, truth)
+        assert errors.tolist() == [pytest.approx(0.1), pytest.approx(0.1)]
+        assert mean_relative_error(estimated, truth) == pytest.approx(0.1)
+        assert standard_error(estimated, truth) == pytest.approx(0.1)
+
+    def test_rms_penalizes_outliers_more(self):
+        truth = np.full(10, 100.0)
+        estimated = truth.copy()
+        estimated[0] = 200.0
+        assert rms_relative_error(estimated, truth) > mean_relative_error(
+            estimated, truth
+        )
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_errors(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_nonpositive_truth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_errors(np.array([1.0]), np.array([0.0]))
+
+
+class TestBandErrors:
+    def test_bands_partition_flows(self):
+        truth = np.array([5.0, 50.0, 500.0, 5000.0])
+        estimated = truth * 1.1
+        bands = band_errors(estimated, truth, [(1, 100), (100, np.inf)])
+        assert bands[0].num_flows == 2
+        assert bands[1].num_flows == 2
+        assert bands[0].mean_error == pytest.approx(0.1)
+
+    def test_empty_band_reports_nan(self):
+        truth = np.array([5.0])
+        bands = band_errors(truth, truth, [(100, 200)])
+        assert bands[0].num_flows == 0
+        assert np.isnan(bands[0].mean_error)
+
+    def test_band_labels(self):
+        truth = np.array([50.0])
+        bands = band_errors(truth, truth, [(10, 100), (100, np.inf)])
+        assert bands[0].label() == "[10, 100) pkts"
+        assert bands[1].label("bytes") == ">=100 bytes"
+
+    def test_invalid_band_rejected(self):
+        truth = np.array([5.0])
+        with pytest.raises(ConfigurationError):
+            band_errors(truth, truth, [(10, 10)])
+
+    def test_paper_bands_scale(self):
+        scaled = scaled_bands(PAPER_PACKET_BANDS, 0.01)
+        assert scaled[0] == (100.0, 1000.0)
+        assert scaled[-1][1] == np.inf
+        assert len(PAPER_BYTE_BANDS) == 3
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            scaled_bands(PAPER_PACKET_BANDS, 0.0)
+
+
+class TestFormatTable:
+    def test_renders_aligned_columns(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1], ["b", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "value" in lines[2]
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_empty_rows_ok(self):
+        text = format_table(["only"], [])
+        assert "only" in text
+
+    def test_header_required(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["x"]])

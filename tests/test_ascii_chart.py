@@ -1,0 +1,63 @@
+"""Tests for text-based chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import bar_chart, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_extremes_map_to_ends(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[1] == "█"
+
+    def test_monotone_series_is_nondecreasing(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(line) == sorted(line)
+
+    def test_non_finite_marked(self):
+        assert "?" in sparkline([1.0, float("nan"), 2.0])
+
+    def test_all_non_finite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([float("nan")])
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # max value fills the width
+        assert lines[0].count("#") == 5
+
+    def test_zero_values(self):
+        chart = bar_chart(["x"], [0.0], width=10)
+        assert "#" not in chart
+
+    def test_unit_suffix(self):
+        chart = bar_chart(["x"], [3.0], unit="%")
+        assert "3%" in chart
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [-1.0])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0], width=0)

@@ -1,0 +1,219 @@
+"""Tests for the baseline algorithms (RCC-only, CSM, NetFlow, CMS, Space-Saving)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CSMSketch,
+    CountMinSketch,
+    NetFlowTable,
+    SpaceSaving,
+    run_rcc_regulator,
+)
+from repro.errors import ConfigurationError
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=4000, duration=15.0, seed=71)
+    )
+
+
+class TestRCCOnly:
+    def test_regulation_rate_in_paper_band(self, trace):
+        """Fig 1: RCC saturates at roughly 10-20 % of packet arrivals."""
+        result = run_rcc_regulator(trace, memory_bytes=4096, vector_bits=8)
+        assert 0.05 <= result.regulation_rate <= 0.25
+
+    def test_bigger_vector_regulates_less(self, trace):
+        small = run_rcc_regulator(trace, memory_bytes=4096, vector_bits=8)
+        large = run_rcc_regulator(trace, memory_bytes=4096, vector_bits=16)
+        assert large.regulation_rate < small.regulation_rate
+
+    def test_bucket_series_consistent(self, trace):
+        result = run_rcc_regulator(trace, 4096, bucket_seconds=1.0)
+        assert result.bucket_pps.sum() == pytest.approx(result.packets)
+        assert result.bucket_ips.sum() == pytest.approx(result.saturations)
+        assert len(result.bucket_times) == len(result.bucket_pps)
+
+    def test_estimates_track_large_flows(self, trace):
+        result = run_rcc_regulator(trace, 8192)
+        truth = trace.ground_truth_packets()
+        big = int(np.argmax(truth))
+        key = int(trace.flows.key64[big])
+        assert result.estimates[key] == pytest.approx(truth[big], rel=0.25)
+
+    def test_empty_trace(self, trace):
+        empty = trace.time_slice(1e9, 2e9)
+        result = run_rcc_regulator(empty, 4096)
+        assert result.packets == 0 and result.regulation_rate == 0.0
+
+
+class TestCSM:
+    def test_rejects_tiny_pool(self):
+        with pytest.raises(ConfigurationError):
+            CSMSketch(memory_bytes=16, counters_per_flow=16)
+
+    def test_scalar_and_vector_placement_agree(self):
+        sketch = CSMSketch(memory_bytes=4096, counters_per_flow=8, seed=3)
+        keys = np.array([1, 99, 2**60], dtype=np.uint64)
+        locations = sketch._flow_counters_array(keys)
+        for i, key in enumerate(keys):
+            assert locations[i].tolist() == sketch.flow_counters(int(key))
+
+    def test_encode_decode_single_flow(self):
+        sketch = CSMSketch(memory_bytes=64 * 1024, counters_per_flow=8, seed=4)
+        rng = np.random.default_rng(0)
+        for _ in range(5000):
+            sketch.encode(42, int(rng.integers(8)))
+        assert sketch.decode(42) == pytest.approx(5000, rel=0.05)
+
+    def test_trace_accuracy_on_elephants(self, trace):
+        sketch = CSMSketch(memory_bytes=512 * 1024, counters_per_flow=16, seed=5)
+        sketch.encode_trace(trace)
+        truth = trace.ground_truth_packets()
+        big = truth >= 1000
+        estimates = sketch.decode_flows(trace.flows.key64[big])
+        rel = np.abs(estimates - truth[big]) / truth[big]
+        assert rel.mean() < 0.25
+
+    def test_decode_flows_matches_scalar(self, trace):
+        sketch = CSMSketch(memory_bytes=64 * 1024, seed=6)
+        sketch.encode_trace(trace)
+        keys = trace.flows.key64[:20]
+        vector = sketch.decode_flows(keys)
+        for i, key in enumerate(keys):
+            assert vector[i] == pytest.approx(sketch.decode(int(key)))
+
+    def test_noise_grows_with_load(self, trace):
+        """CSM at small memory has large noise — the Section V-C comparison."""
+        small = CSMSketch(memory_bytes=16 * 1024, counters_per_flow=16, seed=7)
+        big = CSMSketch(memory_bytes=1024 * 1024, counters_per_flow=16, seed=7)
+        small.encode_trace(trace)
+        big.encode_trace(trace)
+        truth = trace.ground_truth_packets()
+        top = truth >= 500
+        err_small = np.abs(small.decode_flows(trace.flows.key64[top]) - truth[top]) / truth[top]
+        err_big = np.abs(big.decode_flows(trace.flows.key64[top]) - truth[top]) / truth[top]
+        assert err_big.mean() < err_small.mean()
+
+
+class TestNetFlow:
+    def test_exact_when_unconstrained(self, trace):
+        table = NetFlowTable(max_entries=10**6)
+        stats = table.process_trace(trace)
+        assert stats.operations_per_packet == 1.0  # the {ips = pps} regime
+        estimates = table.estimates()
+        truth = trace.ground_truth_packets()
+        for flow in range(0, trace.num_flows, 500):
+            key = int(trace.flows.key64[flow])
+            assert estimates[key][0] == truth[flow]
+
+    def test_sampling_reduces_operations(self, trace):
+        table = NetFlowTable(max_entries=10**6, sampling_rate=0.1, seed=1)
+        stats = table.process_trace(trace)
+        assert stats.operations_per_packet == pytest.approx(0.1, abs=0.02)
+
+    def test_sampling_estimates_scaled(self, trace):
+        table = NetFlowTable(max_entries=10**6, sampling_rate=0.25, seed=2)
+        table.process_trace(trace)
+        truth = trace.ground_truth_packets()
+        big = int(np.argmax(truth))
+        key = int(trace.flows.key64[big])
+        assert table.estimates()[key][0] == pytest.approx(truth[big], rel=0.2)
+
+    def test_capacity_eviction(self, trace):
+        table = NetFlowTable(max_entries=64)
+        stats = table.process_trace(trace)
+        assert len(table) <= 64
+        assert stats.evictions > 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            NetFlowTable(max_entries=0)
+        with pytest.raises(ConfigurationError):
+            NetFlowTable(max_entries=10, sampling_rate=0.0)
+
+
+class TestCountMin:
+    def test_never_underestimates(self, trace):
+        sketch = CountMinSketch(memory_bytes=64 * 1024, depth=4, seed=8)
+        sketch.encode_trace(trace)
+        truth = trace.ground_truth_packets()
+        estimates = sketch.query_flows(trace.flows.key64)
+        assert np.all(estimates >= truth)
+
+    def test_scalar_vector_query_agree(self, trace):
+        sketch = CountMinSketch(memory_bytes=64 * 1024, seed=9)
+        sketch.encode_trace(trace)
+        keys = trace.flows.key64[:10]
+        vector = sketch.query_flows(keys)
+        for i, key in enumerate(keys):
+            assert int(vector[i]) == sketch.query(int(key))
+
+    def test_conservative_tighter_than_plain(self, trace):
+        small = trace.time_slice(
+            float(trace.timestamps[0]), float(trace.timestamps[0]) + 2.0
+        )
+        plain = CountMinSketch(memory_bytes=8 * 1024, seed=10)
+        conservative = CountMinSketch(memory_bytes=8 * 1024, seed=10, conservative=True)
+        plain.encode_trace(small)
+        conservative.encode_trace(small)
+        keys = small.flows.key64
+        assert conservative.query_flows(keys).sum() <= plain.query_flows(keys).sum()
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(memory_bytes=4, depth=4)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(memory_bytes=1024, depth=0)
+
+
+class TestSpaceSaving:
+    def test_exact_when_under_capacity(self):
+        summary = SpaceSaving(capacity=10)
+        stream = [1, 1, 2, 3, 1, 2]
+        for key in stream:
+            summary.offer(key)
+        assert summary.estimate(1) == 3
+        assert summary.estimate(2) == 2
+        assert summary.guaranteed(3) == 1
+
+    def test_never_underestimates(self):
+        rng = np.random.default_rng(11)
+        stream = rng.zipf(1.5, size=20000) % 500
+        summary = SpaceSaving(capacity=50)
+        truth: "dict[int, int]" = {}
+        for key in stream.tolist():
+            summary.offer(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            if summary.estimate(key):
+                assert summary.estimate(key) >= count
+
+    def test_topk_finds_heavy_flows(self, trace):
+        summary = SpaceSaving(capacity=256)
+        summary.process_trace(trace)
+        truth = trace.ground_truth_packets()
+        top_true = set(np.argsort(-truth)[:10].tolist())
+        top_keys = {key for key, _count in summary.topk(30)}
+        hits = sum(
+            1 for flow in top_true if int(trace.flows.key64[flow]) in top_keys
+        )
+        assert hits >= 8
+
+    def test_capacity_respected(self):
+        summary = SpaceSaving(capacity=5)
+        for key in range(100):
+            summary.offer(key)
+        assert len(summary) == 5
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(capacity=0)
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(capacity=5).topk(0)

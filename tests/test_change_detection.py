@@ -1,0 +1,108 @@
+"""Tests for EWMA-based traffic change detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    EwmaChangeDetector,
+    detect_volume_changes,
+)
+from repro.errors import ConfigurationError
+from repro.traffic import AttackConfig, CaidaLikeConfig, build_caida_like_trace
+from repro.traffic.attack import inject_attack_flows
+
+
+class TestEwmaDetector:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            EwmaChangeDetector(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EwmaChangeDetector(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            EwmaChangeDetector(threshold_sigmas=0.0)
+        with pytest.raises(ConfigurationError):
+            EwmaChangeDetector(warmup_buckets=0)
+
+    def test_steady_stream_no_events(self):
+        rng = np.random.default_rng(0)
+        detector = EwmaChangeDetector(threshold_sigmas=5.0)
+        for t in range(200):
+            detector.observe(float(t), 1000.0 + rng.normal(0, 30))
+        assert detector.events == []
+
+    def test_spike_detected(self):
+        rng = np.random.default_rng(1)
+        detector = EwmaChangeDetector(threshold_sigmas=4.0)
+        for t in range(50):
+            detector.observe(float(t), 1000.0 + rng.normal(0, 30))
+        event = detector.observe(50.0, 5000.0)
+        assert event is not None
+        assert event.is_spike and not event.is_collapse
+        assert event.sigmas > 4.0
+
+    def test_collapse_detected(self):
+        rng = np.random.default_rng(2)
+        detector = EwmaChangeDetector(threshold_sigmas=4.0)
+        for t in range(50):
+            detector.observe(float(t), 1000.0 + rng.normal(0, 30))
+        event = detector.observe(50.0, 10.0)  # link failure
+        assert event is not None
+        assert event.is_collapse
+
+    def test_anomalies_do_not_poison_forecast(self):
+        rng = np.random.default_rng(3)
+        detector = EwmaChangeDetector(threshold_sigmas=4.0)
+        for t in range(50):
+            detector.observe(float(t), 1000.0 + rng.normal(0, 30))
+        # A sustained attack keeps firing (the forecast is not dragged up).
+        events = [detector.observe(50.0 + t, 5000.0) for t in range(10)]
+        assert all(event is not None for event in events)
+
+    def test_warmup_suppresses_early_events(self):
+        detector = EwmaChangeDetector(threshold_sigmas=1.0, warmup_buckets=10)
+        for t in range(5):
+            assert detector.observe(float(t), 100.0 * (t + 1)) is None
+
+    def test_reset(self):
+        detector = EwmaChangeDetector()
+        detector.observe(0.0, 100.0)
+        detector.reset()
+        assert detector.events == [] and detector._mean is None
+
+
+class TestTraceChangeDetection:
+    def test_attack_flagged_in_trace(self):
+        background = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=4000, duration=30.0, seed=121)
+        )
+        attacked, _ = inject_attack_flows(
+            background,
+            AttackConfig(rates_pps=[200_000.0], duration=2.0, start_time=20.0),
+        )
+        events = detect_volume_changes(attacked, bucket_seconds=1.0)
+        assert events  # the attack bucket fires
+        spike_times = [event.time for event in events if event.is_spike]
+        assert any(19.0 <= t <= 23.0 for t in spike_times)
+
+    def test_byte_metric(self):
+        background = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=4000, duration=30.0, seed=122)
+        )
+        attacked, _ = inject_attack_flows(
+            background,
+            AttackConfig(
+                rates_pps=[150_000.0], duration=2.0, start_time=15.0,
+                packet_size=1400,
+            ),
+        )
+        events = detect_volume_changes(attacked, bucket_seconds=1.0, metric="bytes")
+        assert any(event.is_spike for event in events)
+
+    def test_unknown_metric_rejected(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=100, duration=2.0, seed=123)
+        )
+        with pytest.raises(ConfigurationError):
+            detect_volume_changes(trace, 1.0, metric="flows")

@@ -1,0 +1,89 @@
+"""Tests for the ``instameasure`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.npz"
+    code = main(
+        [
+            "gen-trace", "caida",
+            "--flows", "1500",
+            "--duration", "8",
+            "--seed", "3",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenTrace:
+    def test_campus_trace(self, tmp_path, capsys):
+        path = tmp_path / "campus.npz"
+        code = main(
+            ["gen-trace", "campus", "--flows", "800", "--hours", "12",
+             "--out", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "packets" in capsys.readouterr().out
+
+    def test_output_mentions_counts(self, trace_path, capsys):
+        main(["summarize", str(trace_path)])
+        out = capsys.readouterr().out
+        assert "L4 flows" in out
+        assert "1,500" in out
+
+
+class TestRun:
+    def test_run_reports_regulation(self, trace_path, capsys):
+        code = main(["run", str(trace_path), "--l1-kb", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "regulation rate" in out
+        assert "WSAF flows" in out
+
+    def test_missing_trace_is_handled(self, tmp_path, capsys):
+        code = main(["run", str(tmp_path / "absent.npz")])
+        assert code == 1
+
+
+class TestHeavyHitter:
+    def test_packet_threshold(self, trace_path, capsys):
+        code = main(["hh", str(trace_path), "--threshold-packets", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FPR" in out and "packets" in out
+
+    def test_byte_threshold(self, trace_path, capsys):
+        code = main(["hh", str(trace_path), "--threshold-bytes", "300000"])
+        assert code == 0
+        assert "bytes" in capsys.readouterr().out
+
+    def test_requires_a_threshold(self, trace_path, capsys):
+        code = main(["hh", str(trace_path)])
+        assert code == 2
+
+
+class TestTopK:
+    def test_topk_table(self, trace_path, capsys):
+        code = main(["topk", str(trace_path), "-k", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Top-5 flows" in out
+        assert "est pkts" in out
+        # 5 ranked rows plus header/divider lines.
+        assert out.count("0x") >= 10  # source + destination per row
+
+
+class TestSpreaders:
+    def test_spreaders_runs(self, trace_path, capsys):
+        code = main(["spreaders", str(trace_path), "--min-destinations", "1"])
+        assert code == 0
+        assert "fan-out" in capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""Tests for the Counter Tree baseline (the cited multi-layer prior)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CounterTree
+from repro.errors import ConfigurationError
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=5000, duration=12.0, seed=171)
+    )
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            CounterTree(1024, counter_bits=1)
+        with pytest.raises(ConfigurationError):
+            CounterTree(1024, degree=1)
+        with pytest.raises(ConfigurationError):
+            CounterTree(1024, num_layers=0)
+        with pytest.raises(ConfigurationError):
+            CounterTree(4, counters_per_flow=16)
+
+    def test_layers_shrink_geometrically(self):
+        tree = CounterTree(64 * 1024, degree=4, num_layers=3)
+        assert len(tree.layers[1]) == -(-len(tree.layers[0]) // 4)
+        assert len(tree.layers[2]) == -(-len(tree.layers[1]) // 4)
+
+    def test_memory_within_budget(self):
+        tree = CounterTree(64 * 1024, counter_bits=8, num_layers=3)
+        assert tree.memory_bytes <= 64 * 1024 * 1.05
+
+
+class TestCarryMechanics:
+    def test_overflow_carries_to_parent(self):
+        tree = CounterTree(1024, counter_bits=4, degree=2, num_layers=2, seed=1)
+        leaf = tree.flow_leaves(42)[0]
+        for _ in range(16):  # exactly one wrap of a 4-bit counter
+            tree._bump(0, leaf)
+        assert tree.layers[0][leaf] == 0
+        assert tree.layers[1][leaf // 2] == 1
+        assert tree.overflows == 1
+
+    def test_virtual_value_reassembles_count(self):
+        tree = CounterTree(1024, counter_bits=4, degree=2, num_layers=3, seed=2)
+        leaf = tree.flow_leaves(7)[0]
+        for _ in range(1000):
+            tree._bump(0, leaf)
+        assert tree.virtual_value(leaf) == 1000
+
+    def test_single_flow_decode_near_exact(self):
+        tree = CounterTree(
+            16 * 1024, counter_bits=4, num_layers=3, counters_per_flow=4, seed=3
+        )
+        for i in range(5000):
+            tree.encode(42, i % 4)
+        assert tree.decode(42) == pytest.approx(5000, rel=0.01)
+
+    def test_encode_rejects_bad_choice(self):
+        tree = CounterTree(1024, counters_per_flow=4)
+        with pytest.raises(ConfigurationError):
+            tree.encode(1, 4)
+
+
+class TestTraceAccuracy:
+    def test_elephant_accuracy(self, trace):
+        tree = CounterTree(64 * 1024, counter_bits=8, num_layers=3, seed=4)
+        tree.encode_trace(trace)
+        truth = trace.ground_truth_packets().astype(float)
+        big = truth >= 1000
+        estimates = tree.decode_flows(trace.flows.key64[big])
+        rel = np.abs(estimates - truth[big]) / truth[big]
+        assert rel.mean() < 0.15
+
+    def test_scalar_vector_decode_agree(self, trace):
+        tree = CounterTree(32 * 1024, seed=5)
+        tree.encode_trace(trace)
+        keys = trace.flows.key64[:10]
+        vector = tree.decode_flows(keys)
+        for i, key in enumerate(keys):
+            assert vector[i] == pytest.approx(tree.decode(int(key)))
+
+    def test_small_counters_extend_range(self, trace):
+        """The design point: 4-bit leaves count far beyond 15 via carries."""
+        tree = CounterTree(32 * 1024, counter_bits=4, num_layers=4, seed=6)
+        tree.encode_trace(trace)
+        truth = trace.ground_truth_packets().astype(float)
+        top = int(np.argmax(truth))
+        assert truth[top] > 15
+        assert tree.decode(int(trace.flows.key64[top])) == pytest.approx(
+            truth[top], rel=0.3
+        )
+
+    def test_offline_total_consistency(self, trace):
+        """Every packet is represented exactly once across virtual leaves."""
+        tree = CounterTree(128 * 1024, counter_bits=8, num_layers=2, degree=2, seed=7)
+        tree.encode_trace(trace)
+        virtual = tree._virtual_leaves()
+        # Parents shared by `degree` children are counted once per child;
+        # subtract the double counting to recover the exact packet total.
+        parents = tree.layers[1][np.arange(tree.num_leaves) // tree.degree]
+        double_counted = (tree.degree - 1) / tree.degree * (
+            parents.astype(float) * (1 << tree.counter_bits)
+        )
+        assert (virtual - double_counted).sum() == pytest.approx(
+            tree.total_packets, rel=0.01
+        )

@@ -1,0 +1,124 @@
+"""Tests for Count-Sketch and the UnivMon-style universal sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CountSketch, UnivMon
+from repro.detection import flow_size_entropy
+from repro.errors import ConfigurationError
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=6000, duration=15.0, seed=111)
+    )
+
+
+class TestCountSketch:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            CountSketch(memory_bytes=4, depth=5)
+        with pytest.raises(ConfigurationError):
+            CountSketch(memory_bytes=1024, depth=0)
+
+    def test_single_flow_exact(self):
+        sketch = CountSketch(16 * 1024, seed=1)
+        for _ in range(100):
+            sketch.encode(42)
+        assert sketch.query(42) == pytest.approx(100)
+
+    def test_scalar_vector_query_agree(self, trace):
+        sketch = CountSketch(32 * 1024, seed=2)
+        sketch.encode_trace(trace)
+        keys = trace.flows.key64[:15]
+        vector = sketch.query_flows(keys)
+        for i, key in enumerate(keys):
+            assert vector[i] == pytest.approx(sketch.query(int(key)))
+
+    def test_unbiased_on_elephants(self, trace):
+        sketch = CountSketch(64 * 1024, seed=3)
+        sketch.encode_trace(trace)
+        truth = trace.ground_truth_packets().astype(float)
+        big = truth >= 1000
+        estimates = sketch.query_flows(trace.flows.key64[big])
+        rel = np.abs(estimates - truth[big]) / truth[big]
+        assert rel.mean() < 0.05
+
+    def test_signed_estimates_average_out(self, trace):
+        """Count-Sketch is unbiased: signed errors average near zero."""
+        sketch = CountSketch(32 * 1024, seed=4)
+        sketch.encode_trace(trace)
+        truth = trace.ground_truth_packets().astype(float)
+        sample = truth >= 50
+        estimates = sketch.query_flows(trace.flows.key64[sample])
+        bias = float(np.mean(estimates - truth[sample]))
+        assert abs(bias) < 0.15 * truth[sample].mean()
+
+    def test_l2_estimate_close(self, trace):
+        sketch = CountSketch(64 * 1024, seed=5)
+        sketch.encode_trace(trace)
+        truth = trace.ground_truth_packets().astype(float)
+        true_l2 = float(np.sqrt((truth**2).sum()))
+        assert sketch.l2_estimate() == pytest.approx(true_l2, rel=0.05)
+
+    def test_encode_count_parameter(self):
+        sketch = CountSketch(16 * 1024, seed=6)
+        sketch.encode(7, count=50)
+        assert sketch.query(7) == pytest.approx(50)
+        assert sketch.total_packets == 50
+
+
+class TestUnivMon:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            UnivMon(1024, num_levels=0)
+        with pytest.raises(ConfigurationError):
+            UnivMon(1024 * 1024, heavy_candidates=0)
+
+    def test_level_sampling_halves_population(self, trace):
+        univmon = UnivMon(256 * 1024, num_levels=6, seed=7)
+        levels = univmon._levels_array(trace.flows.key64)
+        population = [(levels >= level).sum() for level in range(6)]
+        for shallow, deep in zip(population, population[1:]):
+            assert deep == pytest.approx(shallow / 2, rel=0.25)
+
+    def test_level_of_matches_array(self, trace):
+        univmon = UnivMon(64 * 1024, num_levels=6, seed=8)
+        levels = univmon._levels_array(trace.flows.key64[:50])
+        for i in range(50):
+            assert int(levels[i]) == univmon._level_of(int(trace.flows.key64[i]))
+
+    def test_heavy_hitters_found(self, trace):
+        univmon = UnivMon(256 * 1024, num_levels=6, seed=9)
+        univmon.encode_trace(trace)
+        truth = trace.ground_truth_packets().astype(float)
+        threshold = 2000.0
+        true_hh = {
+            int(key)
+            for key, size in zip(trace.flows.key64, truth)
+            if size >= threshold
+        }
+        found = set(univmon.heavy_hitters(threshold))
+        assert true_hh  # trace actually has heavy hitters
+        assert len(found & true_hh) >= 0.8 * len(true_hh)
+
+    def test_heavy_hitters_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            UnivMon(64 * 1024).heavy_hitters(0.0)
+
+    def test_entropy_in_right_ballpark(self, trace):
+        univmon = UnivMon(256 * 1024, num_levels=6, heavy_candidates=128, seed=10)
+        univmon.encode_trace(trace)
+        truth = trace.ground_truth_packets().astype(float)
+        true_entropy = flow_size_entropy(truth)
+        estimate = univmon.entropy_estimate()
+        assert estimate == pytest.approx(true_entropy, rel=0.35)
+
+    def test_memory_split_across_levels(self):
+        univmon = UnivMon(240 * 1024, num_levels=6, depth=5, seed=11)
+        assert univmon.memory_bytes <= 240 * 1024
+        assert len(univmon.levels) == 6

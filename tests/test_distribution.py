@@ -1,0 +1,86 @@
+"""Tests for distribution-level accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ccdf_distance, size_class_histogram, traffic_share_curve
+from repro.errors import ConfigurationError
+
+
+class TestSizeClassHistogram:
+    def test_counts_per_class(self):
+        truth = np.array([1, 5, 50, 500, 5000])
+        estimated = np.array([0, 6, 40, 600, 4800])
+        classes = size_class_histogram(estimated, truth, [1, 10, 100, 1000])
+        assert [c.true_count for c in classes] == [2, 1, 1, 1]
+        assert [c.estimated_count for c in classes] == [1, 1, 1, 1]
+
+    def test_class_error(self):
+        truth = np.array([5, 5, 5, 5])
+        estimated = np.array([5, 5, 0, 0])
+        (only,) = size_class_histogram(estimated, truth, [1])
+        assert only.count_error == pytest.approx(0.5)
+
+    def test_empty_class_zero_error(self):
+        truth = np.array([5.0])
+        classes = size_class_histogram(truth, truth, [1, 100])
+        assert classes[1].count_error == 0.0
+
+    def test_phantom_population_is_infinite_error(self):
+        truth = np.array([5.0])
+        estimated = np.array([500.0])
+        classes = size_class_histogram(estimated, truth, [1, 100])
+        assert classes[1].count_error == float("inf")
+
+    def test_invalid_edges(self):
+        truth = np.array([1.0])
+        with pytest.raises(ConfigurationError):
+            size_class_histogram(truth, truth, [])
+        with pytest.raises(ConfigurationError):
+            size_class_histogram(truth, truth, [10, 1])
+
+
+class TestCCDFDistance:
+    def test_identical_is_zero(self):
+        truth = np.array([10.0, 100.0, 1000.0])
+        assert ccdf_distance(truth, truth, min_size=5.0) == 0.0
+
+    def test_missing_tail_detected(self):
+        truth = np.array([10.0, 100.0, 1000.0, 10000.0])
+        estimated = np.array([10.0, 100.0, 1000.0, 0.0])
+        assert ccdf_distance(estimated, truth, min_size=5.0) >= 0.25
+
+    def test_small_noise_small_distance(self):
+        rng = np.random.default_rng(0)
+        truth = rng.pareto(1.5, size=2000) * 100 + 50
+        estimated = truth * rng.normal(1.0, 0.01, size=2000)
+        assert ccdf_distance(estimated, truth, min_size=60.0) < 0.05
+
+    def test_requires_populated_tail(self):
+        with pytest.raises(ConfigurationError):
+            ccdf_distance(np.array([1.0]), np.array([1.0]), min_size=100.0)
+
+
+class TestTrafficShareCurve:
+    def test_uniform_traffic(self):
+        sizes = np.full(100, 10.0)
+        (share,) = traffic_share_curve(sizes, [0.1])
+        assert share == pytest.approx(0.1)
+
+    def test_skewed_traffic(self):
+        sizes = np.array([10_000.0] + [1.0] * 99)
+        (share,) = traffic_share_curve(sizes, [0.01])
+        assert share > 0.99
+
+    def test_full_fraction_is_total(self):
+        sizes = np.array([3.0, 2.0, 1.0])
+        (share,) = traffic_share_curve(sizes, [1.0])
+        assert share == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            traffic_share_curve(np.array([]), [0.5])
+        with pytest.raises(ConfigurationError):
+            traffic_share_curve(np.array([1.0]), [0.0])

@@ -1,0 +1,174 @@
+"""Failure-injection tests: the system under hostile or degenerate inputs.
+
+Production measurement systems see pathological traffic.  These tests
+verify the pipeline stays consistent (no crashes, counters conserved,
+errors bounded or at least sane) under adversarial placement collisions,
+extreme WSAF pressure, heavy mirror-port loss, and degenerate traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InstaMeasure, InstaMeasureConfig, RCCSketch, WSAFTable
+from repro.simulate import MirrorPort
+from repro.traffic import CaidaLikeConfig, FiveTuple, FlowTable, build_caida_like_trace
+from repro.traffic.packet import Trace
+
+
+def _colliding_keys(sketch: RCCSketch, count: int, start: int = 1) -> "list[int]":
+    """Find ``count`` keys whose virtual vectors land in the same word."""
+    target_idx, _offset = sketch.place(start)
+    keys = [start]
+    candidate = start + 1
+    while len(keys) < count:
+        idx, _off = sketch.place(candidate)
+        if idx == target_idx:
+            keys.append(candidate)
+        candidate += 1
+    return keys
+
+
+class TestAdversarialCollisions:
+    def test_colliding_flows_still_counted(self):
+        """Many flows forced into one sketch word: noisy but functional."""
+        sketch = RCCSketch(1024, vector_bits=8, seed=42)
+        keys = _colliding_keys(sketch, 8)
+        rng = np.random.default_rng(0)
+        per_flow = 2000
+        estimates = {key: 0.0 for key in keys}
+        for _ in range(per_flow):
+            for key in keys:
+                noise = sketch.encode(key, int(rng.integers(8)))
+                if noise is not None:
+                    estimates[key] += sketch.decode(noise)
+        for key in keys:
+            estimates[key] += sketch.partial_estimate(key)
+            # Heavily shared words distort individual counts, but each flow
+            # still lands within a sane multiple of the truth.
+            assert 0.2 * per_flow < estimates[key] < 5.0 * per_flow
+        total = sum(estimates.values())
+        assert total == pytest.approx(per_flow * len(keys), rel=0.5)
+
+    def test_recycling_is_bounded_interference(self):
+        """A hot flow recycling its window cannot erase a neighbour fully."""
+        sketch = RCCSketch(64, vector_bits=8, word_bits=32, seed=7)
+        hot, cold = _colliding_keys(sketch, 2)
+        rng = np.random.default_rng(1)
+        cold_estimate = 0.0
+        cold_packets = 0
+        for round_index in range(30_000):
+            noise = sketch.encode(hot, int(rng.integers(8)))
+            if round_index % 10 == 0:
+                cold_packets += 1
+                noise_cold = sketch.encode(cold, int(rng.integers(8)))
+                if noise_cold is not None:
+                    cold_estimate += sketch.decode(noise_cold)
+        cold_estimate += sketch.partial_estimate(cold)
+        assert cold_estimate > 0.05 * cold_packets
+
+
+class TestWSAFPressure:
+    def test_probe_limit_one_still_works(self):
+        table = WSAFTable(num_entries=16, probe_limit=1)
+        for key in range(100):
+            table.accumulate(key, 1.0, 0.0, float(key))
+        assert len(table) <= 16
+        assert table.insertions + table.rejected + table.updates == 100
+
+    def test_eviction_churn_conserves_bookkeeping(self):
+        table = WSAFTable(num_entries=8, probe_limit=8)
+        rng = np.random.default_rng(2)
+        for step in range(5000):
+            table.accumulate(int(rng.integers(1, 500)), 1.0, 10.0, float(step))
+        assert len(table) == sum(table._occupied)
+        assert 0 <= len(table) <= 8
+        assert table.insertions - table.evictions - table.gc_reclaimed == len(table)
+
+    def test_tiny_wsaf_under_real_traffic(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=3000, duration=8.0, seed=44)
+        )
+        engine = InstaMeasure(
+            InstaMeasureConfig(l1_memory_bytes=2048, wsaf_entries=16, probe_limit=8)
+        )
+        result = engine.process_trace(trace)
+        assert result.packets == trace.num_packets
+        assert len(engine.wsaf) <= 16
+        # The biggest elephant should still be present and roughly counted.
+        truth = trace.ground_truth_packets()
+        top = int(np.argmax(truth))
+        entry = engine.wsaf.lookup(int(trace.flows.key64[top]))
+        assert entry is not None
+
+
+class TestMirrorPortLoss:
+    def test_heavy_loss_consistency(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=3000, duration=3.0, seed=45)
+        )
+        port = MirrorPort(capacity_bps=2e6, buffer_bytes=20_000)
+        delivered, stats = port.apply(trace)
+        assert stats.drop_rate > 0.5  # genuinely heavy loss
+        engine = InstaMeasure(
+            InstaMeasureConfig(l1_memory_bytes=4096, wsaf_entries=1 << 12)
+        )
+        result = engine.process_trace(delivered)
+        assert result.packets == delivered.num_packets
+        # Estimates compare against post-drop truth, as in the paper.
+        truth = delivered.ground_truth_packets().astype(float)
+        big = truth >= 1000
+        if big.any():
+            est, _ = engine.estimates_for(delivered)
+            rel = np.abs(est[big] - truth[big]) / truth[big]
+            assert rel.mean() < 0.2
+
+
+class TestDegenerateTraces:
+    def test_burst_of_identical_timestamps(self):
+        flows = FlowTable.from_five_tuples([FiveTuple(1, 2, 3, 4, 6)])
+        trace = Trace(
+            timestamps=np.zeros(500),
+            flow_ids=np.zeros(500, dtype=np.int64),
+            sizes=np.full(500, 100, dtype=np.int64),
+            flows=flows,
+        )
+        engine = InstaMeasure(
+            InstaMeasureConfig(l1_memory_bytes=1024, wsaf_entries=64)
+        )
+        result = engine.process_trace(trace)
+        assert result.packets == 500
+        est, _ = engine.estimates_for(trace, include_residual=True)
+        assert est[0] == pytest.approx(500, rel=0.25)
+
+    def test_all_single_packet_flows(self):
+        rng = np.random.default_rng(3)
+        tuples = [
+            FiveTuple(int(rng.integers(1 << 32)), 1, 1, 1, 17) for _ in range(2000)
+        ]
+        flows = FlowTable.from_five_tuples(tuples)
+        trace = Trace(
+            timestamps=np.sort(rng.random(2000)),
+            flow_ids=np.arange(2000, dtype=np.int64),
+            sizes=np.full(2000, 60, dtype=np.int64),
+            flows=flows,
+        )
+        engine = InstaMeasure(
+            InstaMeasureConfig(l1_memory_bytes=1024, wsaf_entries=1 << 10)
+        )
+        result = engine.process_trace(trace)
+        # Pure mice: almost nothing should reach the WSAF.
+        assert result.regulation_rate < 0.01
+
+    def test_empty_trace_through_full_pipeline(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=10, duration=1.0, seed=46)
+        ).time_slice(100.0, 200.0)
+        engine = InstaMeasure(
+            InstaMeasureConfig(l1_memory_bytes=1024, wsaf_entries=64)
+        )
+        result = engine.process_trace(trace)
+        assert result.packets == 0
+        assert result.regulation_rate == 0.0
+        assert len(engine.wsaf) == 0

@@ -1,0 +1,148 @@
+"""Unit and property tests for the hashing substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hashing import (
+    MASK64,
+    HashFamily,
+    TabulationHash,
+    hash_bytes,
+    hash_u64,
+    hash_u64_array,
+    mix64,
+    mix64_array,
+    popcount32,
+    splitmix64,
+    splitmix64_array,
+)
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestMixers:
+    @given(U64)
+    def test_splitmix64_stays_in_64_bits(self, x):
+        assert 0 <= splitmix64(x) <= MASK64
+
+    @given(U64)
+    def test_mix64_stays_in_64_bits(self, x):
+        assert 0 <= mix64(x) <= MASK64
+
+    @given(U64, U64)
+    def test_splitmix64_is_injective_on_samples(self, x, y):
+        if x != y:
+            assert splitmix64(x) != splitmix64(y)
+
+    @given(U64, U64)
+    def test_mix64_is_injective_on_samples(self, x, y):
+        if x != y:
+            assert mix64(x) != mix64(y)
+
+    def test_splitmix64_known_vector(self):
+        # First output of the reference splitmix64 stream seeded with 0.
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+
+    @given(U64)
+    def test_scalar_and_vector_splitmix_agree(self, x):
+        arr = np.array([x], dtype=np.uint64)
+        assert int(splitmix64_array(arr)[0]) == splitmix64(x)
+
+    @given(U64)
+    def test_scalar_and_vector_mix_agree(self, x):
+        arr = np.array([x], dtype=np.uint64)
+        assert int(mix64_array(arr)[0]) == mix64(x)
+
+    @given(U64, st.integers(min_value=0, max_value=2**32))
+    def test_scalar_and_vector_hash_u64_agree(self, x, seed):
+        arr = np.array([x], dtype=np.uint64)
+        assert int(hash_u64_array(arr, seed)[0]) == hash_u64(x, seed)
+
+    @given(U64)
+    def test_seed_changes_hash(self, x):
+        assert hash_u64(x, 1) != hash_u64(x, 2)
+
+
+class TestHashBytes:
+    def test_deterministic(self):
+        assert hash_bytes(b"flow") == hash_bytes(b"flow")
+
+    def test_seed_sensitivity(self):
+        assert hash_bytes(b"flow", 1) != hash_bytes(b"flow", 2)
+
+    def test_length_sensitivity(self):
+        assert hash_bytes(b"") != hash_bytes(b"\x00")
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_collision_free_on_samples(self, a, b):
+        if a != b:
+            assert hash_bytes(a) != hash_bytes(b)
+
+
+class TestPopcount32:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_matches_bin_count(self, x):
+        assert popcount32(x) == bin(x).count("1")
+
+    def test_masks_to_32_bits(self):
+        assert popcount32(1 << 40) == 0
+        assert popcount32((1 << 40) | 0b101) == 2
+
+
+class TestHashFamily:
+    def test_rejects_empty_family(self):
+        with pytest.raises(ConfigurationError):
+            HashFamily(0)
+
+    def test_members_differ(self):
+        family = HashFamily(4, seed=3)
+        outputs = {family.hash(i, 12345) for i in range(4)}
+        assert len(outputs) == 4
+
+    def test_reproducible_across_instances(self):
+        a = HashFamily(3, seed=9)
+        b = HashFamily(3, seed=9)
+        assert all(a.hash(i, 77) == b.hash(i, 77) for i in range(3))
+
+    def test_hash_mod_in_range(self):
+        family = HashFamily(2, seed=1)
+        for value in range(100):
+            assert 0 <= family.hash_mod(1, value, 17) < 17
+
+    def test_uniformity_rough(self):
+        family = HashFamily(1, seed=5)
+        buckets = np.bincount(
+            [family.hash_mod(0, v, 16) for v in range(4096)], minlength=16
+        )
+        assert buckets.min() > 150  # expectation 256 per bucket
+
+
+class TestTabulationHash:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            TabulationHash(key_bytes=0)
+
+    def test_rejects_oversized_key(self):
+        th = TabulationHash(key_bytes=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            th.hash(1 << 16)
+
+    def test_deterministic(self):
+        a = TabulationHash(key_bytes=4, seed=11)
+        b = TabulationHash(key_bytes=4, seed=11)
+        assert a(0xDEADBEEF) == b(0xDEADBEEF)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_output_is_64_bit(self, key):
+        th = TabulationHash(key_bytes=4, seed=2)
+        assert 0 <= th(key) <= MASK64
+
+    def test_xor_structure(self):
+        # Tabulation hashing of a 1-byte key is exactly a table lookup.
+        th = TabulationHash(key_bytes=1, seed=0)
+        assert th(5) == int(th._tables[0, 5])

@@ -1,0 +1,175 @@
+"""Tests for heavy-hitter detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InstaMeasure, InstaMeasureConfig
+from repro.detection import (
+    HeavyHitterDetector,
+    classify_detections,
+    ground_truth_detection_times,
+    ground_truth_heavy_hitters,
+    keys_to_flow_indices,
+)
+from repro.errors import ConfigurationError
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=6000, duration=20.0, seed=51)
+    )
+
+
+class TestDetectorUnit:
+    def test_requires_a_threshold(self):
+        with pytest.raises(ConfigurationError):
+            HeavyHitterDetector()
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ConfigurationError):
+            HeavyHitterDetector(threshold_packets=0)
+
+    def test_detects_on_first_crossing_only(self):
+        detector = HeavyHitterDetector(threshold_packets=100)
+        detector.on_accumulate(1, 50.0, 0.0, 1.0)
+        assert 1 not in detector.packet_detections
+        detector.on_accumulate(1, 120.0, 0.0, 2.0)
+        assert detector.packet_detections[1] == 2.0
+        detector.on_accumulate(1, 500.0, 0.0, 3.0)
+        assert detector.packet_detections[1] == 2.0  # unchanged
+
+    def test_byte_and_packet_thresholds_independent(self):
+        detector = HeavyHitterDetector(threshold_packets=100, threshold_bytes=1e6)
+        detector.on_accumulate(1, 150.0, 5e5, 1.0)
+        assert 1 in detector.packet_detections
+        assert 1 not in detector.byte_detections
+        detector.on_accumulate(1, 160.0, 2e6, 2.0)
+        assert detector.byte_detections[1] == 2.0
+
+
+class TestGroundTruth:
+    def test_crossing_times_exact(self):
+        from repro.traffic import FiveTuple, FlowTable
+        from repro.traffic.packet import Trace
+
+        flows = FlowTable.from_five_tuples([FiveTuple(1, 2, 3, 4, 6)])
+        trace = Trace(
+            timestamps=np.array([0.0, 1.0, 2.0, 3.0]),
+            flow_ids=np.zeros(4, dtype=np.int64),
+            sizes=np.array([100, 100, 100, 100]),
+            flows=flows,
+        )
+        packet_times, byte_times = ground_truth_detection_times(
+            trace, threshold_packets=3, threshold_bytes=250
+        )
+        assert packet_times[0] == 2.0  # third packet
+        assert byte_times[0] == 2.0  # cumulative 300 >= 250 at third packet
+
+    def test_flows_below_threshold_absent(self, trace):
+        packet_times, _ = ground_truth_detection_times(trace, threshold_packets=1e9)
+        assert packet_times == {}
+
+    def test_threshold_required(self, trace):
+        with pytest.raises(ConfigurationError):
+            ground_truth_detection_times(trace)
+
+    def test_heavy_hitter_sets_match_counts(self, trace):
+        packet_hh, byte_hh = ground_truth_heavy_hitters(
+            trace, threshold_packets=1000, threshold_bytes=1e6
+        )
+        truth_packets = trace.ground_truth_packets()
+        truth_bytes = trace.ground_truth_bytes()
+        assert packet_hh == set(np.flatnonzero(truth_packets >= 1000).tolist())
+        assert byte_hh == set(np.flatnonzero(truth_bytes >= 1e6).tolist())
+
+    def test_crossing_times_never_before_possible(self, trace):
+        threshold = 500
+        packet_times, _ = ground_truth_detection_times(
+            trace, threshold_packets=threshold
+        )
+        for flow, when in packet_times.items():
+            first = trace.timestamps[trace.flow_ids == flow][0]
+            assert when >= first
+
+
+class TestEndToEndDetection:
+    def test_saturation_detection_matches_truth(self, trace):
+        """Fig 14 shape: negligible FNR, sub-percent FPR."""
+        threshold = 1500
+        detector = HeavyHitterDetector(threshold_packets=threshold)
+        engine = InstaMeasure(
+            InstaMeasureConfig(l1_memory_bytes=8192, wsaf_entries=1 << 14)
+        )
+        engine.process_trace(trace, on_accumulate=detector.on_accumulate)
+
+        truth_hh, _ = ground_truth_heavy_hitters(trace, threshold_packets=threshold)
+        assert truth_hh  # the trace must actually contain heavy hitters
+        detected = keys_to_flow_indices(
+            trace, set(detector.packet_detections.keys())
+        )
+        outcome = classify_detections(detected, truth_hh, trace.num_flows)
+        assert outcome.false_negative_rate <= 0.15
+        assert outcome.false_positive_rate <= 0.005
+
+    def test_detection_lag_is_bounded_by_retention(self, trace):
+        """Detection happens within ~one retention quantum of the truth."""
+        threshold = 1500
+        detector = HeavyHitterDetector(threshold_packets=threshold)
+        engine = InstaMeasure(
+            InstaMeasureConfig(l1_memory_bytes=8192, wsaf_entries=1 << 14)
+        )
+        engine.process_trace(trace, on_accumulate=detector.on_accumulate)
+        truth_times, _ = ground_truth_detection_times(
+            trace, threshold_packets=threshold
+        )
+        capacity = engine.regulator.retention_capacity
+        checked = 0
+        for flow, truth_time in truth_times.items():
+            key = int(trace.flows.key64[flow])
+            detected_at = detector.packet_detections.get(key)
+            if detected_at is None:
+                continue
+            checked += 1
+            # The flow's packet rate bounds the expected lag.
+            total = int(trace.ground_truth_packets()[flow])
+            span = float(
+                trace.timestamps[trace.flow_ids == flow][-1]
+                - trace.timestamps[trace.flow_ids == flow][0]
+            )
+            rate = total / max(span, 1e-9)
+            allowed = 5 * (capacity + threshold * 0.2) / max(rate, 1e-9)
+            assert detected_at - truth_time <= allowed
+        assert checked > 0
+
+
+class TestClassify:
+    def test_perfect_detection(self):
+        outcome = classify_detections({1, 2}, {1, 2}, population=10)
+        assert outcome.false_positive_rate == 0.0
+        assert outcome.false_negative_rate == 0.0
+        assert outcome.precision == 1.0 and outcome.recall == 1.0
+
+    def test_false_positive_rate(self):
+        outcome = classify_detections({1, 2, 3}, {1}, population=102)
+        assert outcome.true_positives == 1
+        assert outcome.false_positives == 2
+        assert outcome.false_positive_rate == pytest.approx(2 / 101)
+
+    def test_false_negative_rate(self):
+        outcome = classify_detections(set(), {1, 2}, population=10)
+        assert outcome.false_negative_rate == 1.0
+
+    def test_population_validation(self):
+        with pytest.raises(ConfigurationError):
+            classify_detections({1, 2, 3}, {4, 5}, population=2)
+
+    def test_keys_roundtrip(self, trace):
+        keys = {int(trace.flows.key64[5]), int(trace.flows.key64[17])}
+        assert keys_to_flow_indices(trace, keys) == {5, 17}
+
+    def test_unknown_keys_ignored(self, trace):
+        assert keys_to_flow_indices(trace, {123456789}) == set()

@@ -1,0 +1,147 @@
+"""Tests for the IBLT and the FlowRadar-style baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import IBLT, BloomFilter, FlowRadar
+from repro.errors import CapacityError, ConfigurationError
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+class TestIBLT:
+    def test_construction_limits(self):
+        with pytest.raises(ConfigurationError):
+            IBLT(num_cells=2, num_hashes=3)
+        with pytest.raises(ConfigurationError):
+            IBLT(num_cells=16, num_hashes=1)
+
+    def test_roundtrip_small(self):
+        table = IBLT(num_cells=64, seed=1)
+        expected = {}
+        for key in range(1, 21):
+            table.insert(key, float(key))
+            expected[key] = float(key)
+        assert table.list_entries() == expected
+
+    def test_increment_accumulates(self):
+        table = IBLT(num_cells=64, seed=2)
+        table.insert(7, 1.0)
+        for _ in range(9):
+            table.increment(7, 1.0)
+        assert table.list_entries() == {7: 10.0}
+
+    def test_listing_consumes_table(self):
+        table = IBLT(num_cells=64, seed=3)
+        table.insert(1, 1.0)
+        table.list_entries()
+        assert table.list_entries() == {}
+        assert table.load == 0.0
+
+    def test_overload_raises(self):
+        table = IBLT(num_cells=30, seed=4)
+        for key in range(1, 200):
+            table.insert(key, 1.0)
+        with pytest.raises(CapacityError):
+            table.list_entries()
+
+    def test_distinct_cells_per_key(self):
+        table = IBLT(num_cells=16, seed=5)
+        for key in (1, 999, 2**60):
+            cells = table._cells_of(key)
+            assert len(set(cells)) == len(cells)
+
+    def test_capacity_threshold_roughly_holds(self):
+        """Peeling succeeds below ~cells/1.3 and fails well above cells."""
+        cells = 300
+        good = IBLT(num_cells=cells, seed=6)
+        for key in range(1, int(cells / 1.5)):
+            good.insert(key, 1.0)
+        assert len(good.list_entries()) == int(cells / 1.5) - 1
+
+
+class TestIBLTProperties:
+    @given(
+        st.dictionaries(
+            st.integers(1, 2**62),
+            st.floats(0.5, 100.0, allow_nan=False),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_any_key_value_set(self, entries):
+        table = IBLT(num_cells=256, seed=13)
+        for key, value in entries.items():
+            table.insert(key, value)
+        recovered = table.list_entries()
+        assert set(recovered) == set(entries)
+        for key, value in entries.items():
+            assert recovered[key] == pytest.approx(value)
+
+
+class TestBloomFilter:
+    def test_membership(self):
+        bloom = BloomFilter(num_bits=1024, seed=7)
+        bloom.add(42)
+        assert 42 in bloom
+
+    def test_absent_keys_mostly_absent(self):
+        bloom = BloomFilter(num_bits=4096, seed=8)
+        for key in range(100):
+            bloom.add(key)
+        false_positives = sum(1 for key in range(1000, 3000) if key in bloom)
+        assert false_positives < 20
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(num_bits=4)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(num_bits=64, num_hashes=0)
+
+
+class TestFlowRadar:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return build_caida_like_trace(
+            CaidaLikeConfig(num_flows=1200, duration=8.0, seed=91)
+        )
+
+    def test_decode_recovers_exact_counts(self, trace):
+        radar = FlowRadar(iblt_cells=4 * trace.num_flows, seed=9)
+        radar.encode_trace(trace)
+        recovered, stats = radar.decode()
+        assert not stats.decode_failed
+        truth = trace.ground_truth_packets()
+        keys = trace.flows.key64
+        hits = 0
+        for flow in range(trace.num_flows):
+            value = recovered.get(int(keys[flow]))
+            if value is not None and value == pytest.approx(truth[flow]):
+                hits += 1
+        # Bloom false positives can merge a few flows; the rest are exact.
+        assert hits >= 0.98 * trace.num_flows
+
+    def test_constant_updates_per_packet(self, trace):
+        radar = FlowRadar(iblt_cells=4 * trace.num_flows, seed=10)
+        radar.encode_trace(trace)
+        _recovered, stats = radar.decode()
+        # Every packet costs a bounded number of memory updates — but ≥1.
+        assert 3.0 <= stats.updates_per_packet <= 12.0
+
+    def test_capacity_cliff(self, trace):
+        """Too many flows per epoch -> decode fails outright (the failure
+        mode InstaMeasure's WSAF avoids)."""
+        radar = FlowRadar(iblt_cells=trace.num_flows // 4, seed=11)
+        radar.encode_trace(trace)
+        _recovered, stats = radar.decode()
+        assert stats.decode_failed
+
+    def test_distinct_flow_count_tracked(self, trace):
+        radar = FlowRadar(iblt_cells=4 * trace.num_flows, seed=12)
+        radar.encode_trace(trace)
+        # Bloom false positives can only undercount distinct flows.
+        assert radar.distinct_flows <= trace.num_flows
+        assert radar.distinct_flows >= 0.97 * trace.num_flows

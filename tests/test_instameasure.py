@@ -1,0 +1,202 @@
+"""Tests for the single-core InstaMeasure engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InstaMeasure, InstaMeasureConfig
+from repro.core.instameasure import run_measurement
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=5000, duration=20.0, seed=21)
+    )
+
+
+def _small_config(**overrides):
+    defaults = dict(l1_memory_bytes=4096, wsaf_entries=1 << 14, seed=0)
+    defaults.update(overrides)
+    return InstaMeasureConfig(**defaults)
+
+
+class TestProcessTrace:
+    def test_regulation_rate_near_one_percent(self, trace):
+        engine = InstaMeasure(_small_config())
+        result = engine.process_trace(trace)
+        # Paper Fig 7: FlowRegulator passes ~1 % of packets to the WSAF.
+        assert 0.002 <= result.regulation_rate <= 0.03
+
+    def test_l1_rate_an_order_of_magnitude_higher(self, trace):
+        engine = InstaMeasure(_small_config())
+        result = engine.process_trace(trace)
+        stats = result.regulator_stats
+        # Fig 7: RCC (single layer) regulates at ~12 %, FR at ~1 %.
+        assert stats.l1_saturation_rate > 5 * result.regulation_rate
+
+    def test_large_flow_accuracy(self, trace):
+        engine = InstaMeasure(_small_config())
+        engine.process_trace(trace)
+        est_packets, est_bytes = engine.estimates_for(trace)
+        truth_packets = trace.ground_truth_packets()
+        truth_bytes = trace.ground_truth_bytes()
+        big = truth_packets >= 2000
+        assert big.sum() >= 3
+        rel_p = np.abs(est_packets[big] - truth_packets[big]) / truth_packets[big]
+        rel_b = np.abs(est_bytes[big] - truth_bytes[big]) / truth_bytes[big]
+        assert rel_p.mean() < 0.12
+        assert rel_b.mean() < 0.12
+
+    def test_mice_mostly_absent_from_wsaf(self, trace):
+        engine = InstaMeasure(_small_config())
+        engine.process_trace(trace)
+        est_packets, _ = engine.estimates_for(trace)
+        truth = trace.ground_truth_packets()
+        mice = truth <= 10
+        # "Saturation-based decoding … allows only elephant flows through".
+        assert (est_packets[mice] > 0).mean() < 0.05
+
+    def test_estimates_with_residual_reduce_truncation(self, trace):
+        engine = InstaMeasure(_small_config())
+        engine.process_trace(trace)
+        plain, _ = engine.estimates_for(trace)
+        with_residual, _ = engine.estimates_for(trace, include_residual=True)
+        truth = trace.ground_truth_packets().astype(float)
+        mid = (truth >= 200) & (truth <= 5000)
+        err_plain = np.abs(plain[mid] - truth[mid]).mean()
+        err_residual = np.abs(with_residual[mid] - truth[mid]).mean()
+        assert err_residual <= err_plain
+
+    def test_callback_sees_every_insertion(self, trace):
+        events = []
+        engine = InstaMeasure(_small_config())
+        result = engine.process_trace(
+            trace, on_accumulate=lambda k, p, b, t: events.append((k, p, b, t))
+        )
+        assert len(events) == result.insertions
+        # Timestamps are delivered in trace order.
+        times = [event[3] for event in events]
+        assert times == sorted(times)
+
+    def test_result_counters_consistent(self, trace):
+        engine = InstaMeasure(_small_config())
+        result = engine.process_trace(trace)
+        assert result.packets == trace.num_packets
+        assert result.insertions == engine.wsaf.insertions + engine.wsaf.updates + engine.wsaf.rejected
+        assert result.python_pps > 0
+
+    def test_run_measurement_helper(self, trace):
+        engine, result = run_measurement(trace, _small_config())
+        assert result.packets == trace.num_packets
+        assert len(engine.wsaf) > 0
+
+
+class TestPathEquivalence:
+    """process_trace is an inlined specialization of process_packet."""
+
+    def test_identical_state_given_identical_randomness(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=800, duration=5.0, seed=22)
+        )
+        config = _small_config(seed=9)
+
+        fast = InstaMeasure(config)
+        fast.process_trace(trace)
+
+        slow = InstaMeasure(config)
+        rng = np.random.default_rng(config.seed ^ 0xB17)
+        bits1 = rng.integers(0, 8, size=trace.num_packets)
+        bits2 = rng.integers(0, 8, size=trace.num_packets)
+        keys = trace.flows.key64
+        for p in range(trace.num_packets):
+            slow.process_packet(
+                int(keys[trace.flow_ids[p]]),
+                int(trace.sizes[p]),
+                float(trace.timestamps[p]),
+                bit1=int(bits1[p]),
+                bit2=int(bits2[p]),
+            )
+
+        assert fast.regulator.l1.words == slow.regulator.l1.words
+        for bank_fast, bank_slow in zip(fast.regulator.l2, slow.regulator.l2):
+            assert bank_fast.words == bank_slow.words
+        assert fast.wsaf.estimates() == slow.wsaf.estimates()
+        assert fast.regulator.stats.packets == slow.regulator.stats.packets
+        assert fast.regulator.stats.insertions == slow.regulator.stats.insertions
+        assert (
+            fast.regulator.stats.l1_saturations
+            == slow.regulator.stats.l1_saturations
+        )
+        for bank_fast, bank_slow in zip(fast.regulator.l2, slow.regulator.l2):
+            assert bank_fast.packets_encoded == bank_slow.packets_encoded
+            assert bank_fast.saturations == bank_slow.saturations
+
+
+class TestRotation:
+    def test_rotate_snapshots_and_expires(self, trace):
+        engine = InstaMeasure(_small_config(gc_timeout=5.0))
+        first_half = trace.time_slice(0.0, 10.0)
+        second_half = trace.time_slice(10.0, 1e9)
+        engine.process_trace(first_half)
+        populated = len(engine.wsaf)
+        snapshot = engine.rotate(now=float(trace.timestamps[-1]) + 100.0)
+        assert len(snapshot) == populated
+        assert len(engine.wsaf) == 0  # everything was idle past the timeout
+        assert engine.regulator.stats.packets == 0
+        # The engine keeps measuring across the rotation.
+        result = engine.process_trace(second_half)
+        assert result.packets == second_half.num_packets
+
+    def test_rotation_preserves_retained_counts(self, trace):
+        """Sketch contents survive rotation, so a flow straddling the
+        boundary loses nothing relative to an unrotated run."""
+        half_time = float(trace.timestamps[0]) + 10.0
+        split_a = trace.time_slice(0.0, half_time)
+        split_b = trace.time_slice(half_time, 1e9)
+
+        rotated = InstaMeasure(_small_config())
+        rotated.process_trace(split_a)
+        rotated.rotate(now=half_time, wsaf_timeout=None)
+        rotated.process_trace(split_b)
+        est_rotated, _ = rotated.estimates_for(trace)
+
+        plain = InstaMeasure(_small_config())
+        plain.process_trace(trace)
+        est_plain, _ = plain.estimates_for(trace)
+
+        # Each process_trace call draws its own randomness stream, so the
+        # two runs differ in noise; the claim is that rotation costs no
+        # systematic accuracy: both runs track ground truth equally well.
+        truth = trace.ground_truth_packets().astype(float)
+        big = truth >= 2000
+        err_rotated = np.abs(est_rotated[big] - truth[big]) / truth[big]
+        err_plain = np.abs(est_plain[big] - truth[big]) / truth[big]
+        assert err_rotated.mean() < 0.12
+        assert err_rotated.mean() < err_plain.mean() + 0.05
+
+    def test_rotate_uses_explicit_timeout(self, trace):
+        engine = InstaMeasure(_small_config())
+        engine.process_trace(trace.time_slice(0.0, 5.0))
+        before = len(engine.wsaf)
+        engine.rotate(now=1e9, wsaf_timeout=1e12)  # nothing is old enough
+        assert len(engine.wsaf) == before
+
+
+class TestMemoryScaling:
+    def test_more_memory_improves_accuracy(self):
+        """Fig 10: error decreases as L1 memory grows (denser sharing hurts)."""
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=20_000, duration=20.0, seed=23)
+        )
+        truth = trace.ground_truth_packets().astype(float)
+        big = truth >= 1000
+        errors = {}
+        for l1_bytes in (512, 16 * 1024):
+            engine = InstaMeasure(_small_config(l1_memory_bytes=l1_bytes))
+            engine.process_trace(trace)
+            est, _ = engine.estimates_for(trace)
+            errors[l1_bytes] = np.abs(est[big] - truth[big]) / truth[big]
+        assert errors[16 * 1024].mean() < errors[512].mean()

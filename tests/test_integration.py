@@ -1,0 +1,155 @@
+"""End-to-end integration tests across package boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import standard_error, traffic_share_curve
+from repro.core import (
+    InstaMeasure,
+    InstaMeasureConfig,
+    MultiCoreInstaMeasure,
+)
+from repro.detection import (
+    HeavyHitterDetector,
+    classify_detections,
+    ground_truth_heavy_hitters,
+    keys_to_flow_indices,
+    topk_recall,
+)
+from repro.simulate import MirrorPort
+from repro.traffic import (
+    AttackConfig,
+    CaidaLikeConfig,
+    build_caida_like_trace,
+    inject_attack_flows,
+    load_trace,
+    save_trace,
+)
+
+
+def _config(**overrides):
+    defaults = dict(l1_memory_bytes=8192, wsaf_entries=1 << 14, seed=0)
+    defaults.update(overrides)
+    return InstaMeasureConfig(**defaults)
+
+
+class TestFullPipeline:
+    def test_save_load_measure_detect(self, tmp_path):
+        """gen → persist → reload → measure → detect → score."""
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=4000, duration=15.0, seed=101)
+        )
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        reloaded = load_trace(path)
+
+        detector = HeavyHitterDetector(threshold_packets=1000)
+        engine = InstaMeasure(_config())
+        engine.process_trace(reloaded, on_accumulate=detector.on_accumulate)
+
+        truth_hh, _ = ground_truth_heavy_hitters(reloaded, threshold_packets=1000)
+        detected = keys_to_flow_indices(reloaded, set(detector.packet_detections))
+        outcome = classify_detections(detected, truth_hh, reloaded.num_flows)
+        assert outcome.recall > 0.8
+        assert outcome.false_positive_rate < 0.01
+
+    def test_runs_are_deterministic(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=2000, duration=8.0, seed=102)
+        )
+        estimates = []
+        for _ in range(2):
+            engine = InstaMeasure(_config(seed=5))
+            engine.process_trace(trace)
+            est, _ = engine.estimates_for(trace)
+            estimates.append(est)
+        assert np.array_equal(estimates[0], estimates[1])
+
+    def test_mirror_then_multicore_then_topk(self):
+        """The campus-style chain with a multi-core engine."""
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=5000, duration=15.0, seed=103)
+        )
+        port = MirrorPort(capacity_bps=100e6, buffer_bytes=1 << 20)
+        delivered, _stats = port.apply(trace)
+
+        system = MultiCoreInstaMeasure(3, _config())
+        result = system.process_trace(delivered)
+        assert result.packets == delivered.num_packets
+
+        est, _ = system.estimates_for(delivered)
+        truth = delivered.ground_truth_packets().astype(float)
+        assert topk_recall(est, truth, 20) >= 0.8
+
+    def test_attack_injection_end_to_end(self):
+        background = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=2000, duration=6.0, seed=104)
+        )
+        attacked, injected = inject_attack_flows(
+            background,
+            AttackConfig(rates_pps=[20_000.0], duration=2.0, start_time=1.0),
+        )
+        detector = HeavyHitterDetector(threshold_packets=2000)
+        engine = InstaMeasure(_config())
+        engine.process_trace(attacked, on_accumulate=detector.on_accumulate)
+        attack_key = int(attacked.flows.key64[injected[0]])
+        assert attack_key in detector.packet_detections
+
+    def test_metrics_compose_over_pipeline(self):
+        """Analysis utilities operate cleanly on engine output."""
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=3000, duration=10.0, seed=105)
+        )
+        engine = InstaMeasure(_config())
+        engine.process_trace(trace)
+        est, _ = engine.estimates_for(trace)
+        truth = trace.ground_truth_packets().astype(float)
+
+        big = truth >= 1000
+        assert standard_error(est[big], truth[big]) < 0.15
+        (top_share,) = traffic_share_curve(truth, [0.01])
+        assert top_share > 0.3
+
+
+class TestCrossComponentConsistency:
+    def test_insertion_counters_agree_everywhere(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=2500, duration=8.0, seed=106)
+        )
+        events = []
+        engine = InstaMeasure(_config())
+        result = engine.process_trace(
+            trace, on_accumulate=lambda k, p, b, t: events.append(k)
+        )
+        assert len(events) == result.insertions
+        assert result.insertions == result.regulator_stats.insertions
+        assert (
+            engine.wsaf.insertions + engine.wsaf.updates + engine.wsaf.rejected
+            == result.insertions
+        )
+        assert engine.regulator.l1.saturations == result.regulator_stats.l1_saturations
+
+    def test_l2_bank_totals_match_l1_saturations(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=2500, duration=8.0, seed=107)
+        )
+        engine = InstaMeasure(_config())
+        result = engine.process_trace(trace)
+        l2_encoded = sum(bank.packets_encoded for bank in engine.regulator.l2)
+        assert l2_encoded == result.regulator_stats.l1_saturations
+        l2_saturated = sum(bank.saturations for bank in engine.regulator.l2)
+        assert l2_saturated == result.insertions
+
+    def test_byte_estimates_scale_with_packet_estimates(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=2500, duration=8.0, seed=108)
+        )
+        engine = InstaMeasure(_config())
+        engine.process_trace(trace)
+        est_packets, est_bytes = engine.estimates_for(trace)
+        visible = est_packets > 0
+        mean_size = est_bytes[visible] / est_packets[visible]
+        # Implied packet sizes stay within wire bounds.
+        assert mean_size.min() >= 40
+        assert mean_size.max() <= 1514

@@ -1,0 +1,78 @@
+"""Tests for the detection-latency experiment (Fig 9(b))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InstaMeasureConfig
+from repro.detection import DelegationModel, detection_latency_experiment
+from repro.errors import ConfigurationError
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def background():
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=1500, duration=4.0, seed=61)
+    )
+
+
+def _run(background, rates, threshold=200):
+    return detection_latency_experiment(
+        background,
+        rates_pps=rates,
+        threshold_packets=threshold,
+        engine_config=InstaMeasureConfig(l1_memory_bytes=8192, wsaf_entries=1 << 14),
+        attack_duration=2.0,
+        attack_start=0.5,
+    )
+
+
+class TestDelegationModel:
+    def test_detection_after_epoch_plus_delay(self):
+        model = DelegationModel(epoch_seconds=0.01, network_delay_seconds=0.02)
+        assert model.detection_time(0.005) == pytest.approx(0.03)
+        assert model.detection_time(0.012) == pytest.approx(0.04)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DelegationModel(epoch_seconds=0.0)
+
+
+class TestLatencyExperiment:
+    def test_latency_decreases_with_rate(self, background):
+        """Fig 9(b): faster attackers are caught sooner."""
+        samples = _run(background, [2_000.0, 50_000.0])
+        assert len(samples) == 2
+        slow, fast = samples
+        assert slow.saturation_latency is not None
+        assert fast.saturation_latency is not None
+        assert fast.saturation_latency < slow.saturation_latency
+
+    def test_latency_magnitude_matches_retention(self, background):
+        """Lag ≈ retention capacity / rate (≈95 pkts / 10 kpps ≈ 10 ms)."""
+        samples = _run(background, [10_000.0])
+        (sample,) = samples
+        assert sample.saturation_latency is not None
+        # Overestimation noise can cross the threshold marginally early, so
+        # the lag may dip just below zero; it must stay within ±1 retention
+        # quantum (≈95 pkts / 10 kpps ≈ 10 ms).
+        assert -0.012 < sample.saturation_latency < 0.05
+
+    def test_saturation_beats_delegation(self, background):
+        """Section II: saturation-based decoding is substantially faster."""
+        samples = _run(background, [50_000.0])
+        (sample,) = samples
+        assert sample.saturation_latency is not None
+        assert sample.saturation_latency < sample.delegation_latency
+
+    def test_sub_threshold_rate_skipped(self, background):
+        # 10 pps for 2 s = 20 packets < threshold 200: no crossing.
+        samples = _run(background, [10.0])
+        assert samples == []
+
+    def test_invalid_inputs(self, background):
+        with pytest.raises(ConfigurationError):
+            detection_latency_experiment(background, [], threshold_packets=10)
+        with pytest.raises(ConfigurationError):
+            detection_latency_experiment(background, [1000.0], threshold_packets=0)

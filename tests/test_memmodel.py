@@ -1,0 +1,87 @@
+"""Tests for the memory-technology model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memmodel import (
+    DRAM,
+    SRAM,
+    TCAM,
+    AccessAccountant,
+    MemoryTechnology,
+    ips_margin,
+    sustainable_ips,
+    technology_by_name,
+)
+
+
+class TestTechnology:
+    def test_paper_speed_ratio_holds(self):
+        # Section II: "SRAM is 10-20 times faster than DRAM".
+        assert 10.0 <= SRAM.speed_ratio(DRAM) <= 20.0
+
+    def test_tcam_fastest(self):
+        assert TCAM.access_ns < SRAM.access_ns < DRAM.access_ns
+
+    def test_dram_cheapest_per_mb(self):
+        assert DRAM.cost_per_mb_usd < SRAM.cost_per_mb_usd < TCAM.cost_per_mb_usd
+
+    def test_lookup_by_name(self):
+        assert technology_by_name("dram") is DRAM
+        assert technology_by_name("SRAM") is SRAM
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            technology_by_name("hbm")
+
+    def test_invalid_technology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTechnology("bad", access_ns=0.0, cost_per_mb_usd=1.0, typical_capacity_mb=1.0)
+
+    def test_accesses_per_second(self):
+        assert DRAM.accesses_per_second() == pytest.approx(1e9 / DRAM.access_ns)
+
+
+class TestMargins:
+    def test_sustainable_ips_scales_with_probe_cost(self):
+        assert sustainable_ips(DRAM, 4.0) == pytest.approx(sustainable_ips(DRAM, 2.0) / 2)
+
+    def test_insertion_needs_an_access(self):
+        with pytest.raises(ConfigurationError):
+            sustainable_ips(DRAM, 0.5)
+
+    def test_margin_at_line_rate(self):
+        # At ~100 Mpps line rate, the DRAM margin is in the paper's 5-10 % band.
+        margin = ips_margin(DRAM, 100e6, accesses_per_insertion=2.0)
+        assert 0.05 <= margin <= 0.10
+
+    def test_sram_margin_larger(self):
+        assert ips_margin(SRAM, 1e6) > ips_margin(DRAM, 1e6)
+
+    def test_margin_rejects_bad_pps(self):
+        with pytest.raises(ConfigurationError):
+            ips_margin(DRAM, 0.0)
+
+
+class TestAccessAccountant:
+    def test_counts_and_time(self):
+        accountant = AccessAccountant(DRAM)
+        accountant.record("sketch", reads=3, writes=1)
+        accountant.record("wsaf", reads=2)
+        assert accountant.total_accesses == 6
+        assert accountant.modelled_seconds() == pytest.approx(6 * 60e-9)
+        assert accountant.by_label() == {"sketch": 4, "wsaf": 2}
+
+    def test_zero_record_not_labelled(self):
+        accountant = AccessAccountant(SRAM)
+        accountant.record("noop")
+        assert accountant.by_label() == {}
+
+    def test_reset(self):
+        accountant = AccessAccountant(DRAM)
+        accountant.record("x", reads=5)
+        accountant.reset()
+        assert accountant.total_accesses == 0
+        assert accountant.by_label() == {}

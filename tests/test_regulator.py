@@ -1,0 +1,163 @@
+"""Tests for the two-layer FlowRegulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FlowRegulator
+from repro.core.regulator import required_l1_bytes
+from repro.errors import ConfigurationError
+
+
+def _drive_single_flow(regulator, packets, key=42, seed=0):
+    """Push ``packets`` packets of one flow; return summed WSAF estimates."""
+    rng = np.random.default_rng(seed)
+    b = regulator.vector_bits
+    total = 0.0
+    outputs = 0
+    for _ in range(packets):
+        est = regulator.process(key, int(rng.integers(b)), int(rng.integers(b)))
+        if est is not None:
+            total += est
+            outputs += 1
+    return total, outputs
+
+
+class TestGeometry:
+    def test_paper_memory_multiplier(self):
+        # 8-bit vectors → 3 noise levels → 1 L1 + 3 L2 = 4 banks:
+        # "when we use a 32KB L1 counter, the total size is 128KB".
+        regulator = FlowRegulator(32 * 1024, vector_bits=8)
+        assert regulator.total_memory_bytes == 128 * 1024
+
+    def test_l2_bank_count_matches_noise_levels(self):
+        regulator = FlowRegulator(1024, vector_bits=8)
+        assert len(regulator.l2) == regulator.l1.noise_levels == 3
+
+    def test_retention_capacity_is_multiplicative(self):
+        # ≈ 9.7² ≈ 95 — "up to around 100 packets for a single flow".
+        regulator = FlowRegulator(1024, vector_bits=8)
+        assert 90.0 <= regulator.retention_capacity <= 100.0
+
+    def test_layers_share_placement(self):
+        regulator = FlowRegulator(1024, seed=5)
+        idx, offset = regulator.place(99)
+        for sketch in regulator.l2:
+            assert sketch.place(99) == (idx, offset)
+
+    def test_required_l1_bytes_inverse(self):
+        assert required_l1_bytes(128 * 1024, vector_bits=8) == 32 * 1024
+
+    def test_required_l1_bytes_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            required_l1_bytes(2, vector_bits=8)
+
+
+class TestRegulation:
+    def test_single_flow_output_rate_near_capacity_inverse(self):
+        regulator = FlowRegulator(64, vector_bits=8, seed=1)
+        packets = 100_000
+        _total, outputs = _drive_single_flow(regulator, packets, seed=1)
+        expected = packets / regulator.retention_capacity
+        assert outputs == pytest.approx(expected, rel=0.2)
+
+    def test_regulation_rate_is_order_of_magnitude_below_rcc(self):
+        # The core claim: FR's output rate ≈ RCC's ÷ retention of L1.
+        regulator = FlowRegulator(64, vector_bits=8, seed=2)
+        _drive_single_flow(regulator, 100_000, seed=2)
+        stats = regulator.stats
+        assert stats.regulation_rate < stats.l1_saturation_rate / 5
+
+    def test_estimate_accuracy_single_flow(self):
+        regulator = FlowRegulator(64, vector_bits=8, seed=3)
+        packets = 200_000
+        total, _outputs = _drive_single_flow(regulator, packets, seed=3)
+        residual = regulator.residual_estimate(42)
+        assert total + residual == pytest.approx(packets, rel=0.1)
+
+    def test_mice_flow_never_reaches_wsaf(self):
+        # A 5-packet flow stays retained (probabilistically certain for a
+        # fresh sketch: L1 cannot saturate before 6 set bits).
+        regulator = FlowRegulator(64, vector_bits=8, seed=4)
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            est = regulator.process(7, int(rng.integers(8)), int(rng.integers(8)))
+            assert est is None
+
+    def test_stats_count_packets(self):
+        regulator = FlowRegulator(64, seed=5)
+        _drive_single_flow(regulator, 1000, seed=5)
+        assert regulator.stats.packets == 1000
+
+    def test_reset_clears_state(self):
+        regulator = FlowRegulator(64, seed=6)
+        _drive_single_flow(regulator, 1000, seed=6)
+        regulator.reset()
+        assert regulator.stats.packets == 0
+        assert regulator.residual_estimate(42) == 0.0
+
+    def test_empty_stats_rates_are_zero(self):
+        regulator = FlowRegulator(64)
+        assert regulator.stats.regulation_rate == 0.0
+        assert regulator.stats.l1_saturation_rate == 0.0
+
+
+class TestResidual:
+    def test_residual_zero_for_unseen_flow(self):
+        regulator = FlowRegulator(1024, seed=7)
+        assert regulator.residual_estimate(123) == 0.0
+
+    def test_residual_counts_l1_fill(self):
+        regulator = FlowRegulator(1024, seed=8)
+        regulator.process(9, 0, 0)
+        assert regulator.residual_estimate(9) == pytest.approx(1.0)
+
+    def test_residual_includes_l2(self):
+        regulator = FlowRegulator(64, vector_bits=8, seed=9)
+        rng = np.random.default_rng(9)
+        # Drive until at least one L1 saturation lands a bit in L2.
+        for _ in range(200):
+            regulator.process(5, int(rng.integers(8)), int(rng.integers(8)))
+            if regulator.stats.l1_saturations:
+                break
+        assert regulator.stats.l1_saturations > 0
+        assert regulator.residual_estimate(5) > regulator.l1.partial_estimate(5) - 1e-9
+
+
+class TestTwoLayerAccuracyCost:
+    def test_two_layer_noisier_than_single_for_same_total_bits(self):
+        """Fig 8(c): FR pays a small accuracy penalty vs RCC.
+
+        Measured as relative RMS error of accumulated estimates of a single
+        flow over repeated runs.
+        """
+        from repro.core import RCCSketch
+
+        packets = 20_000
+        errors_fr = []
+        errors_rcc = []
+        for seed in range(5):
+            rng = np.random.default_rng(100 + seed)
+            regulator = FlowRegulator(64, vector_bits=8, seed=seed)
+            total = 0.0
+            for _ in range(packets):
+                est = regulator.process(1, int(rng.integers(8)), int(rng.integers(8)))
+                if est is not None:
+                    total += est
+            total += regulator.residual_estimate(1)
+            errors_fr.append(abs(total - packets) / packets)
+
+            rng = np.random.default_rng(200 + seed)
+            sketch = RCCSketch(128, vector_bits=16, word_bits=32, seed=seed)
+            total = 0.0
+            for _ in range(packets):
+                noise = sketch.encode(1, int(rng.integers(16)))
+                if noise is not None:
+                    total += sketch.decode(noise)
+            total += sketch.partial_estimate(1)
+            errors_rcc.append(abs(total - packets) / packets)
+
+        # Both are accurate; the two-layer design may cost a little more.
+        assert np.mean(errors_fr) < 0.1
+        assert np.mean(errors_rcc) < 0.1

@@ -1,0 +1,143 @@
+"""Tests for trace replay utilities and WSAF lifecycle views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import WSAFTable
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    CaidaLikeConfig,
+    build_caida_like_trace,
+    loop,
+    restrict_flows,
+    scale_rate,
+    thin,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=1000, duration=10.0, seed=151)
+    )
+
+
+class TestScaleRate:
+    def test_doubling_rate_halves_duration(self, trace):
+        fast = scale_rate(trace, 2.0)
+        assert fast.duration == pytest.approx(trace.duration / 2)
+        assert fast.mean_pps() == pytest.approx(2 * trace.mean_pps(), rel=1e-6)
+
+    def test_counts_unchanged(self, trace):
+        fast = scale_rate(trace, 5.0)
+        assert np.array_equal(
+            fast.ground_truth_packets(), trace.ground_truth_packets()
+        )
+
+    def test_slowdown(self, trace):
+        slow = scale_rate(trace, 0.5)
+        assert slow.duration == pytest.approx(2 * trace.duration)
+
+    def test_invalid_factor(self, trace):
+        with pytest.raises(ConfigurationError):
+            scale_rate(trace, 0.0)
+
+
+class TestThin:
+    def test_expected_fraction_kept(self, trace):
+        thinned = thin(trace, 0.25, seed=1)
+        assert thinned.num_packets == pytest.approx(
+            0.25 * trace.num_packets, rel=0.05
+        )
+
+    def test_keep_all_is_identity(self, trace):
+        assert thin(trace, 1.0) is trace
+
+    def test_scaled_estimates_unbiased(self, trace):
+        thinned = thin(trace, 0.5, seed=2)
+        truth = trace.ground_truth_packets().astype(float)
+        scaled = thinned.ground_truth_packets().astype(float) / 0.5
+        big = truth >= 500
+        assert np.abs(scaled[big] - truth[big]).max() / truth[big].min() < 0.5
+        assert scaled[big].mean() == pytest.approx(truth[big].mean(), rel=0.1)
+
+    def test_invalid_probability(self, trace):
+        with pytest.raises(ConfigurationError):
+            thin(trace, 0.0)
+
+
+class TestLoop:
+    def test_repetition_counts(self, trace):
+        tripled = loop(trace, 3, gap_seconds=1.0)
+        assert tripled.num_packets == 3 * trace.num_packets
+        assert np.array_equal(
+            tripled.ground_truth_packets(), 3 * trace.ground_truth_packets()
+        )
+        assert np.all(np.diff(tripled.timestamps) >= 0)
+
+    def test_single_repetition_is_identity(self, trace):
+        assert loop(trace, 1) is trace
+
+    def test_invalid_args(self, trace):
+        with pytest.raises(ConfigurationError):
+            loop(trace, 0)
+        with pytest.raises(ConfigurationError):
+            loop(trace, 2, gap_seconds=-1.0)
+
+
+class TestRestrictFlows:
+    def test_keeps_only_selected(self, trace):
+        truth = trace.ground_truth_packets()
+        top = np.argsort(-truth)[:5].tolist()
+        sub = restrict_flows(trace, top)
+        assert sub.num_flows == 5
+        assert sorted(sub.ground_truth_packets()) == sorted(truth[top])
+        assert sub.num_packets == truth[top].sum()
+
+    def test_keys_preserved(self, trace):
+        sub = restrict_flows(trace, [3, 7])
+        assert set(map(int, sub.flows.key64)) == {
+            int(trace.flows.key64[3]),
+            int(trace.flows.key64[7]),
+        }
+
+    def test_invalid_selection(self, trace):
+        with pytest.raises(ConfigurationError):
+            restrict_flows(trace, [])
+        with pytest.raises(ConfigurationError):
+            restrict_flows(trace, [10**9])
+
+
+class TestWSAFLifecycle:
+    def _populated(self):
+        table = WSAFTable(num_entries=64)
+        table.accumulate(1, 10.0, 0.0, 100.0)
+        table.accumulate(2, 20.0, 0.0, 200.0)
+        table.accumulate(3, 30.0, 0.0, 300.0)
+        return table
+
+    def test_expire_older_than(self):
+        table = self._populated()
+        reclaimed = table.expire_older_than(250.0)
+        assert reclaimed == 2
+        assert table.lookup(3) is not None
+        assert table.lookup(1) is None
+        assert len(table) == 1
+        assert table.gc_reclaimed == 2
+
+    def test_expire_nothing(self):
+        table = self._populated()
+        assert table.expire_older_than(50.0) == 0
+        assert len(table) == 3
+
+    def test_active_entries_window(self):
+        table = self._populated()
+        active = {entry.key for entry in table.active_entries(now=310.0, window=120.0)}
+        assert active == {2, 3}
+
+    def test_active_entries_rejects_bad_window(self):
+        table = self._populated()
+        with pytest.raises(ConfigurationError):
+            list(table.active_entries(now=0.0, window=0.0))

@@ -1,0 +1,174 @@
+"""Tests for the cost model, mirror port, and queue simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InstaMeasureConfig, MultiCoreInstaMeasure
+from repro.errors import ConfigurationError
+from repro.simulate import CycleCostModel, MirrorPort, simulate_queues
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+class TestCycleCostModel:
+    def test_defaults_calibrated_to_paper_single_core(self):
+        """Fig 9(a): one core processes ≈18.88 Mpps on the CAIDA mix."""
+        model = CycleCostModel()
+        # Measured CAIDA-like rates: ~10 % L1 saturation, ~1 % insertion.
+        pps = model.single_core_pps(0.10, 0.01)
+        assert 15e6 <= pps <= 23e6
+
+    def test_regulated_pipeline_faster_than_unregulated(self):
+        # If every packet hit the WSAF (ips = pps), the core would be far
+        # slower — the quantitative version of the paper's motivation.
+        model = CycleCostModel()
+        regulated = model.single_core_pps(0.10, 0.01)
+        unregulated = model.single_core_pps(1.0, 1.0)
+        assert regulated > 2 * unregulated
+
+    def test_multicore_monotone_and_sublinear(self):
+        model = CycleCostModel()
+        rates = [
+            model.multicore_pps(w, max_load_share=1.0 / w * 1.3 if w > 1 else 1.0,
+                                l1_saturation_rate=0.10, regulation_rate=0.01)
+            for w in (1, 2, 3, 4)
+        ]
+        assert rates == sorted(rates)
+        single = rates[0]
+        assert rates[3] < 4 * single  # sublinear
+        assert rates[3] > 1.5 * single  # but it does scale
+
+    def test_perfect_balance_beats_skewed(self):
+        model = CycleCostModel()
+        balanced = model.multicore_pps(4, 0.25, 0.1, 0.01)
+        skewed = model.multicore_pps(4, 0.40, 0.1, 0.01)
+        assert balanced > skewed
+
+    def test_input_validation(self):
+        model = CycleCostModel()
+        with pytest.raises(ConfigurationError):
+            model.packet_cost_ns(0.01, 0.10)  # regulation > saturation
+        with pytest.raises(ConfigurationError):
+            model.multicore_pps(0, 1.0, 0.1, 0.01)
+        with pytest.raises(ConfigurationError):
+            model.multicore_pps(4, 0.1, 0.1, 0.01)  # share below 1/W
+        with pytest.raises(ConfigurationError):
+            CycleCostModel(parse_ns=0.0)
+
+    def test_utilization_clamped(self):
+        model = CycleCostModel()
+        assert model.utilization(1e12, 0.1, 0.01) == 1.0
+        assert model.utilization(0.0, 0.1, 0.01) == 0.0
+
+    def test_utilization_linear_in_offered_load(self):
+        model = CycleCostModel()
+        low = model.utilization(1e6, 0.1, 0.01)
+        high = model.utilization(2e6, 0.1, 0.01)
+        assert high == pytest.approx(2 * low)
+
+
+class TestMirrorPort:
+    def test_unconstrained_port_drops_nothing(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=500, duration=5.0, seed=41)
+        )
+        port = MirrorPort(capacity_bps=1e12)
+        delivered, stats = port.apply(trace)
+        assert stats.dropped_packets == 0
+        assert delivered.num_packets == trace.num_packets
+
+    def test_tight_port_drops(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=2000, duration=2.0, seed=42)
+        )
+        # Offered load far above a 1 Mbps port.
+        port = MirrorPort(capacity_bps=1e6, buffer_bytes=10_000)
+        delivered, stats = port.apply(trace)
+        assert stats.dropped_packets > 0
+        assert 0.0 < stats.drop_rate < 1.0
+        assert delivered.num_packets == stats.delivered_packets
+
+    def test_delivered_rate_respects_capacity(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=2000, duration=2.0, seed=43)
+        )
+        capacity = 20e6  # 20 Mbps
+        port = MirrorPort(capacity_bps=capacity, buffer_bytes=64 * 1024)
+        delivered, _stats = port.apply(trace)
+        delivered_bps = delivered.total_bytes * 8 / max(delivered.duration, 1e-9)
+        assert delivered_bps <= capacity * 1.2  # buffer allows a small burst
+
+    def test_empty_trace(self):
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=10, duration=1.0, seed=44)
+        ).time_slice(100.0, 200.0)
+        port = MirrorPort(capacity_bps=1e9)
+        delivered, stats = port.apply(trace)
+        assert delivered.num_packets == 0 and stats.offered_packets == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            MirrorPort(capacity_bps=0)
+        with pytest.raises(ConfigurationError):
+            MirrorPort(capacity_bps=1e9, buffer_bytes=0)
+
+
+class TestQueueSimulation:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return build_caida_like_trace(
+            CaidaLikeConfig(num_flows=3000, duration=20.0, seed=45)
+        )
+
+    def test_offered_conserves_packets(self, trace):
+        system = MultiCoreInstaMeasure(
+            4, InstaMeasureConfig(l1_memory_bytes=1024, wsaf_entries=1 << 12)
+        )
+        assignment = system.dispatch(trace)
+        series = simulate_queues(trace, assignment, 4, service_pps=1e6, bucket_seconds=1.0)
+        assert series.offered.sum() == trace.num_packets
+
+    def test_fast_service_keeps_queues_empty(self, trace):
+        assignment = np.zeros(trace.num_packets, dtype=np.int64)
+        series = simulate_queues(trace, assignment, 1, service_pps=1e9, bucket_seconds=1.0)
+        assert series.peak_queue_depth() == 0.0
+        assert series.peak_utilization() < 0.01
+
+    def test_slow_service_builds_backlog(self, trace):
+        assignment = np.zeros(trace.num_packets, dtype=np.int64)
+        mean_pps = trace.mean_pps()
+        series = simulate_queues(
+            trace, assignment, 1, service_pps=mean_pps / 10, bucket_seconds=1.0
+        )
+        assert series.peak_queue_depth() > 0
+        assert series.peak_utilization() == 1.0
+
+    def test_utilization_tracks_traffic_shape(self, trace):
+        assignment = np.zeros(trace.num_packets, dtype=np.int64)
+        series = simulate_queues(
+            trace, assignment, 1, service_pps=trace.mean_pps() * 5, bucket_seconds=1.0
+        )
+        # Utilization correlates with offered load when never saturated.
+        offered = series.offered[0]
+        utilization = series.utilization[0]
+        assert np.corrcoef(offered, utilization)[0, 1] > 0.99
+
+    def test_mismatched_assignment_rejected(self, trace):
+        with pytest.raises(ConfigurationError):
+            simulate_queues(trace, np.zeros(3), 1, 1e6, 1.0)
+
+    def test_mean_wait_zero_when_uncongested(self, trace):
+        assignment = np.zeros(trace.num_packets, dtype=np.int64)
+        series = simulate_queues(trace, assignment, 1, service_pps=1e9,
+                                 bucket_seconds=1.0)
+        assert series.mean_wait_seconds(1.0) == 0.0
+
+    def test_mean_wait_grows_with_congestion(self, trace):
+        assignment = np.zeros(trace.num_packets, dtype=np.int64)
+        mean_pps = trace.mean_pps()
+        mild = simulate_queues(trace, assignment, 1, service_pps=mean_pps * 1.2,
+                               bucket_seconds=1.0)
+        severe = simulate_queues(trace, assignment, 1, service_pps=mean_pps * 0.5,
+                                 bucket_seconds=1.0)
+        assert severe.mean_wait_seconds(1.0) > mild.mean_wait_seconds(1.0)

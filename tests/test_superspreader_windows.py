@@ -1,0 +1,142 @@
+"""Tests for superspreader detection and windowed measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InstaMeasure, InstaMeasureConfig, WSAFTable
+from repro.detection import (
+    detect_superspreaders,
+    fanout_by_source,
+    ground_truth_fanout,
+    windowed_topk_recall,
+)
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    CaidaLikeConfig,
+    FiveTuple,
+    FlowTable,
+    build_caida_like_trace,
+)
+from repro.traffic.packet import Trace
+
+
+def _scanner_trace(num_targets=50, packets_per_flow=120, seed=0):
+    """One source scanning many destinations, with enough packets per flow
+    to leak through the regulator, plus some background flows."""
+    rng = np.random.default_rng(seed)
+    tuples = [
+        FiveTuple(0x0A0A0A0A, 0xC0000000 + t, 1000 + t, 80, 6)
+        for t in range(num_targets)
+    ]
+    tuples += [
+        FiveTuple(int(rng.integers(1 << 32)), int(rng.integers(1 << 32)),
+                  int(rng.integers(1024, 1 << 16)), 443, 6)
+        for _ in range(100)
+    ]
+    flows = FlowTable.from_five_tuples(tuples)
+    sizes = [packets_per_flow] * num_targets + [3] * 100
+    flow_ids = np.repeat(np.arange(len(tuples)), sizes)
+    timestamps = np.sort(rng.random(len(flow_ids)) * 10.0)
+    return Trace(
+        timestamps=timestamps,
+        flow_ids=flow_ids,
+        sizes=np.full(len(flow_ids), 300, dtype=np.int64),
+        flows=flows,
+    )
+
+
+class TestSuperspreader:
+    def test_ground_truth_fanout(self):
+        trace = _scanner_trace(num_targets=40)
+        fanout = ground_truth_fanout(trace)
+        assert fanout[0x0A0A0A0A] == 40
+
+    def test_scanner_visible_in_wsaf(self):
+        trace = _scanner_trace(num_targets=50, packets_per_flow=150)
+        engine = InstaMeasure(
+            InstaMeasureConfig(l1_memory_bytes=4096, wsaf_entries=1 << 12)
+        )
+        engine.process_trace(trace)
+        fanout = fanout_by_source(engine.wsaf)
+        # Flows of 150 packets exceed the ~95-packet retention quantum, so
+        # most of the scan's flows surface in the WSAF.
+        assert fanout.get(0x0A0A0A0A, 0) >= 25
+
+    def test_detect_threshold(self):
+        trace = _scanner_trace(num_targets=50, packets_per_flow=150)
+        engine = InstaMeasure(
+            InstaMeasureConfig(l1_memory_bytes=4096, wsaf_entries=1 << 12)
+        )
+        engine.process_trace(trace)
+        spreaders = detect_superspreaders(engine.wsaf, min_destinations=20)
+        assert set(spreaders) == {0x0A0A0A0A}
+
+    def test_background_sources_not_flagged(self):
+        trace = _scanner_trace()
+        engine = InstaMeasure(
+            InstaMeasureConfig(l1_memory_bytes=4096, wsaf_entries=1 << 12)
+        )
+        engine.process_trace(trace)
+        spreaders = detect_superspreaders(engine.wsaf, min_destinations=5)
+        assert all(src == 0x0A0A0A0A for src in spreaders)
+
+    def test_entries_without_tuples_skipped(self):
+        table = WSAFTable(num_entries=16)
+        table.accumulate(1, 10.0, 0.0, 0.0)  # no 5-tuple stored
+        assert fanout_by_source(table) == {}
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            detect_superspreaders(WSAFTable(num_entries=16), min_destinations=0)
+
+
+class TestWindowedMeasurement:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return build_caida_like_trace(
+            CaidaLikeConfig(num_flows=4000, duration=20.0, seed=81)
+        )
+
+    def test_snapshot_count_and_monotone_packets(self, trace):
+        snapshots = windowed_topk_recall(
+            trace,
+            window_seconds=5.0,
+            ks=[10],
+            config=InstaMeasureConfig(l1_memory_bytes=4096, wsaf_entries=1 << 14),
+        )
+        assert 4 <= len(snapshots) <= 5
+        counts = [snap.packets_so_far for snap in snapshots]
+        assert counts == sorted(counts)
+        assert counts[-1] == trace.num_packets
+
+    def test_recall_reasonable_at_every_boundary(self, trace):
+        snapshots = windowed_topk_recall(
+            trace,
+            window_seconds=5.0,
+            ks=[10, 50],
+            config=InstaMeasureConfig(l1_memory_bytes=8192, wsaf_entries=1 << 14),
+        )
+        for snap in snapshots:
+            assert snap.recalls[10] >= 0.6
+            assert 0.0 <= snap.recalls[50] <= 1.0
+
+    def test_wsaf_population_grows(self, trace):
+        snapshots = windowed_topk_recall(
+            trace,
+            window_seconds=5.0,
+            ks=[10],
+            config=InstaMeasureConfig(l1_memory_bytes=4096, wsaf_entries=1 << 14),
+        )
+        assert snapshots[-1].wsaf_flows >= snapshots[0].wsaf_flows
+
+    def test_empty_trace(self, trace):
+        empty = trace.time_slice(1e9, 2e9)
+        assert windowed_topk_recall(empty, 5.0, [10]) == []
+
+    def test_invalid_inputs(self, trace):
+        with pytest.raises(ConfigurationError):
+            windowed_topk_recall(trace, 0.0, [10])
+        with pytest.raises(ConfigurationError):
+            windowed_topk_recall(trace, 5.0, [])

@@ -1,0 +1,88 @@
+"""Tests for Top-K identification and entropy estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    flow_size_entropy,
+    normalized_entropy,
+    topk_flows,
+    topk_recall,
+)
+from repro.detection.topk import topk_recall_series
+from repro.errors import ConfigurationError
+
+
+class TestTopK:
+    def test_topk_simple(self):
+        values = np.array([5, 1, 9, 3, 7])
+        assert topk_flows(values, 2) == {2, 4}
+
+    def test_topk_larger_than_population(self):
+        assert topk_flows(np.array([1, 2]), 10) == {0, 1}
+
+    def test_topk_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            topk_flows(np.array([1.0]), 0)
+
+    def test_recall_perfect(self):
+        truth = np.array([10, 20, 30, 40])
+        assert topk_recall(truth, truth, 2) == 1.0
+
+    def test_recall_partial(self):
+        truth = np.arange(10, dtype=float)
+        estimated = truth.copy()
+        estimated[9] = 0.0  # the top flow vanishes from the estimate
+        assert topk_recall(estimated, truth, 2) == pytest.approx(0.5)
+
+    def test_recall_requires_alignment(self):
+        with pytest.raises(ConfigurationError):
+            topk_recall(np.array([1.0]), np.array([1.0, 2.0]), 1)
+
+    def test_recall_series(self):
+        truth = np.arange(100, dtype=float)
+        series = topk_recall_series(truth, truth, [1, 10, 50])
+        assert series == {1: 1.0, 10: 1.0, 50: 1.0}
+
+    def test_recall_robust_to_small_noise(self):
+        rng = np.random.default_rng(0)
+        truth = np.sort(rng.pareto(1.5, size=5000) * 100 + 1)[::-1]
+        estimated = truth * rng.normal(1.0, 0.02, size=truth.shape)
+        assert topk_recall(estimated, truth, 100) >= 0.9
+
+
+class TestEntropy:
+    def test_uniform_entropy(self):
+        sizes = np.full(8, 100.0)
+        assert flow_size_entropy(sizes) == pytest.approx(3.0)
+        assert normalized_entropy(sizes) == pytest.approx(1.0)
+
+    def test_concentrated_entropy_lower(self):
+        even = np.full(16, 10.0)
+        skewed = np.array([1000.0] + [1.0] * 15)
+        assert flow_size_entropy(skewed) < flow_size_entropy(even)
+        assert normalized_entropy(skewed) < 0.5
+
+    def test_single_flow(self):
+        assert normalized_entropy(np.array([42.0])) == 0.0
+
+    def test_zero_flows_ignored(self):
+        with_zeros = np.array([10.0, 0.0, 10.0, 0.0])
+        assert flow_size_entropy(with_zeros) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flow_size_entropy(np.array([]))
+        with pytest.raises(ConfigurationError):
+            normalized_entropy(np.array([0.0]))
+
+    def test_ddos_collapses_entropy(self):
+        """The anomaly signal: one dominant flow drops normalized entropy."""
+        rng = np.random.default_rng(1)
+        background = rng.integers(1, 50, size=2000).astype(float)
+        before = normalized_entropy(background)
+        attacked = np.append(background, background.sum() * 20)
+        after = normalized_entropy(attacked)
+        assert after < before * 0.6

@@ -1,0 +1,208 @@
+"""Tests for the Zipf sampler and the synthetic trace builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    AttackConfig,
+    CaidaLikeConfig,
+    CampusConfig,
+    ZipfFlowSizes,
+    build_caida_like_trace,
+    build_campus_trace,
+    inject_attack_flows,
+    merge_traces,
+)
+from repro.traffic.attack import build_attack_trace
+from repro.traffic.campus import hourly_intensity
+from repro.traffic.synth import MAX_PACKET_BYTES, MIN_PACKET_BYTES
+
+
+class TestZipfFlowSizes:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            ZipfFlowSizes(alpha=0.0)
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(ConfigurationError):
+            ZipfFlowSizes(max_size=0)
+
+    def test_samples_in_range(self):
+        sampler = ZipfFlowSizes(alpha=1.5, max_size=100)
+        sizes = sampler.sample(10_000, np.random.default_rng(0))
+        assert sizes.min() >= 1 and sizes.max() <= 100
+
+    def test_pmf_sums_to_one(self):
+        sampler = ZipfFlowSizes(alpha=2.0, max_size=50)
+        total = sum(sampler.pmf(k) for k in range(1, 51))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_outside_support_is_zero(self):
+        sampler = ZipfFlowSizes(alpha=2.0, max_size=50)
+        assert sampler.pmf(0) == 0.0
+        assert sampler.pmf(51) == 0.0
+
+    def test_mice_dominate(self):
+        sampler = ZipfFlowSizes(alpha=1.8, max_size=10_000)
+        sizes = sampler.sample(20_000, np.random.default_rng(1))
+        assert (sizes <= 10).mean() > 0.8
+
+    def test_empirical_matches_pmf(self):
+        sampler = ZipfFlowSizes(alpha=2.0, max_size=1000)
+        sizes = sampler.sample(200_000, np.random.default_rng(2))
+        observed_p1 = (sizes == 1).mean()
+        assert observed_p1 == pytest.approx(sampler.pmf(1), rel=0.02)
+
+    def test_mean_matches_empirical(self):
+        sampler = ZipfFlowSizes(alpha=2.2, max_size=500)
+        sizes = sampler.sample(300_000, np.random.default_rng(3))
+        assert sizes.mean() == pytest.approx(sampler.mean(), rel=0.05)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_sample_count(self, count):
+        sampler = ZipfFlowSizes(alpha=1.5, max_size=20)
+        assert len(sampler.sample(count, np.random.default_rng(0))) == count
+
+
+class TestCaidaLikeTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return build_caida_like_trace(
+            CaidaLikeConfig(num_flows=3000, duration=10.0, seed=4)
+        )
+
+    def test_reproducible(self, trace):
+        again = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=3000, duration=10.0, seed=4)
+        )
+        assert np.array_equal(trace.timestamps, again.timestamps)
+        assert np.array_equal(trace.flow_ids, again.flow_ids)
+
+    def test_sorted_timestamps(self, trace):
+        assert np.all(np.diff(trace.timestamps) >= 0)
+
+    def test_every_flow_has_packets(self, trace):
+        assert (trace.ground_truth_packets() > 0).all()
+
+    def test_packet_sizes_in_wire_range(self, trace):
+        assert trace.sizes.min() >= MIN_PACKET_BYTES
+        assert trace.sizes.max() <= MAX_PACKET_BYTES
+
+    def test_mice_dominated(self, trace):
+        sizes = trace.ground_truth_packets()
+        assert (sizes <= 10).mean() > 0.7
+
+    def test_duration_respected(self, trace):
+        assert trace.timestamps[-1] <= 10.0 + 1e-9
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_caida_like_trace(CaidaLikeConfig(num_flows=0))
+        with pytest.raises(ConfigurationError):
+            build_caida_like_trace(CaidaLikeConfig(tcp_fraction=0.9, udp_fraction=0.2))
+
+
+class TestCampusTrace:
+    def test_diurnal_intensity_shape(self):
+        config = CampusConfig(hours=48, start_hour_of_week=0)
+        intensity = hourly_intensity(config)
+        assert len(intensity) == 48
+        # 13:00 is the busiest hour of day one; 01:00 is near the floor.
+        assert intensity[13] == pytest.approx(1.0)
+        assert intensity[1] < 0.5
+
+    def test_weekend_quieter(self):
+        config = CampusConfig(hours=24 * 7, start_hour_of_week=0)
+        intensity = hourly_intensity(config)
+        weekday_peak = intensity[13]  # Monday 13:00
+        saturday_peak = intensity[5 * 24 + 13]  # Saturday 13:00
+        assert saturday_peak < weekday_peak
+
+    def test_trace_builds_and_is_sorted(self):
+        trace = build_campus_trace(CampusConfig(num_flows=2000, hours=24, seed=5))
+        assert trace.num_packets > 0
+        assert np.all(np.diff(trace.timestamps) >= 0)
+
+    def test_protocol_mix(self):
+        trace = build_campus_trace(CampusConfig(num_flows=5000, hours=24, seed=6))
+        udp_share = (trace.flows.protocol == 17).mean()
+        assert 0.03 < udp_share < 0.11
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_campus_trace(CampusConfig(hours=0))
+
+
+class TestAttackInjection:
+    def test_attack_trace_rate(self):
+        attack = build_attack_trace(
+            AttackConfig(rates_pps=[1000.0], duration=2.0, seed=0)
+        )
+        assert attack.num_packets == 2000
+        # Mean arrival rate within 20 % of the configured rate.
+        assert attack.duration == pytest.approx(2.0, rel=0.2)
+
+    def test_injection_preserves_background(self):
+        background = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=500, duration=5.0, seed=7)
+        )
+        merged, injected = inject_attack_flows(
+            background, AttackConfig(rates_pps=[500.0, 800.0], duration=1.0)
+        )
+        assert len(injected) == 2
+        truth = merged.ground_truth_packets()
+        assert truth[injected[0]] == pytest.approx(500, rel=0.15)
+        assert truth[injected[1]] == pytest.approx(800, rel=0.15)
+        background_packets = merged.num_packets - truth[injected].sum()
+        assert background_packets == background.num_packets
+
+    def test_injected_flows_start_on_time(self):
+        background = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=200, duration=5.0, seed=8)
+        )
+        merged, injected = inject_attack_flows(
+            background,
+            AttackConfig(rates_pps=[2000.0], duration=1.0, start_time=2.0),
+        )
+        mask = merged.flow_ids == injected[0]
+        assert merged.timestamps[mask].min() >= 2.0
+
+    def test_invalid_attack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_attack_trace(AttackConfig(rates_pps=[]))
+        with pytest.raises(ConfigurationError):
+            build_attack_trace(AttackConfig(rates_pps=[-1.0]))
+
+
+class TestMergeTraces:
+    def test_merge_keeps_all_packets_sorted(self):
+        a = build_caida_like_trace(CaidaLikeConfig(num_flows=300, duration=3.0, seed=1))
+        b = build_caida_like_trace(CaidaLikeConfig(num_flows=300, duration=3.0, seed=2))
+        merged = merge_traces(a, b)
+        assert merged.num_packets == a.num_packets + b.num_packets
+        assert merged.num_flows == a.num_flows + b.num_flows
+        assert np.all(np.diff(merged.timestamps) >= 0)
+
+    def test_merge_deduplicates_shared_flows(self):
+        a = build_caida_like_trace(CaidaLikeConfig(num_flows=100, duration=2.0, seed=3))
+        merged = merge_traces(a, a, deduplicate=True)
+        assert merged.num_flows == a.num_flows
+        assert np.array_equal(
+            merged.ground_truth_packets(), 2 * a.ground_truth_packets()
+        )
+
+    def test_merge_rejects_mismatched_hash_seed(self):
+        a = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=10, duration=1.0, hash_seed=0)
+        )
+        b = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=10, duration=1.0, hash_seed=1)
+        )
+        with pytest.raises(ConfigurationError):
+            merge_traces(a, b)

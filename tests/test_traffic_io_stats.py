@@ -1,0 +1,89 @@
+"""Tests for trace persistence and trace statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.traffic import (
+    CaidaLikeConfig,
+    build_caida_like_trace,
+    fit_zipf_exponent,
+    load_trace,
+    save_trace,
+    summarize_trace,
+)
+from repro.traffic.stats import flow_size_ccdf
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_caida_like_trace(CaidaLikeConfig(num_flows=2000, duration=5.0, seed=9))
+
+
+class TestTraceIO:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.timestamps, trace.timestamps)
+        assert np.array_equal(loaded.flow_ids, trace.flow_ids)
+        assert np.array_equal(loaded.sizes, trace.sizes)
+        assert np.array_equal(loaded.flows.key64, trace.flows.key64)
+        assert loaded.flows.hash_seed == trace.flows.hash_seed
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_trace(tmp_path / "absent.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, version=np.int64(1), timestamps=np.array([0.0]))
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_wrong_version(self, trace, tmp_path):
+        path = tmp_path / "versioned.npz"
+        save_trace(trace, path)
+        data = dict(np.load(path))
+        data["version"] = np.int64(99)
+        np.savez(path, **data)
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+
+class TestStats:
+    def test_summary_fields(self, trace):
+        summary = summarize_trace(trace)
+        assert summary.num_flows == trace.num_flows
+        assert summary.num_packets == trace.num_packets
+        assert 0.0 < summary.mice_fraction < 1.0
+        assert 0.0 < summary.top_1pct_packet_share <= 1.0
+        assert summary.zipf_exponent > 0.5
+        assert len(summary.rows()) == 9
+
+    def test_fit_zipf_on_exact_powerlaw(self):
+        ranks = np.arange(1, 2001, dtype=np.float64)
+        sizes = 1e6 * ranks**-1.3
+        assert fit_zipf_exponent(sizes) == pytest.approx(1.3, abs=0.01)
+
+    def test_fit_zipf_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            fit_zipf_exponent(np.array([5.0]))
+
+    def test_ccdf_monotone(self, trace):
+        values, ccdf = flow_size_ccdf(trace.ground_truth_packets())
+        assert np.all(np.diff(values) > 0)
+        assert np.all(np.diff(ccdf) <= 0)
+        assert ccdf[0] == pytest.approx(1.0)
+
+    def test_ccdf_empty(self):
+        values, ccdf = flow_size_ccdf(np.array([]))
+        assert len(values) == 0 and len(ccdf) == 0

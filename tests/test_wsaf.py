@@ -1,0 +1,245 @@
+"""Tests for the WSAF table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WSAFTable
+from repro.core.wsaf import ENTRY_BYTES
+from repro.errors import ConfigurationError
+from repro.memmodel import DRAM, AccessAccountant
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            WSAFTable(num_entries=1000)
+
+    def test_rejects_zero_probe_limit(self):
+        with pytest.raises(ConfigurationError):
+            WSAFTable(num_entries=16, probe_limit=0)
+
+    def test_rejects_bad_gc_timeout(self):
+        with pytest.raises(ConfigurationError):
+            WSAFTable(num_entries=16, gc_timeout=0.0)
+
+    def test_memory_matches_paper_layout(self):
+        # 2^20 entries × 33 bytes ≈ 33 MB (Section IV-D).
+        table = WSAFTable(num_entries=1 << 20)
+        assert table.memory_bytes() == (1 << 20) * ENTRY_BYTES
+        assert 33_000_000 <= table.memory_bytes() <= 35_000_000
+
+
+class TestProbeSequence:
+    @given(st.integers(0, 2**64 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_triangular_probing_visits_every_slot(self, key):
+        """The paper's h(k,i)=hash(k)+0.5i+0.5i² visits all of [0, m-1]."""
+        table = WSAFTable(num_entries=64, probe_limit=64)
+        slots = list(table.probe_sequence(key, length=64))
+        assert sorted(slots) == list(range(64))
+
+    def test_probe_window_distinct(self):
+        table = WSAFTable(num_entries=256, probe_limit=16)
+        slots = list(table.probe_sequence(12345))
+        assert len(set(slots)) == len(slots) == 16
+
+    def test_probe_limit_clamped_to_table(self):
+        table = WSAFTable(num_entries=8, probe_limit=100)
+        assert table.probe_limit == 8
+
+
+class TestAccumulate:
+    def test_insert_then_lookup(self):
+        table = WSAFTable(num_entries=64)
+        table.accumulate(1, 10.0, 1000.0, 1.0, five_tuple_packed=0xABC)
+        entry = table.lookup(1)
+        assert entry is not None
+        assert entry.packets == 10.0
+        assert entry.bytes == 1000.0
+        assert entry.five_tuple_packed == 0xABC
+
+    def test_update_accumulates(self):
+        table = WSAFTable(num_entries=64)
+        table.accumulate(1, 10.0, 1000.0, 1.0)
+        totals = table.accumulate(1, 5.0, 500.0, 2.0)
+        assert totals == (15.0, 1500.0)
+        assert len(table) == 1
+        assert table.updates == 1 and table.insertions == 1
+
+    def test_lookup_missing(self):
+        table = WSAFTable(num_entries=64)
+        assert table.lookup(999) is None
+
+    def test_many_distinct_keys(self):
+        table = WSAFTable(num_entries=1024, probe_limit=32)
+        rng = np.random.default_rng(0)
+        keys = [int(k) for k in rng.integers(1, 2**63, size=500)]
+        for key in keys:
+            table.accumulate(key, 1.0, 100.0, 0.0)
+        assert len(table) == len(set(keys))
+        for key in keys:
+            assert table.lookup(key) is not None
+
+    def test_estimates_snapshot(self):
+        table = WSAFTable(num_entries=64)
+        table.accumulate(5, 2.0, 20.0, 0.0)
+        table.accumulate(6, 3.0, 30.0, 0.0)
+        assert table.estimates() == {5: (2.0, 20.0), 6: (3.0, 30.0)}
+
+    def test_entries_iterates_occupied_only(self):
+        table = WSAFTable(num_entries=64)
+        table.accumulate(5, 2.0, 20.0, 0.0)
+        entries = list(table.entries())
+        assert len(entries) == 1 and entries[0].key == 5
+
+    def test_no_lost_counts_without_eviction(self):
+        """Accumulations are conserved while nothing is evicted."""
+        table = WSAFTable(num_entries=4096, probe_limit=64)
+        rng = np.random.default_rng(1)
+        truth: "dict[int, float]" = {}
+        for _ in range(3000):
+            key = int(rng.integers(1, 200))
+            amount = float(rng.random())
+            truth[key] = truth.get(key, 0.0) + amount
+            table.accumulate(key, amount, amount, 0.0)
+        assert table.evictions == 0 and table.rejected == 0
+        for key, expected in truth.items():
+            assert table.lookup(key).packets == pytest.approx(expected)
+
+
+class TestEviction:
+    def _full_window_table(self):
+        """A tiny table whose single probe window is saturated."""
+        table = WSAFTable(num_entries=8, probe_limit=8)
+        for key in range(1, 9):
+            table.accumulate(key, float(key * 10), 0.0, 0.0)
+        assert len(table) == 8
+        return table
+
+    def test_second_chance_spares_then_evicts(self):
+        table = self._full_window_table()
+        # First overflow insert: every entry holds a chance bit, so the
+        # insert is rejected and all bits are cleared.
+        table.accumulate(100, 1.0, 0.0, 1.0)
+        assert table.rejected == 1
+        # Second attempt: chance bits are gone; the smallest entry is evicted.
+        table.accumulate(100, 1.0, 0.0, 1.0)
+        assert table.evictions == 1
+        assert table.lookup(100) is not None
+
+    def test_eviction_picks_smallest(self):
+        table = self._full_window_table()
+        table.accumulate(100, 1.0, 0.0, 1.0)  # clears chance bits
+        table.accumulate(100, 1.0, 0.0, 1.0)  # evicts the mouse
+        # The smallest pre-existing entry (key=1, packets=10) is gone.
+        assert table.lookup(1) is None
+        assert table.lookup(8) is not None
+
+    def test_update_restores_chance_bit(self):
+        table = self._full_window_table()
+        table.accumulate(100, 1.0, 0.0, 1.0)  # clears all chance bits
+        table.accumulate(1, 1.0, 0.0, 2.0)  # key 1 is touched again
+        table.accumulate(200, 1.0, 0.0, 3.0)  # evicts smallest chance-less
+        assert table.lookup(1) is not None  # spared by its fresh chance bit
+        assert table.lookup(2) is None  # next-smallest was evicted
+
+    def test_size_stable_under_eviction(self):
+        table = self._full_window_table()
+        table.accumulate(100, 1.0, 0.0, 1.0)
+        table.accumulate(100, 1.0, 0.0, 1.0)
+        assert len(table) == 8
+        assert table.load_factor == 1.0
+
+
+class TestEvictionPolicies:
+    def _full_table(self, policy):
+        table = WSAFTable(num_entries=8, probe_limit=8, eviction_policy=policy)
+        for key in range(1, 9):
+            table.accumulate(key, float(key * 10), 0.0, 0.0)
+        return table
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WSAFTable(num_entries=8, eviction_policy="lru")
+
+    def test_min_policy_evicts_immediately(self):
+        table = self._full_table("min")
+        table.accumulate(100, 1.0, 0.0, 1.0)
+        assert table.evictions == 1
+        assert table.rejected == 0
+        assert table.lookup(1) is None  # smallest evicted, no second chance
+        assert table.lookup(100) is not None
+
+    def test_reject_policy_never_evicts(self):
+        table = self._full_table("reject")
+        for _ in range(5):
+            table.accumulate(100, 1.0, 0.0, 1.0)
+        assert table.evictions == 0
+        assert table.rejected == 5
+        assert table.lookup(100) is None
+        assert all(table.lookup(key) is not None for key in range(1, 9))
+
+    def test_reject_policy_still_garbage_collects(self):
+        table = WSAFTable(
+            num_entries=8, probe_limit=8, gc_timeout=10.0, eviction_policy="reject"
+        )
+        table.accumulate(1, 5.0, 0.0, 0.0)
+        for key in range(2, 9):
+            table.accumulate(key, 50.0, 0.0, 195.0)
+        table.accumulate(99, 1.0, 0.0, 300.0)  # all expired -> reclaim
+        assert table.gc_reclaimed >= 1
+        assert table.lookup(99) is not None
+
+    def test_second_chance_protects_hot_mice(self):
+        """A small-but-recently-active flow survives under second-chance
+        (its fresh chance bit diverts the eviction to the next-smallest),
+        but not under plain minimum eviction."""
+        # min: the smallest entry dies on the first overflow insert.
+        table = self._full_table("min")
+        table.accumulate(1, 1.0, 0.0, 1.0)  # key 1 is hot, but min ignores it
+        table.accumulate(100, 1.0, 0.0, 2.0)
+        assert table.lookup(1) is None
+
+        # second-chance: after the chance-clearing pass, re-touching key 1
+        # renews its protection; the next eviction takes key 2 instead.
+        table = self._full_table("second-chance")
+        table.accumulate(100, 1.0, 0.0, 1.0)  # rejected; clears chance bits
+        table.accumulate(1, 1.0, 0.0, 2.0)  # key 1 hot again
+        table.accumulate(100, 1.0, 0.0, 3.0)  # evicts smallest chance-less
+        assert table.lookup(1) is not None
+        assert table.lookup(2) is None
+
+
+class TestGarbageCollection:
+    def test_expired_entry_reclaimed_on_probe(self):
+        table = WSAFTable(num_entries=8, probe_limit=8, gc_timeout=10.0)
+        table.accumulate(1, 5.0, 0.0, 0.0)
+        # Fill the rest (recently) so the new key must walk past the one
+        # stale entry; only key 1 is older than the timeout at t=200.
+        for key in range(2, 9):
+            table.accumulate(key, 50.0, 0.0, 195.0)
+        table.accumulate(99, 1.0, 0.0, 200.0)  # key 1 is long expired
+        assert table.gc_reclaimed >= 1
+        assert table.lookup(1) is None
+        assert table.lookup(99) is not None
+
+    def test_fresh_entries_not_collected(self):
+        table = WSAFTable(num_entries=16, probe_limit=16, gc_timeout=1000.0)
+        for key in range(1, 10):
+            table.accumulate(key, 1.0, 0.0, 0.0)
+        table.accumulate(50, 1.0, 0.0, 1.0)
+        assert table.gc_reclaimed == 0
+        assert len(table) == 10
+
+
+class TestAccounting:
+    def test_accumulate_costs_probes_plus_write(self):
+        accountant = AccessAccountant(DRAM)
+        table = WSAFTable(num_entries=64, accountant=accountant)
+        table.accumulate(1, 1.0, 0.0, 0.0)
+        assert accountant.writes == 1
+        assert accountant.reads >= 1
