@@ -1,0 +1,93 @@
+"""Throughput regression harness: batched engine vs the scalar loop.
+
+Runs the full packet pipeline on the main CAIDA-like lab trace under both
+engines and writes a machine-readable report to ``BENCH_throughput.json``
+at the repo root::
+
+    [{"engine": ..., "pps": ..., "packets": ..., "chunk_size": ..., "timestamp": ...}]
+
+Timing is external wall-clock (``perf_counter`` around ``process_trace``)
+rather than the engine's own ``elapsed_seconds``, which starts *after*
+per-run setup (array conversions, RNG draws, placement) and would flatter
+the scalar path.  Rounds are interleaved scalar/batched and the best round
+wins, so a transient stall (this runs on shared machines) penalizes one
+reading, not one engine.
+
+The test *fails* if the batched engine's packets-per-second drops below
+``MIN_SPEEDUP``× scalar — the regression bar that keeps the fast path fast.
+(The measured speedup on the reference machine is ~3.3×; the bar sits below
+it to absorb machine noise, not to excuse real regressions.)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.core import InstaMeasure, InstaMeasureConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_throughput.json"
+
+#: Timed rounds per engine (interleaved); best round wins.
+ROUNDS = 5
+CHUNK_SIZE = 1 << 20
+#: Regression bar: batched must stay at least this many times faster.
+MIN_SPEEDUP = 2.0
+
+ENGINES = ("scalar", "batched")
+
+
+def _timed_run(config: InstaMeasureConfig, trace) -> "tuple[float, int]":
+    """Wall-clock seconds and packet count for one fresh-engine run."""
+    engine = InstaMeasure(config)
+    start = time.perf_counter()
+    result = engine.process_trace(trace)
+    return time.perf_counter() - start, result.packets
+
+
+def test_throughput_regression(caida_trace, write_report):
+    """Batched vs scalar pps on the lab trace; writes BENCH_throughput.json."""
+    configs = {
+        name: InstaMeasureConfig(seed=1, engine=name, chunk_size=CHUNK_SIZE)
+        for name in ENGINES
+    }
+    # Warm-up pass each: CPU frequency ramp + LUT/layout caches, unmeasured.
+    for config in configs.values():
+        InstaMeasure(config).process_trace(caida_trace)
+
+    best = {name: float("inf") for name in ENGINES}
+    packets = {name: 0 for name in ENGINES}
+    for _ in range(ROUNDS):
+        for name, config in configs.items():
+            elapsed, count = _timed_run(config, caida_trace)
+            best[name] = min(best[name], elapsed)
+            packets[name] = count
+
+    rows = [
+        {
+            "engine": name,
+            "pps": packets[name] / best[name],
+            "packets": packets[name],
+            "chunk_size": CHUNK_SIZE,
+            "timestamp": time.time(),
+        }
+        for name in ENGINES
+    ]
+    OUTPUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+
+    by_engine = {row["engine"]: row for row in rows}
+    speedup = by_engine["batched"]["pps"] / by_engine["scalar"]["pps"]
+    lines = ["engine     pps          speedup"]
+    for row in rows:
+        ratio = row["pps"] / by_engine["scalar"]["pps"]
+        lines.append(f"{row['engine']:<10} {row['pps']:>12,.0f} {ratio:>7.2f}x")
+    lines.append(f"report: {OUTPUT_PATH.name}")
+    write_report("bench_throughput", "\n".join(lines))
+
+    assert by_engine["batched"]["packets"] == caida_trace.num_packets
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched engine is only {speedup:.2f}x scalar "
+        f"(regression bar: {MIN_SPEEDUP}x)"
+    )

@@ -6,15 +6,18 @@ pair is accumulated into the WSAF under the flow's ID.  Callers can observe
 accumulations through a callback (that is where saturation-based heavy-
 hitter detection hooks in).
 
-Two equivalent data paths are provided:
+Three equivalent data paths are provided:
 
 * :meth:`InstaMeasure.process_packet` — the literal per-packet API, one call
   per packet, the shape a real pipeline would use.
-* :meth:`InstaMeasure.process_trace` — a trace-driven loop with hoisted
-  placement hashing and a pre-drawn randomness stream.  It produces
-  bit-identical state to the per-packet path given the same random bits
-  (tested), and exists because pure-Python per-call overhead would otherwise
-  dominate million-packet experiments.
+* :meth:`InstaMeasure.process_trace` with ``engine="scalar"`` — a
+  trace-driven loop with hoisted placement hashing and a pre-drawn
+  randomness stream.  It produces bit-identical state to the per-packet
+  path given the same random bits (tested).
+* :meth:`InstaMeasure.process_trace` with ``engine="batched"`` (the
+  default via ``"auto"`` for the 2-layer FlowRegulator) — the chunked
+  NumPy/LUT kernel in :mod:`repro.kernels`, bit-identical to the scalar
+  loop and several times faster (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -39,16 +42,16 @@ AccumulateCallback = Callable[[int, float, float, float], None]
 
 
 def packed_five_tuples(flows: FlowTable) -> "list[int]":
-    """Per-flow 104-bit packed 5-tuples (what the WSAF record stores)."""
-    src = flows.src_ip.tolist()
-    dst = flows.dst_ip.tolist()
-    sport = flows.src_port.tolist()
-    dport = flows.dst_port.tolist()
-    proto = flows.protocol.tolist()
-    return [
-        src[i] << 72 | dst[i] << 40 | sport[i] << 24 | dport[i] << 8 | proto[i]
-        for i in range(len(src))
-    ]
+    """Per-flow 104-bit packed 5-tuples (what the WSAF record stores).
+
+    Delegates to :meth:`FlowTable.packed_tuples`, which caches the list on
+    the flow table so repeated runs over one trace pay for it once.
+    """
+    return flows.packed_tuples()
+
+
+#: Valid ``InstaMeasureConfig.engine`` values.
+ENGINE_CHOICES = ("auto", "batched", "scalar")
 
 
 @dataclass
@@ -67,6 +70,14 @@ class InstaMeasureConfig:
         gc_timeout: WSAF inactivity timeout in seconds (None disables).
         eviction_policy: WSAF overflow policy (see :class:`WSAFTable`).
         seed: seed for placement hashing and the per-packet bit stream.
+        engine: trace-processing engine — ``"auto"`` picks the batched
+            kernel whenever the regulator supports it (2-layer
+            FlowRegulator, ``vector_bits <= 8``) and the scalar loop
+            otherwise; ``"batched"`` requires the fast path (configuration
+            error if unsupported); ``"scalar"`` always runs the per-packet
+            Python loop.  All engines are bit-identical.
+        chunk_size: packets per batched-kernel chunk (bounds the working
+            set of the vectorized stage; irrelevant to the scalar path).
     """
 
     l1_memory_bytes: int = 32 * 1024
@@ -79,11 +90,20 @@ class InstaMeasureConfig:
     gc_timeout: "float | None" = None
     eviction_policy: str = "second-chance"
     seed: int = 0
+    engine: str = "auto"
+    chunk_size: int = 1 << 20
 
 
 @dataclass
 class MeasurementResult:
-    """Outcome of processing a trace through an engine."""
+    """Outcome of processing a trace through an engine.
+
+    All counters (and ``regulator_stats``) are **per-call deltas**: a
+    second ``process_trace`` on the same engine reports only that call's
+    packets and insertions, so derived rates like :attr:`python_pps` stay
+    consistent with :attr:`elapsed_seconds`.  Cumulative state lives on
+    ``engine.regulator.stats`` and the WSAF itself.
+    """
 
     packets: int
     insertions: int
@@ -114,6 +134,14 @@ class InstaMeasure:
         accountant: "AccessAccountant | None" = None,
     ) -> None:
         self.config = config or InstaMeasureConfig()
+        if self.config.engine not in ENGINE_CHOICES:
+            raise ConfigurationError(
+                f"unknown engine {self.config.engine!r}; known: {ENGINE_CHOICES}"
+            )
+        if self.config.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {self.config.chunk_size}"
+            )
         if self.config.num_layers == 2:
             self.regulator: "FlowRegulator | MultiLayerRegulator" = FlowRegulator(
                 self.config.l1_memory_bytes,
@@ -133,6 +161,14 @@ class InstaMeasure:
                 seed=self.config.seed,
                 accountant=accountant,
             )
+        if self.config.engine == "batched":
+            from repro.kernels.batched import supports_batched
+
+            if not supports_batched(self):
+                raise ConfigurationError(
+                    "engine='batched' requires the 2-layer FlowRegulator "
+                    "with vector_bits <= 8; use engine='auto' to fall back"
+                )
         self.wsaf = WSAFTable(
             num_entries=self.config.wsaf_entries,
             probe_limit=self.config.probe_limit,
@@ -201,10 +237,18 @@ class InstaMeasure:
         Equivalent to calling :meth:`process_packet` per packet; the loop is
         manually specialized (placement hoisted per flow, randomness drawn
         up front, sketch state bound to locals) for pure-Python speed.
-        Non-default regulator depths take a generic (slower) loop.
+        Unless ``config.engine`` says ``"scalar"``, supported
+        configurations run the chunked batched kernel
+        (:mod:`repro.kernels`) instead — bit-identical, several times
+        faster.  Non-default regulator depths take a generic (slower) loop.
         """
         if not isinstance(self.regulator, FlowRegulator):
             return self._process_trace_generic(trace, on_accumulate)
+        if self.config.engine != "scalar":
+            from repro.kernels.batched import supports_batched
+
+            if supports_batched(self):
+                return self._process_trace_batched(trace, on_accumulate)
         num_packets = trace.num_packets
         regulator = self.regulator
         l1 = regulator.l1
@@ -216,9 +260,11 @@ class InstaMeasure:
         keys = trace.flows.key64.tolist()
         packed_tuples = packed_five_tuples(trace.flows)
 
+        # uint8 draws: the batched kernel replays this exact stream, and the
+        # narrow dtype roughly halves generation cost for both paths.
         rng = np.random.default_rng(self.config.seed ^ 0xB17)
-        bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.int64).tolist()
-        bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.int64).tolist()
+        bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8).tolist()
+        bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8).tolist()
 
         flow_ids = trace.flow_ids.tolist()
         sizes = trace.sizes.tolist()
@@ -300,10 +346,66 @@ class InstaMeasure:
                 )
 
         return MeasurementResult(
-            packets=stats.packets,
-            insertions=stats.insertions,
+            packets=packets,
+            insertions=insertions,
             elapsed_seconds=elapsed,
-            regulator_stats=stats,
+            regulator_stats=RegulatorStats(
+                packets=packets,
+                l1_saturations=l1_saturations,
+                insertions=insertions,
+            ),
+            wsaf=self.wsaf,
+        )
+
+    def _process_trace_batched(
+        self,
+        trace: Trace,
+        on_accumulate: "AccumulateCallback | None" = None,
+    ) -> MeasurementResult:
+        """Chunked NumPy/LUT path (:mod:`repro.kernels`), bit-identical
+        to the scalar loop."""
+        from repro.kernels.batched import process_trace_batched
+
+        regulator = self.regulator
+        l1 = regulator.l1
+
+        start = time.perf_counter()
+        counters = process_trace_batched(
+            self, trace, on_accumulate=on_accumulate
+        )
+        elapsed = time.perf_counter() - start
+
+        # Fold the kernel's counters into the shared sketch/regulator stats
+        # and settle accounting in bulk, mirroring the scalar fast path.
+        stats = regulator.stats
+        stats.packets += counters.packets
+        stats.l1_saturations += counters.l1_saturations
+        stats.insertions += counters.insertions
+        l1.packets_encoded += counters.packets
+        l1.saturations += counters.l1_saturations
+        for noise, sketch in enumerate(regulator.l2):
+            sketch.packets_encoded += counters.l2_encoded[noise]
+            sketch.saturations += counters.l2_saturated[noise]
+        if l1.accountant is not None:
+            l1.accountant.record(
+                l1.label, reads=counters.packets, writes=counters.packets
+            )
+            for noise, sketch in enumerate(regulator.l2):
+                sketch.accountant.record(
+                    sketch.label,
+                    reads=counters.l2_encoded[noise],
+                    writes=counters.l2_encoded[noise],
+                )
+
+        return MeasurementResult(
+            packets=counters.packets,
+            insertions=counters.insertions,
+            elapsed_seconds=elapsed,
+            regulator_stats=RegulatorStats(
+                packets=counters.packets,
+                l1_saturations=counters.l1_saturations,
+                insertions=counters.insertions,
+            ),
             wsaf=self.wsaf,
         )
 
@@ -334,6 +436,11 @@ class InstaMeasure:
         process_at = regulator.process_at
         accumulate = self.wsaf.accumulate
 
+        stats = regulator.stats
+        packets_before = stats.packets
+        saturations_before = stats.l1_saturations
+        insertions_before = stats.insertions
+
         start = time.perf_counter()
         for p in range(num_packets):
             flow = flow_ids[p]
@@ -351,12 +458,16 @@ class InstaMeasure:
                 on_accumulate(key, totals[0], totals[1], timestamp)
         elapsed = time.perf_counter() - start
 
-        stats = regulator.stats
+        run_stats = RegulatorStats(
+            packets=stats.packets - packets_before,
+            l1_saturations=stats.l1_saturations - saturations_before,
+            insertions=stats.insertions - insertions_before,
+        )
         return MeasurementResult(
-            packets=stats.packets,
-            insertions=stats.insertions,
+            packets=run_stats.packets,
+            insertions=run_stats.insertions,
             elapsed_seconds=elapsed,
-            regulator_stats=stats,
+            regulator_stats=run_stats,
             wsaf=self.wsaf,
         )
 

@@ -8,15 +8,25 @@ memory blocks exclusively to each worker core to avoid memory collision");
 the WSAF is shared, which is safe because post-regulation insertions are
 ~1 % of packets.
 
-This module reproduces the *logic* of that system: dispatch, per-worker
-regulator state, shared WSAF, and the per-worker load shares that determine
-scaling.  The *timing* of the system (Fig 9(a)'s Mpps-vs-cores curve and
-Fig 12(c)'s utilization series) is produced by feeding these load shares to
+Execution model: every worker runs against a **private insertion log**
+instead of the shared table; the manager merges all logs in ``(timestamp,
+worker, sequence)`` order and applies them to the WSAF through
+:meth:`WSAFTable.accumulate_batch`.  Because regulator state is
+worker-private and the merge order is deterministic, the sequential and
+process-parallel execution modes leave bit-identical state behind
+(tested).  With ``parallel=True`` the workers run as forked
+``multiprocessing`` processes, shipping back their event logs plus
+regulator word state; only the ~1 % of packets that became insertions
+cross the process boundary.
+
+The *timing* of the system (Fig 9(a)'s Mpps-vs-cores curve and Fig 12(c)'s
+utilization series) is produced by feeding the load shares to
 :mod:`repro.simulate.costmodel` / :mod:`repro.simulate.engine`.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -27,6 +37,7 @@ from repro.core.instameasure import (
     InstaMeasureConfig,
     MeasurementResult,
 )
+from repro.core.regulator import FlowRegulator
 from repro.core.wsaf import WSAFTable
 from repro.errors import ConfigurationError
 from repro.hashing import popcount32
@@ -93,6 +104,110 @@ class MultiCoreResult:
         return 1.0 / max_share if max_share > 0 else float(self.num_workers)
 
 
+class _InsertionLog:
+    """Stands in for the shared WSAF during a worker run.
+
+    Records ``(timestamp, key, est_packets, est_bytes, packed_tuple)``
+    insertion events instead of applying them, so the manager can merge
+    worker output deterministically — and ship it cheaply across process
+    boundaries in parallel mode.
+    """
+
+    def __init__(self) -> None:
+        self.events: "list[tuple]" = []
+
+    def accumulate(
+        self,
+        key: int,
+        est_packets: float,
+        est_bytes: float,
+        timestamp: float,
+        five_tuple_packed: "int | None" = None,
+    ) -> "tuple[float, float]":
+        """Record one insertion event; totals resolve at merge time."""
+        self.events.append(
+            (timestamp, key, est_packets, est_bytes, five_tuple_packed)
+        )
+        return est_packets, est_bytes
+
+    def accumulate_batch(
+        self, events, on_accumulate=None
+    ) -> "list[tuple[float, float]]":
+        """Record a batch of events (the batched kernel's apply call)."""
+        totals: "list[tuple[float, float]]" = []
+        for key, est_packets, est_bytes, timestamp, five_tuple_packed in events:
+            self.events.append(
+                (timestamp, key, est_packets, est_bytes, five_tuple_packed)
+            )
+            if on_accumulate is not None:
+                on_accumulate(key, est_packets, est_bytes, timestamp)
+            totals.append((est_packets, est_bytes))
+        return totals
+
+
+def _regulator_sketches(regulator) -> "list":
+    """Every RCC sketch of ``regulator``, in a deterministic order."""
+    if isinstance(regulator, FlowRegulator):
+        return [regulator.l1, *regulator.l2]
+    return [
+        regulator.l1,
+        *(sketch for bank in regulator.banks for sketch in bank.values()),
+    ]
+
+
+def _worker_queue(trace: Trace, assignment: np.ndarray, worker_index: int) -> Trace:
+    """The sub-trace of packets dispatched to ``worker_index``."""
+    mask = assignment == worker_index
+    return Trace(
+        timestamps=trace.timestamps[mask],
+        flow_ids=trace.flow_ids[mask],
+        sizes=trace.sizes[mask],
+        flows=trace.flows,
+    )
+
+
+def _run_worker_recorded(worker: InstaMeasure, queue: Trace):
+    """Run ``worker`` over ``queue`` with insertions recorded, not applied."""
+    shared = worker.wsaf
+    log = _InsertionLog()
+    worker.wsaf = log
+    try:
+        result = worker.process_trace(queue)
+    finally:
+        worker.wsaf = shared
+    return result, log.events
+
+
+#: Fork-inherited state for parallel workers (manager, trace, assignment);
+#: set only for the duration of a parallel run.
+_PARALLEL_STATE = None
+
+
+def _parallel_worker(worker_index: int) -> dict:
+    """Child-process entry: run one worker and ship its state back."""
+    manager, trace, assignment = _PARALLEL_STATE
+    worker = manager.workers[worker_index]
+    queue = _worker_queue(trace, assignment, worker_index)
+    result, events = _run_worker_recorded(worker, queue)
+    regulator = worker.regulator
+    return {
+        "worker_index": worker_index,
+        "packets": queue.num_packets,
+        "events": events,
+        "elapsed": result.elapsed_seconds,
+        "stats": result.regulator_stats,
+        "sketches": [
+            (sketch.words_array(), sketch.packets_encoded, sketch.saturations)
+            for sketch in _regulator_sketches(regulator)
+        ],
+    }
+
+
+def _fork_available() -> bool:
+    """Whether the platform supports fork-based worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
 class MultiCoreInstaMeasure:
     """Manager + N workers + shared WSAF.
 
@@ -102,15 +217,22 @@ class MultiCoreInstaMeasure:
             per worker, as in the paper ("the total memory usage is M times
             of the number of worker cores"); ``wsaf_entries`` is the single
             shared table (fixed at 2^20 for all of the paper's experiments).
+        parallel: default execution mode for :meth:`process_trace` —
+            ``True`` runs workers as forked OS processes, ``False`` runs
+            them in-process.  Both modes are bit-identical.
     """
 
     def __init__(
-        self, num_workers: int, config: "InstaMeasureConfig | None" = None
+        self,
+        num_workers: int,
+        config: "InstaMeasureConfig | None" = None,
+        parallel: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers
         self.config = config or InstaMeasureConfig()
+        self.parallel = parallel
         self.wsaf = WSAFTable(
             num_entries=self.config.wsaf_entries,
             probe_limit=self.config.probe_limit,
@@ -135,37 +257,97 @@ class MultiCoreInstaMeasure:
         self,
         trace: Trace,
         on_accumulate: "AccumulateCallback | None" = None,
+        parallel: "bool | None" = None,
     ) -> MultiCoreResult:
         """Process ``trace`` through the dispatcher and all workers.
 
-        Workers are simulated sequentially (each consumes its queue in
-        timestamp order), which yields the same regulator states and WSAF
-        totals as a parallel execution because regulator state is
-        worker-private and WSAF accumulations commute.
+        Workers consume their queues against private regulators, recording
+        WSAF insertion events; the manager merges every log in
+        ``(timestamp, worker, sequence)`` order and applies it to the
+        shared table, so results do not depend on worker scheduling.
+        ``parallel`` overrides the constructor's mode for this call;
+        parallel runs fall back to in-process execution when the platform
+        cannot fork or there is only one worker.
         """
+        if parallel is None:
+            parallel = self.parallel
         assignment = self.dispatch(trace)
-        worker_packets: "list[int]" = []
-        worker_insertions: "list[int]" = []
-        worker_results: "list[MeasurementResult]" = []
-        for worker_index, worker in enumerate(self.workers):
-            mask = assignment == worker_index
-            queue = Trace(
-                timestamps=trace.timestamps[mask],
-                flow_ids=trace.flow_ids[mask],
-                sizes=trace.sizes[mask],
-                flows=trace.flows,
-            )
-            result = worker.process_trace(queue, on_accumulate=on_accumulate)
-            worker_packets.append(queue.num_packets)
-            worker_insertions.append(result.regulator_stats.insertions)
-            worker_results.append(result)
+        if parallel and self.num_workers > 1 and _fork_available():
+            runs = self._run_parallel(trace, assignment)
+        else:
+            runs = self._run_sequential(trace, assignment)
+
+        merged = []
+        for worker_index, (_, events, _) in enumerate(runs):
+            for sequence, (timestamp, key, est_pkt, est_byte, packed) in enumerate(
+                events
+            ):
+                merged.append(
+                    (timestamp, worker_index, sequence, key, est_pkt, est_byte, packed)
+                )
+        merged.sort(key=lambda event: event[:3])
+        self.wsaf.accumulate_batch(
+            (
+                (key, est_pkt, est_byte, timestamp, packed)
+                for timestamp, _, _, key, est_pkt, est_byte, packed in merged
+            ),
+            on_accumulate=on_accumulate,
+        )
         return MultiCoreResult(
             num_workers=self.num_workers,
-            worker_packets=worker_packets,
-            worker_insertions=worker_insertions,
-            worker_results=worker_results,
+            worker_packets=[packets for packets, _, _ in runs],
+            worker_insertions=[
+                result.regulator_stats.insertions for _, _, result in runs
+            ],
+            worker_results=[result for _, _, result in runs],
             wsaf=self.wsaf,
         )
+
+    def _run_sequential(self, trace: Trace, assignment: np.ndarray):
+        """Run every worker in-process, collecting (packets, events, result)."""
+        runs = []
+        for worker_index, worker in enumerate(self.workers):
+            queue = _worker_queue(trace, assignment, worker_index)
+            result, events = _run_worker_recorded(worker, queue)
+            result.wsaf = self.wsaf
+            runs.append((queue.num_packets, events, result))
+        return runs
+
+    def _run_parallel(self, trace: Trace, assignment: np.ndarray):
+        """Run every worker as a forked process and re-install its state."""
+        global _PARALLEL_STATE
+        context = multiprocessing.get_context("fork")
+        _PARALLEL_STATE = (self, trace, assignment)
+        try:
+            with context.Pool(processes=self.num_workers) as pool:
+                payloads = pool.map(_parallel_worker, range(self.num_workers))
+        finally:
+            _PARALLEL_STATE = None
+        runs = []
+        for payload in sorted(payloads, key=lambda p: p["worker_index"]):
+            worker = self.workers[payload["worker_index"]]
+            regulator = worker.regulator
+            # The child inherited this worker's pre-run state via fork, so
+            # its cumulative sketch counters/words are authoritative.
+            for sketch, (sketch_words, encoded, saturations) in zip(
+                _regulator_sketches(regulator), payload["sketches"]
+            ):
+                sketch.set_words_array(sketch_words)
+                sketch.packets_encoded = encoded
+                sketch.saturations = saturations
+            stats = payload["stats"]
+            regulator.stats.packets += stats.packets
+            regulator.stats.l1_saturations += stats.l1_saturations
+            regulator.stats.insertions += stats.insertions
+            result = MeasurementResult(
+                packets=payload["packets"],
+                insertions=stats.insertions,
+                elapsed_seconds=payload["elapsed"],
+                regulator_stats=stats,
+                wsaf=self.wsaf,
+            )
+            runs.append((payload["packets"], payload["events"], result))
+        return runs
 
     def estimates_for(self, trace: Trace) -> "tuple[np.ndarray, np.ndarray]":
         """Per-flow (packets, bytes) estimates from the shared WSAF."""

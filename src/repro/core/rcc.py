@@ -32,6 +32,26 @@ from repro.hashing import hash_u64, hash_u64_array
 from repro.memmodel import AccessAccountant
 
 
+_POPCOUNT_TABLES: "dict[int, list[int]]" = {}
+
+
+def popcount_table(width: int) -> "list[int]":
+    """Set-bit counts for every ``width``-bit value, cached per width.
+
+    The batched kernels (:mod:`repro.kernels`) index window states through
+    this table instead of calling ``int.bit_count`` per packet.
+    """
+    if not 0 <= width <= 16:
+        raise ConfigurationError(
+            f"popcount_table width must be in [0, 16], got {width}"
+        )
+    table = _POPCOUNT_TABLES.get(width)
+    if table is None:
+        table = [value.bit_count() for value in range(1 << width)]
+        _POPCOUNT_TABLES[width] = table
+    return table
+
+
 def coupon_partial_sum(vector_bits: int, bits_set: int) -> float:
     """Expected insertions to set ``bits_set`` distinct bits out of ``vector_bits``.
 
@@ -214,6 +234,26 @@ class RCCSketch:
         if self.packets_encoded == 0:
             return 0.0
         return self.saturations / self.packets_encoded
+
+    # -- state transfer ----------------------------------------------------
+
+    def words_array(self) -> np.ndarray:
+        """Snapshot of the word array as ``uint64``.
+
+        Compact form for shipping sketch state across process boundaries
+        (the parallel multi-core manager) or archiving it; restore with
+        :meth:`set_words_array`.
+        """
+        return np.array(self.words, dtype=np.uint64)
+
+    def set_words_array(self, array: np.ndarray) -> None:
+        """Replace the word state from a :meth:`words_array` snapshot."""
+        values = np.asarray(array, dtype=np.uint64).tolist()
+        if len(values) != self.num_words:
+            raise ConfigurationError(
+                f"expected {self.num_words} words, got {len(values)}"
+            )
+        self.words = values
 
     def reset(self) -> None:
         """Clear all vectors and statistics."""

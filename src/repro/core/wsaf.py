@@ -94,7 +94,10 @@ class WSAFTable:
         self._mask = num_entries - 1
 
         # Parallel columns; key 0 in an unoccupied slot is the empty marker.
+        # ``_occupied`` answers per-slot probes; ``_occupied_slots`` mirrors
+        # it as a set so snapshots/sweeps are O(size), not O(num_entries).
         self._occupied = [False] * num_entries
+        self._occupied_slots: "set[int]" = set()
         self._keys = [0] * num_entries
         self._packets = [0.0] * num_entries
         self._bytes = [0.0] * num_entries
@@ -140,12 +143,19 @@ class WSAFTable:
         line 16).  Returns the flow's accumulated ``(packets, bytes)`` after
         the update, which heavy-hitter detection thresholds against.
         """
+        # The probe walk is inlined (identical to probe_sequence) — this is
+        # the hottest shared path of both engines.
+        mask = self._mask
+        base = key & mask
+        occupied = self._occupied
+        keys = self._keys
         probes = 0
         first_free = -1
-        for slot in self.probe_sequence(key):
+        for i in range(self.probe_limit):
+            slot = (base + ((i + i * i) >> 1)) & mask
             probes += 1
-            if self._occupied[slot]:
-                if self._keys[slot] == key:
+            if occupied[slot]:
+                if keys[slot] == key:
                     if self.accountant is not None:
                         self.accountant.record("wsaf", reads=probes, writes=1)
                     self._packets[slot] += est_packets
@@ -175,6 +185,7 @@ class WSAFTable:
         if self.accountant is not None:
             self.accountant.record("wsaf", reads=probes, writes=1)
         self._occupied[first_free] = True
+        self._occupied_slots.add(first_free)
         self._keys[first_free] = key
         self._packets[first_free] = est_packets
         self._bytes[first_free] = est_bytes
@@ -184,6 +195,30 @@ class WSAFTable:
         self.size += 1
         self.insertions += 1
         return est_packets, est_bytes
+
+    def accumulate_batch(
+        self,
+        events,
+        on_accumulate=None,
+    ) -> "list[tuple[float, float]]":
+        """Apply many :meth:`accumulate` events in order.
+
+        ``events`` is an iterable of ``(key, est_packets, est_bytes,
+        timestamp, five_tuple_packed)`` tuples — the shape the batched
+        kernel and the multi-core manager produce.  ``on_accumulate``, if
+        given, is fired after each event with ``(key, total_packets,
+        total_bytes, timestamp)``.  Returns the per-event running totals.
+        """
+        accumulate = self.accumulate
+        totals: "list[tuple[float, float]]" = []
+        for key, est_packets, est_bytes, timestamp, five_tuple_packed in events:
+            result = accumulate(
+                key, est_packets, est_bytes, timestamp, five_tuple_packed
+            )
+            if on_accumulate is not None:
+                on_accumulate(key, result[0], result[1], timestamp)
+            totals.append(result)
+        return totals
 
     def _find_victim(self, key: int, now: float) -> int:
         """Free a slot in ``key``'s probe window per the eviction policy.
@@ -217,6 +252,7 @@ class WSAFTable:
 
     def _clear(self, slot: int) -> None:
         self._occupied[slot] = False
+        self._occupied_slots.discard(slot)
         self._keys[slot] = 0
         self._packets[slot] = 0.0
         self._bytes[slot] = 0.0
@@ -239,23 +275,21 @@ class WSAFTable:
         return None
 
     def entries(self) -> Iterator[WSAFEntry]:
-        """All occupied records, in table order."""
-        for slot in range(self.num_entries):
-            if self._occupied[slot]:
-                yield WSAFEntry(
-                    key=self._keys[slot],
-                    packets=self._packets[slot],
-                    bytes=self._bytes[slot],
-                    last_update=self._timestamps[slot],
-                    five_tuple_packed=self._tuples[slot],
-                )
+        """All occupied records, in table order (O(size), not O(capacity))."""
+        for slot in sorted(self._occupied_slots):
+            yield WSAFEntry(
+                key=self._keys[slot],
+                packets=self._packets[slot],
+                bytes=self._bytes[slot],
+                last_update=self._timestamps[slot],
+                five_tuple_packed=self._tuples[slot],
+            )
 
     def estimates(self) -> "dict[int, tuple[float, float]]":
         """Mapping of flow key → (packets, bytes) for all records."""
         return {
             self._keys[slot]: (self._packets[slot], self._bytes[slot])
-            for slot in range(self.num_entries)
-            if self._occupied[slot]
+            for slot in sorted(self._occupied_slots)
         }
 
     # -- lifecycle -------------------------------------------------------------
@@ -268,8 +302,8 @@ class WSAFTable:
         periodically with this instead.  Returns the number reclaimed.
         """
         reclaimed = 0
-        for slot in range(self.num_entries):
-            if self._occupied[slot] and self._timestamps[slot] < cutoff:
+        for slot in sorted(self._occupied_slots):
+            if self._timestamps[slot] < cutoff:
                 self._clear(slot)
                 reclaimed += 1
         self.gc_reclaimed += reclaimed

@@ -1,0 +1,34 @@
+"""Batched (vectorized + table-driven) kernels for the measurement hot path.
+
+The scalar engines in :mod:`repro.core` process one packet per Python
+iteration; this package re-expresses the same computation in chunks —
+NumPy for the gathers and saturation screening, precomputed FSM lookup
+tables for the contested remainder — while staying **bit-identical** to
+the scalar loop (same randomness stream, same state, same WSAF records).
+
+* :mod:`repro.kernels.luts` — cached per-geometry transition tables.
+* :mod:`repro.kernels.batched` — the chunked kernel behind
+  ``InstaMeasure.process_trace(engine="batched")``.
+
+See ``docs/PERFORMANCE.md`` for the design rationale and measured
+speedups, and ``benchmarks/bench_throughput.py`` for the regression
+harness.
+"""
+
+from repro.kernels.batched import (
+    DEFAULT_CHUNK_SIZE,
+    BatchCounters,
+    process_trace_batched,
+    supports_batched,
+)
+from repro.kernels.luts import SENTINEL, KernelTables, kernel_tables
+
+__all__ = [
+    "BatchCounters",
+    "DEFAULT_CHUNK_SIZE",
+    "KernelTables",
+    "SENTINEL",
+    "kernel_tables",
+    "process_trace_batched",
+    "supports_batched",
+]

@@ -1,0 +1,416 @@
+"""The batched fast path: chunked, table-driven trace processing.
+
+A bit-identical re-expression of the scalar ``InstaMeasure.process_trace``
+loop, built on two structural facts about the 2-layer FlowRegulator:
+
+* **Per-word independence.**  L1 and every L2 bank share placement, so the
+  regulator state a packet touches is fully determined by its flow's
+  ``(word index, bit offset)``.  Packets can therefore be processed grouped
+  by word (stably, preserving each word's internal packet order) instead of
+  globally in trace order.  Only WSAF accumulation couples words, and that
+  coupling is restored by applying decoded insertion events sorted by
+  original packet position.
+* **FSM compilation.**  A counting window holds one of ``2**vector_bits``
+  states, so layer transitions compile into small lookup tables
+  (:mod:`repro.kernels.luts`) indexed by interned byte values, and the hot
+  loop advances *two* packets per iteration through the pair table.
+
+Pipeline per chunk: vectorized gathers (placement, pre-drawn bit choices)
+→ stable sort by word → per-stretch saturation screen
+(``np.bitwise_or.reduceat`` of the candidate bits plus a popcount LUT:
+a stretch whose OR-accumulated candidate state cannot reach the
+saturation threshold commits in O(1)) → byte-pair LUT replay of the
+contested stretches → insertion events applied to the WSAF in packet
+order through :meth:`WSAFTable.accumulate_batch`.
+
+Randomness is drawn exactly as the scalar path draws it (same generator,
+same sizes, same order), so every sketch word, counter, and WSAF record
+comes out identical — the equivalence suite in ``tests/test_kernels.py``
+asserts this across seeds, chunk sizes, policies, and geometries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernels.luts import SENTINEL, kernel_tables
+
+#: Trace attribute under which per-chunk sort layouts are cached.
+_LAYOUT_ATTR = "_batched_layout"
+
+#: Bumped when the layout dict layout changes, to invalidate stale caches.
+_LAYOUT_VERSION = 2
+
+#: Default packets per kernel chunk (one chunk for most lab traces).
+DEFAULT_CHUNK_SIZE = 1 << 20
+
+
+@dataclass
+class BatchCounters:
+    """Counters a batched run hands back for folding into shared stats."""
+
+    packets: int = 0
+    l1_saturations: int = 0
+    insertions: int = 0
+    #: Packets encoded into each L2 bank (indexed by L1 noise level).
+    l2_encoded: "list[int]" = field(default_factory=list)
+    #: Saturations observed in each L2 bank.
+    l2_saturated: "list[int]" = field(default_factory=list)
+
+
+def supports_batched(engine) -> bool:
+    """Whether ``engine`` can run the batched kernel.
+
+    Requires the paper's 2-layer
+    :class:`~repro.core.regulator.FlowRegulator` (the shared L1/L2
+    placement is what makes per-word grouping sound) with
+    ``vector_bits <= 8`` (window states must fit the byte-indexed FSM
+    tables).  Other regulator depths and wider vectors take the scalar
+    path.
+    """
+    from repro.core.regulator import FlowRegulator
+
+    regulator = getattr(engine, "regulator", None)
+    return isinstance(regulator, FlowRegulator) and regulator.vector_bits <= 8
+
+
+def _chunk_layouts(trace, l1, chunk_size: int) -> "list[dict]":
+    """Per-chunk word-sorted layouts for ``trace``, cached on the trace.
+
+    A layout (stable sort order by word, stretch boundaries, per-stretch
+    word/offset headers) depends only on the trace, the sketch placement,
+    and the chunking — never on a run's randomness — so repeated runs over
+    the same trace reuse it.  The cache is keyed by the placement
+    fingerprint and invalidated whenever a differently-configured engine
+    processes the trace.
+    """
+    cache_key = (
+        _LAYOUT_VERSION,
+        l1._place_seed_idx,
+        l1._place_seed_off,
+        l1.num_words,
+        l1.word_bits,
+        int(chunk_size),
+    )
+    cached = getattr(trace, _LAYOUT_ATTR, None)
+    if cached is not None and cached[0] == cache_key:
+        return cached[1]
+
+    idx_by_flow, off_by_flow = l1.place_array(trace.flows.key64)
+    flow_ids = trace.flow_ids
+    word_dtype = np.uint16 if l1.num_words <= (1 << 16) else np.uint32
+    packet_words = idx_by_flow.astype(word_dtype)[flow_ids]
+    packet_offsets = off_by_flow.astype(np.uint8)[flow_ids]
+
+    layouts = []
+    for begin in range(0, trace.num_packets, chunk_size):
+        end = min(begin + chunk_size, trace.num_packets)
+        chunk_words = packet_words[begin:end]
+        order = np.argsort(chunk_words, kind="stable")
+        sorted_words = chunk_words[order]
+        sorted_offsets = packet_offsets[begin:end][order]
+        # One key per (word, offset); offsets fit 6 bits (word_bits <= 64).
+        stretch_key = (sorted_words.astype(np.int64) << 6) | sorted_offsets
+        span = end - begin
+        if span > 1:
+            reduce_starts = np.flatnonzero(
+                np.concatenate(([True], stretch_key[1:] != stretch_key[:-1]))
+            )
+        else:
+            reduce_starts = np.zeros(1, dtype=np.int64)
+        head_offsets = sorted_offsets[reduce_starts]
+        order_dtype = np.int32 if trace.num_packets <= (1 << 31) - 1 else np.int64
+        layouts.append(
+            dict(
+                # Global packet positions, chunk-sorted; int32 for gathers.
+                order=(order + begin).astype(order_dtype),
+                reduce_starts=reduce_starts,
+                starts=reduce_starts.tolist(),
+                ends=np.append(reduce_starts[1:], span).tolist(),
+                words=sorted_words[reduce_starts].tolist(),
+                offsets=head_offsets.tolist(),
+                offsets_arr=head_offsets.astype(np.uint64),
+            )
+        )
+    setattr(trace, _LAYOUT_ATTR, (cache_key, layouts))
+    return layouts
+
+
+def process_trace_batched(
+    engine, trace, on_accumulate=None, chunk_size: "int | None" = None
+) -> BatchCounters:
+    """Process ``trace`` through ``engine``'s regulator and WSAF, batched.
+
+    Mutates the engine's sketch words and WSAF exactly as the scalar loop
+    would and returns the run's :class:`BatchCounters` (the caller folds
+    them into the shared stats/accounting objects).  ``chunk_size``
+    defaults to the engine config's value.
+    """
+    regulator = engine.regulator
+    l1 = regulator.l1
+    vector_bits = l1.vector_bits
+    word_bits = l1.word_bits
+    sat_bits = l1.saturation_bits
+    if chunk_size is None:
+        chunk_size = getattr(engine.config, "chunk_size", DEFAULT_CHUNK_SIZE)
+
+    counters = BatchCounters(
+        packets=trace.num_packets,
+        l2_encoded=[0] * len(regulator.l2),
+        l2_saturated=[0] * len(regulator.l2),
+    )
+    num_packets = trace.num_packets
+    if num_packets == 0:
+        return counters
+
+    tables = kernel_tables(vector_bits, sat_bits)
+    step1 = tables.single
+    step_pair = tables.pair
+    b2_of = tables.b2_of_code
+    popcount = tables.popcount
+    step1_empty = step1[0]
+    sentinel = SENTINEL
+
+    layouts = _chunk_layouts(trace, l1, chunk_size)
+
+    # Identical draws to the scalar path: same generator, sizes, order.
+    rng = np.random.default_rng(engine.config.seed ^ 0xB17)
+    bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+    bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+    code_all = bits1 + np.uint8(vector_bits) * bits2
+    bit_values = np.left_shift(np.uint8(1), np.arange(vector_bits, dtype=np.uint8))
+
+    window_masks = l1._window_masks
+    decode = l1._decode_table
+    words = l1.words
+    l2_words = [sketch.words for sketch in regulator.l2]
+    num_banks = len(l2_words)
+    word_mask = (1 << word_bits) - 1
+    window_all = (1 << vector_bits) - 1
+    l2_encoded = counters.l2_encoded
+    l2_saturated = counters.l2_saturated
+
+    flow_ids = trace.flow_ids
+    key64 = trace.flows.key64
+    timestamps = trace.timestamps
+    sizes = trace.sizes
+    packed_tuples = trace.flows.packed_tuples()
+
+    l1_saturations = 0
+    insertions = 0
+
+    for layout in layouts:
+        order = layout["order"]
+
+        sorted_code = code_all[order]
+        stream = sorted_code.tobytes()
+        if vector_bits & (vector_bits - 1) == 0:
+            sorted_b1 = sorted_code & np.uint8(vector_bits - 1)
+        else:
+            sorted_b1 = sorted_code % np.uint8(vector_bits)
+        bit_stream = bit_values[sorted_b1]
+        or_heads = np.bitwise_or.reduceat(bit_stream, layout["reduce_starts"])
+        # Pre-rotate each stretch's OR mask into word position so the
+        # screen-and-commit of an uncontested stretch is a plain OR plus
+        # one masked popcount — no per-stretch window rotation.
+        offsets_arr = layout["offsets_arr"]
+        or64 = or_heads.astype(np.uint64)
+        # Right-shift count masked to the word size: offset 0 then shifts
+        # by 0 (both halves equal the unrotated mask), never by word_bits.
+        inv_shifts = (np.uint64(word_bits) - offsets_arr) & np.uint64(
+            word_bits - 1
+        )
+        rotated_or = (
+            ((or64 << offsets_arr) | (or64 >> inv_shifts))
+            & np.uint64(word_mask)
+        ).tolist()
+        pairs = len(sorted_b1) >> 1
+        pair_stream = (
+            sorted_b1[: 2 * pairs : 2] | (sorted_b1[1 : 2 * pairs : 2] << 3)
+        ).tobytes()
+        # Quad screen: OR of each aligned 4-packet block.  Inside a
+        # contested stretch, a block whose OR cannot push the window to
+        # saturation is committed in one step (OR is monotone, so no
+        # intermediate packet could have saturated either).
+        quads = pairs >> 1
+        pair_or = (
+            bit_stream[: 2 * pairs : 2] | bit_stream[1 : 2 * pairs : 2]
+        )
+        quad_or = (pair_or[: 2 * quads : 2] | pair_or[1 : 2 * quads : 2]).tobytes()
+
+        event_pos: "list[int]" = []
+        event_z: "list[int]" = []
+        event_z2: "list[int]" = []
+
+        for w, off, rot_or, a, b in zip(
+            layout["words"],
+            layout["offsets"],
+            rotated_or,
+            layout["starts"],
+            layout["ends"],
+        ):
+            word = words[w]
+            window = window_masks[off]
+            candidate = word | rot_or
+            if (candidate & window).bit_count() < sat_bits:
+                # Uncontested: the whole stretch cannot saturate; commit
+                # its OR-accumulated window in one write.
+                words[w] = candidate
+                continue
+            # Contested: replay the stretch through the FSM tables.
+            inv = word_bits - off
+            state = ((word >> off) | (word << inv)) & window_all
+            rest = word & ~window
+            l2_states = None
+            if a & 1:  # align the stretch to the packet-pair stream
+                c0 = stream[a]
+                nxt = step1[state][c0 - b2_of[c0] * vector_bits]
+                if nxt < sentinel:
+                    state = nxt
+                else:
+                    z = nxt - sentinel
+                    if l2_states is None:
+                        l2_states = [
+                            ((l2_words[q][w] >> off) | (l2_words[q][w] << inv))
+                            & window_all
+                            for q in range(num_banks)
+                        ]
+                    nxt2 = step1[l2_states[z]][b2_of[c0]]
+                    l2_encoded[z] += 1
+                    if nxt2 >= sentinel:
+                        event_pos.append(a)
+                        event_z.append(z)
+                        event_z2.append(nxt2 - sentinel)
+                        l2_saturated[z] += 1
+                        l2_states[z] = 0
+                    else:
+                        l2_states[z] = nxt2
+                    l1_saturations += 1
+                    state = 0
+                a += 1
+            pair_end = b - ((b - a) & 1)
+            jj = a >> 1
+            end_jj = pair_end >> 1
+            while jj < end_jj:
+                if not jj & 1 and jj + 2 <= end_jj:
+                    candidate = state | quad_or[jj >> 1]
+                    if popcount[candidate] < sat_bits:
+                        state = candidate
+                        jj += 2
+                        continue
+                pb = pair_stream[jj]
+                nxt = step_pair[state][pb]
+                if nxt < sentinel:
+                    state = nxt
+                    jj += 1
+                    continue
+                tag = nxt - sentinel
+                pos = tag >> 3
+                z = tag & 7
+                j = (jj << 1) | pos
+                if l2_states is None:
+                    l2_states = [
+                        ((l2_words[q][w] >> off) | (l2_words[q][w] << inv))
+                        & window_all
+                        for q in range(num_banks)
+                    ]
+                nxt2 = step1[l2_states[z]][b2_of[stream[j]]]
+                l2_encoded[z] += 1
+                if nxt2 >= sentinel:
+                    event_pos.append(j)
+                    event_z.append(z)
+                    event_z2.append(nxt2 - sentinel)
+                    l2_saturated[z] += 1
+                    l2_states[z] = 0
+                else:
+                    l2_states[z] = nxt2
+                l1_saturations += 1
+                if pos:
+                    state = 0
+                else:
+                    # The pair's second packet restarts the recycled window.
+                    nxt = step1_empty[pb >> 3]
+                    if nxt < sentinel:
+                        state = nxt
+                    else:
+                        z = nxt - sentinel
+                        j += 1
+                        nxt2 = step1[l2_states[z]][b2_of[stream[j]]]
+                        l2_encoded[z] += 1
+                        if nxt2 >= sentinel:
+                            event_pos.append(j)
+                            event_z.append(z)
+                            event_z2.append(nxt2 - sentinel)
+                            l2_saturated[z] += 1
+                            l2_states[z] = 0
+                        else:
+                            l2_states[z] = nxt2
+                        l1_saturations += 1
+                        state = 0
+                jj += 1
+            if pair_end < b:  # odd trailing packet
+                c0 = stream[pair_end]
+                nxt = step1[state][c0 - b2_of[c0] * vector_bits]
+                if nxt < sentinel:
+                    state = nxt
+                else:
+                    z = nxt - sentinel
+                    if l2_states is None:
+                        l2_states = [
+                            ((l2_words[q][w] >> off) | (l2_words[q][w] << inv))
+                            & window_all
+                            for q in range(num_banks)
+                        ]
+                    nxt2 = step1[l2_states[z]][b2_of[c0]]
+                    l2_encoded[z] += 1
+                    if nxt2 >= sentinel:
+                        event_pos.append(pair_end)
+                        event_z.append(z)
+                        event_z2.append(nxt2 - sentinel)
+                        l2_saturated[z] += 1
+                        l2_states[z] = 0
+                    else:
+                        l2_states[z] = nxt2
+                    l1_saturations += 1
+                    state = 0
+            words[w] = rest | (((state << off) | (state >> inv)) & word_mask)
+            if l2_states is not None:
+                for q in range(num_banks):
+                    bank_word = l2_words[q][w]
+                    bank_state = l2_states[q]
+                    l2_words[q][w] = (bank_word & ~window) | (
+                        ((bank_state << off) | (bank_state >> inv)) & word_mask
+                    )
+
+        if event_pos:
+            # Restore global coupling: apply this chunk's insertions in
+            # original packet order (chunks are contiguous, so chunk order
+            # composes to trace order).
+            positions = order[np.array(event_pos, dtype=np.int64)]
+            rank = np.argsort(positions, kind="stable")
+            positions = positions[rank]
+            event_flows = flow_ids[positions]
+            z1_sorted = np.array(event_z, dtype=np.int64)[rank]
+            z2_sorted = np.array(event_z2, dtype=np.int64)[rank]
+            accumulate = engine.wsaf.accumulate
+            for flow, key, stamp, size, noise1, noise2 in zip(
+                event_flows.tolist(),
+                key64[event_flows].tolist(),
+                timestamps[positions].tolist(),
+                sizes[positions].tolist(),
+                z1_sorted.tolist(),
+                z2_sorted.tolist(),
+            ):
+                est_pkt = decode[noise1] * decode[noise2]
+                totals = accumulate(
+                    key, est_pkt, est_pkt * size, stamp, packed_tuples[flow]
+                )
+                if on_accumulate is not None:
+                    on_accumulate(key, totals[0], totals[1], stamp)
+            insertions += len(event_pos)
+
+    counters.l1_saturations = l1_saturations
+    counters.insertions = insertions
+    return counters

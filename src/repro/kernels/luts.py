@@ -1,0 +1,114 @@
+"""Precomputed transition tables for the batched regulator kernel.
+
+The per-word evolution of an RCC layer is a finite-state machine over the
+``2**vector_bits`` window states: each packet ORs one bit into the window,
+and once ``saturation_bits`` bits are set the window recycles to zero and
+reports its noise level (the count of still-zero bits).  With
+``vector_bits <= 8`` the whole FSM fits a few hundred interned small
+integers, so the hot loop becomes bytes-indexed list lookups instead of
+shift/mask/popcount arithmetic per packet.
+
+Saturating transitions are flagged with values ``>= SENTINEL``:
+
+* single-packet table: ``SENTINEL + z`` where ``z`` is the noise level;
+* packet-pair table: ``SENTINEL + pos * 8 + z`` where ``pos`` names which
+  packet of the pair (0 = first, 1 = second) saturated first.
+
+Tables depend only on the layer geometry ``(vector_bits, saturation_bits)``
+and are cached per geometry for the life of the process.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.rcc import popcount_table
+from repro.errors import ConfigurationError
+
+#: Transition values at or above this mark a saturation (see module doc).
+SENTINEL = 256
+
+
+class KernelTables(NamedTuple):
+    """FSM tables for one RCC layer geometry (see the module docstring)."""
+
+    #: ``single[state][bit]`` — window state after one packet, or sentinel.
+    single: "list[list[int]]"
+    #: ``pair[state][bit_a | bit_b << 3]`` — state after two packets.
+    pair: "list[list[int]]"
+    #: ``b2_of_code[b1 + vector_bits * b2]`` — the packet's L2 bit choice.
+    b2_of_code: "list[int]"
+    #: ``popcount[state]`` — set bits per window state.
+    popcount: "list[int]"
+
+
+_CACHE: "dict[tuple[int, int], KernelTables]" = {}
+
+
+def kernel_tables(vector_bits: int, saturation_bits: int) -> KernelTables:
+    """Build (or fetch cached) transition tables for one layer geometry.
+
+    ``single[state][bit]`` is the window state after ORing ``1 << bit``
+    into ``state``, or ``SENTINEL + z`` if that OR reaches
+    ``saturation_bits`` set bits (the window then recycles to zero) at
+    noise level ``z``.  ``pair[state][code]`` advances two packets at once
+    with ``code = bit_a | bit_b << 3``; a saturating pair returns
+    ``SENTINEL + pos * 8 + z``.  Only defined for ``vector_bits <= 8``:
+    states must fit a byte and noise levels must fit 3 bits.
+    """
+    if not 2 <= vector_bits <= 8:
+        raise ConfigurationError(
+            f"kernel tables need vector_bits in [2, 8], got {vector_bits}"
+        )
+    if not 1 <= saturation_bits <= vector_bits:
+        raise ConfigurationError(
+            f"saturation_bits must be in [1, {vector_bits}], got {saturation_bits}"
+        )
+    key = (vector_bits, saturation_bits)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    num_states = 1 << vector_bits
+    single: "list[list[int]]" = []
+    for state in range(num_states):
+        row = []
+        for bit in range(vector_bits):
+            merged = state | (1 << bit)
+            set_bits = merged.bit_count()
+            if set_bits >= saturation_bits:
+                row.append(SENTINEL + (vector_bits - set_bits))
+            else:
+                row.append(merged)
+        single.append(row)
+
+    pair: "list[list[int]]" = []
+    for state in range(num_states):
+        row = []
+        for code in range(64):
+            bit_a = code & 7
+            bit_b = code >> 3
+            if bit_a >= vector_bits or bit_b >= vector_bits:
+                row.append(0)  # unreachable padding for narrow vectors
+                continue
+            first = single[state][bit_a]
+            if first >= SENTINEL:
+                row.append(SENTINEL + (first - SENTINEL))
+                continue
+            second = single[first][bit_b]
+            if second >= SENTINEL:
+                row.append(SENTINEL + 8 + (second - SENTINEL))
+            else:
+                row.append(second)
+        pair.append(row)
+
+    tables = KernelTables(
+        single=single,
+        pair=pair,
+        b2_of_code=[
+            code // vector_bits for code in range(vector_bits * vector_bits)
+        ],
+        popcount=popcount_table(vector_bits),
+    )
+    _CACHE[key] = tables
+    return tables

@@ -85,6 +85,7 @@ class FlowTable:
         self.protocol = np.ascontiguousarray(protocol, dtype=np.uint8)
         self.hash_seed = hash_seed
         self.key64 = self._compute_keys()
+        self._packed_tuples: "list[int] | None" = None
 
     def _compute_keys(self) -> np.ndarray:
         # Vectorized equivalent of FiveTuple.key64: fold the 104-bit packed
@@ -114,6 +115,30 @@ class FlowTable:
             dst_port=int(self.dst_port[index]),
             protocol=int(self.protocol[index]),
         )
+
+    def packed_tuples(self) -> "list[int]":
+        """Per-flow 104-bit packed 5-tuples (:meth:`FiveTuple.packed`).
+
+        Computed lazily and cached on the table: engines store these in
+        WSAF records on every insertion, and a trace is typically processed
+        many times (sweeps, repeated engines), so the list comprehension
+        should run once per flow table, not once per run.
+        """
+        if self._packed_tuples is None:
+            src = self.src_ip.tolist()
+            dst = self.dst_ip.tolist()
+            sport = self.src_port.tolist()
+            dport = self.dst_port.tolist()
+            proto = self.protocol.tolist()
+            self._packed_tuples = [
+                src[i] << 72
+                | dst[i] << 40
+                | sport[i] << 24
+                | dport[i] << 8
+                | proto[i]
+                for i in range(len(src))
+            ]
+        return self._packed_tuples
 
     def __iter__(self) -> Iterator[FiveTuple]:
         for index in range(len(self)):

@@ -69,8 +69,8 @@ class TestEngineAccounting:
             accountant=slow_accountant,
         )
         rng = np.random.default_rng(engine.config.seed ^ 0xB17)
-        bits1 = rng.integers(0, 8, size=trace.num_packets)
-        bits2 = rng.integers(0, 8, size=trace.num_packets)
+        bits1 = rng.integers(0, 8, size=trace.num_packets, dtype=np.uint8)
+        bits2 = rng.integers(0, 8, size=trace.num_packets, dtype=np.uint8)
         keys = trace.flows.key64
         for p in range(trace.num_packets):
             engine.process_packet(

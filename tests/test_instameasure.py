@@ -108,8 +108,8 @@ class TestPathEquivalence:
 
         slow = InstaMeasure(config)
         rng = np.random.default_rng(config.seed ^ 0xB17)
-        bits1 = rng.integers(0, 8, size=trace.num_packets)
-        bits2 = rng.integers(0, 8, size=trace.num_packets)
+        bits1 = rng.integers(0, 8, size=trace.num_packets, dtype=np.uint8)
+        bits2 = rng.integers(0, 8, size=trace.num_packets, dtype=np.uint8)
         keys = trace.flows.key64
         for p in range(trace.num_packets):
             slow.process_packet(

@@ -1,0 +1,247 @@
+"""Batched-kernel equivalence tests.
+
+The contract of :mod:`repro.kernels` is *bit-identicality*: the batched
+engine must leave exactly the same regulator words, counters, statistics,
+and WSAF contents behind as the scalar per-packet loop, for every
+configuration it claims to support.  These tests enforce that contract
+across seeds, chunk sizes (including degenerate ones), eviction policies,
+saturation thresholds, and vector geometries, and pin the gating rules
+that route unsupported configurations back to the scalar path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instameasure import InstaMeasure, InstaMeasureConfig
+from repro.core.rcc import popcount_table
+from repro.errors import ConfigurationError
+from repro.kernels import SENTINEL, kernel_tables, supports_batched
+from repro.traffic.synth import CaidaLikeConfig, build_caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    """A small but saturation-rich trace (heavy flows + mice)."""
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=2500, duration=8.0, seed=11)
+    )
+
+
+def _config(**overrides) -> InstaMeasureConfig:
+    defaults = dict(l1_memory_bytes=2048, wsaf_entries=1 << 12, seed=0)
+    defaults.update(overrides)
+    return InstaMeasureConfig(**defaults)
+
+
+def _run(trace, config):
+    engine = InstaMeasure(config)
+    result = engine.process_trace(trace)
+    return engine, result
+
+
+def _assert_identical(scalar_engine, batched_engine):
+    """Every observable piece of state must match exactly."""
+    scalar_reg = scalar_engine.regulator
+    batched_reg = batched_engine.regulator
+    assert scalar_reg.l1.words == batched_reg.l1.words
+    assert scalar_reg.l1.packets_encoded == batched_reg.l1.packets_encoded
+    assert scalar_reg.l1.saturations == batched_reg.l1.saturations
+    assert len(scalar_reg.l2) == len(batched_reg.l2)
+    for scalar_l2, batched_l2 in zip(scalar_reg.l2, batched_reg.l2):
+        assert scalar_l2.words == batched_l2.words
+        assert scalar_l2.packets_encoded == batched_l2.packets_encoded
+        assert scalar_l2.saturations == batched_l2.saturations
+    assert scalar_reg.stats == batched_reg.stats
+    assert scalar_engine.wsaf.estimates() == batched_engine.wsaf.estimates()
+    assert scalar_engine.wsaf.insertions == batched_engine.wsaf.insertions
+    assert scalar_engine.wsaf.updates == batched_engine.wsaf.updates
+    assert scalar_engine.wsaf.evictions == batched_engine.wsaf.evictions
+    assert scalar_engine.wsaf.rejected == batched_engine.wsaf.rejected
+
+
+class TestBitIdenticality:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_identical_across_seeds(self, trace, seed):
+        scalar_engine, scalar_result = _run(trace, _config(seed=seed, engine="scalar"))
+        batched_engine, batched_result = _run(
+            trace, _config(seed=seed, engine="batched")
+        )
+        assert scalar_result.packets == batched_result.packets == trace.num_packets
+        assert scalar_result.insertions == batched_result.insertions
+        _assert_identical(scalar_engine, batched_engine)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 4096, 1 << 20])
+    def test_identical_across_chunk_sizes(self, trace, chunk_size):
+        scalar_engine, _ = _run(trace, _config(engine="scalar"))
+        batched_engine, _ = _run(
+            trace, _config(engine="batched", chunk_size=chunk_size)
+        )
+        _assert_identical(scalar_engine, batched_engine)
+
+    @pytest.mark.parametrize("policy", ["second-chance", "min", "reject"])
+    def test_identical_under_eviction_pressure(self, trace, policy):
+        # A 16-entry table with a 4-slot probe window forces constant
+        # evictions, so WSAF ordering bugs cannot hide.
+        pressured = _config(
+            wsaf_entries=16, probe_limit=4, eviction_policy=policy
+        )
+        scalar_engine, _ = _run(trace, replace_engine(pressured, "scalar"))
+        batched_engine, _ = _run(trace, replace_engine(pressured, "batched"))
+        assert scalar_engine.wsaf.evictions > 0 or policy == "reject"
+        _assert_identical(scalar_engine, batched_engine)
+
+    @pytest.mark.parametrize("saturation_fill", [0.5, 0.75, 0.9])
+    def test_identical_across_saturation_fill(self, trace, saturation_fill):
+        scalar_engine, _ = _run(
+            trace, _config(engine="scalar", saturation_fill=saturation_fill)
+        )
+        batched_engine, _ = _run(
+            trace, _config(engine="batched", saturation_fill=saturation_fill)
+        )
+        _assert_identical(scalar_engine, batched_engine)
+
+    @pytest.mark.parametrize("vector_bits", [3, 4, 5, 8])
+    def test_identical_across_vector_bits(self, trace, vector_bits):
+        scalar_engine, _ = _run(
+            trace, _config(engine="scalar", vector_bits=vector_bits)
+        )
+        batched_engine, _ = _run(
+            trace, _config(engine="batched", vector_bits=vector_bits)
+        )
+        _assert_identical(scalar_engine, batched_engine)
+
+    def test_identical_with_64bit_words(self, trace):
+        scalar_engine, _ = _run(trace, _config(engine="scalar", word_bits=64))
+        batched_engine, _ = _run(trace, _config(engine="batched", word_bits=64))
+        _assert_identical(scalar_engine, batched_engine)
+
+    def test_callbacks_fire_identically(self, trace):
+        scalar_calls: list = []
+        batched_calls: list = []
+        scalar_engine = InstaMeasure(_config(engine="scalar"))
+        scalar_engine.process_trace(
+            trace, on_accumulate=lambda *args: scalar_calls.append(args)
+        )
+        batched_engine = InstaMeasure(_config(engine="batched"))
+        batched_engine.process_trace(
+            trace, on_accumulate=lambda *args: batched_calls.append(args)
+        )
+        assert scalar_calls == batched_calls
+        assert len(scalar_calls) > 0
+
+    def test_empty_trace(self, trace):
+        empty = trace.time_slice(-2.0, -1.0)
+        assert empty.num_packets == 0
+        engine, result = _run(empty, _config(engine="batched"))
+        assert result.packets == 0
+        assert result.insertions == 0
+
+
+def replace_engine(config: InstaMeasureConfig, engine: str) -> InstaMeasureConfig:
+    """A copy of ``config`` running on ``engine``."""
+    from dataclasses import replace
+
+    return replace(config, engine=engine)
+
+
+class TestEngineGating:
+    def test_auto_falls_back_for_deep_regulators(self, trace):
+        engine = InstaMeasure(_config(engine="auto", num_layers=3))
+        assert not supports_batched(engine)
+        result = engine.process_trace(trace)  # generic path must still run
+        assert result.packets == trace.num_packets
+
+    def test_batched_rejects_deep_regulators(self):
+        with pytest.raises(ConfigurationError):
+            InstaMeasure(_config(engine="batched", num_layers=3))
+
+    def test_batched_rejects_wide_vectors(self):
+        with pytest.raises(ConfigurationError):
+            InstaMeasure(_config(engine="batched", vector_bits=16, word_bits=32))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstaMeasure(_config(engine="turbo"))
+
+    def test_zero_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstaMeasure(_config(chunk_size=0))
+
+
+class TestKernelTables:
+    def test_pair_table_matches_single_steps(self):
+        """pair[state][a | b<<3] must equal two single transitions."""
+        tables = kernel_tables(vector_bits=8, saturation_bits=6)
+        for state in range(1 << 8):
+            for bit_a in range(8):
+                mid = tables.single[state][bit_a]
+                for bit_b in range(8):
+                    expected: int
+                    if mid >= SENTINEL:
+                        # First packet saturates: position 0, noise encoded.
+                        expected = SENTINEL + 0 * 8 + (mid - SENTINEL)
+                    else:
+                        after = tables.single[mid][bit_b]
+                        if after >= SENTINEL:
+                            expected = SENTINEL + 1 * 8 + (after - SENTINEL)
+                        else:
+                            expected = after
+                    assert tables.pair[state][bit_a | (bit_b << 3)] == expected
+
+    def test_single_table_brute_force(self):
+        """Transitions must match naive set-bit-then-check-saturation."""
+        vector_bits, saturation_bits = 5, 4
+        tables = kernel_tables(vector_bits, saturation_bits)
+        for state in range(1 << vector_bits):
+            for bit in range(vector_bits):
+                merged = state | (1 << bit)
+                set_bits = bin(merged).count("1")
+                if set_bits >= saturation_bits:
+                    expected = SENTINEL + (vector_bits - set_bits)
+                else:
+                    expected = merged
+                assert tables.single[state][bit] == expected
+
+    def test_b2_of_code_layout(self):
+        tables = kernel_tables(vector_bits=8, saturation_bits=6)
+        for bits1 in range(8):
+            for bits2 in range(8):
+                assert tables.b2_of_code[bits1 + 8 * bits2] == bits2
+
+    def test_rejects_unsupported_geometry(self):
+        with pytest.raises(ConfigurationError):
+            kernel_tables(vector_bits=9, saturation_bits=6)
+        with pytest.raises(ConfigurationError):
+            kernel_tables(vector_bits=8, saturation_bits=0)
+
+    def test_popcount_table_widths(self):
+        assert popcount_table(8)[0b10110] == 3
+        with pytest.raises(ConfigurationError):
+            popcount_table(17)
+
+
+class TestResultSemantics:
+    def test_results_report_per_run_deltas(self, trace):
+        """Satellite fix: a second run must not re-report the first's work."""
+        for engine_name in ("scalar", "batched"):
+            engine = InstaMeasure(_config(engine=engine_name))
+            first = engine.process_trace(trace)
+            second = engine.process_trace(trace)
+            assert first.packets == trace.num_packets
+            assert second.packets == trace.num_packets  # not 2x
+            assert second.regulator_stats.packets == trace.num_packets
+            # Cumulative totals still live on the regulator itself.
+            assert engine.regulator.stats.packets == 2 * trace.num_packets
+
+    def test_occupied_slot_set_consistency(self, trace):
+        """The O(size) slot set must mirror the occupancy column exactly."""
+        engine, _ = _run(
+            trace, _config(engine="batched", wsaf_entries=16, probe_limit=4)
+        )
+        table = engine.wsaf
+        expected = {
+            slot for slot, used in enumerate(table._occupied) if used
+        }
+        assert table._occupied_slots == expected
+        assert len(list(table.entries())) == table.size == len(expected)

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.core",
     "repro.detection",
     "repro.hashing",
+    "repro.kernels",
     "repro.memmodel",
     "repro.simulate",
     "repro.traffic",
