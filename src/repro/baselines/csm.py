@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.hashing import HashFamily, hash_u64_array
+from repro.hashing import HashFamily
 from repro.traffic.packet import Trace
 
 COUNTER_BYTES = 4
@@ -61,12 +61,8 @@ class CSMSketch:
 
     def _flow_counters_array(self, flow_keys: np.ndarray) -> np.ndarray:
         """(num_flows, l) pool indices, vectorized; matches :meth:`flow_counters`."""
-        columns = [
-            hash_u64_array(flow_keys, self._family.seed_of(j))
-            % np.uint64(self.pool_size)
-            for j in range(self.counters_per_flow)
-        ]
-        return np.stack(columns, axis=1).astype(np.int64)
+        matrix = self._family.hash_matrix(flow_keys) % np.uint64(self.pool_size)
+        return matrix.astype(np.int64)
 
     # -- encode ------------------------------------------------------------
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import heapq
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.traffic.packet import Trace
 
@@ -68,10 +70,26 @@ class SpaceSaving:
         self._push(key)
 
     def process_trace(self, trace: Trace) -> None:
-        """Feed every packet of ``trace`` (keys are the flows' key64)."""
-        keys = trace.flows.key64.tolist()
-        for flow in trace.flow_ids.tolist():
-            self.offer(keys[flow])
+        """Feed every packet of ``trace`` (keys are the flows' key64).
+
+        Consecutive packets of the same flow are collapsed into one
+        ``offer(key, run_length)`` call: an n-packet run leaves exactly
+        the same counts and errors as n unit offers (the count lands in
+        one addition and the heap keeps one up-to-date entry per key
+        either way), so the summary is state-identical while the Python
+        loop runs once per run instead of once per packet.
+        """
+        flow_ids = trace.flow_ids
+        if flow_ids.size == 0:
+            return
+        starts = np.concatenate(
+            ([0], np.flatnonzero(flow_ids[1:] != flow_ids[:-1]) + 1)
+        )
+        lengths = np.diff(np.concatenate((starts, [flow_ids.size])))
+        run_keys = trace.flows.key64[flow_ids[starts]]
+        offer = self.offer
+        for key, count in zip(run_keys.tolist(), lengths.tolist()):
+            offer(key, count)
 
     def estimate(self, key: int) -> int:
         """Estimated count (0 if unmonitored; never underestimates)."""

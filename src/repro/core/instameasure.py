@@ -53,6 +53,52 @@ def packed_five_tuples(flows: FlowTable) -> "list[int]":
 #: Valid ``InstaMeasureConfig.engine`` values.
 ENGINE_CHOICES = ("auto", "batched", "scalar")
 
+#: Valid ``InstaMeasureConfig.wsaf_engine`` values.
+WSAF_ENGINE_CHOICES = ("auto", "batched", "scalar")
+
+
+def resolved_wsaf_engine(config: "InstaMeasureConfig") -> str:
+    """Which WSAF backing store ``config`` gets: "batched" or "scalar".
+
+    ``"auto"`` picks the array-backed :class:`~repro.kernels.wsaf_batched.
+    BatchedWSAFTable` whenever the trace path itself batches (the batched
+    regulator kernel delegates whole update batches, which is where cohort
+    probing pays); a scalar trace path keeps the scalar table, whose
+    per-event ``accumulate`` is faster on plain Python lists.
+    """
+    if config.wsaf_engine in ("batched", "scalar"):
+        return config.wsaf_engine
+    if config.engine == "scalar":
+        return "scalar"
+    if config.num_layers == 2 and config.vector_bits <= 8:
+        return "batched"
+    return "scalar"
+
+
+def build_wsaf_table(
+    config: "InstaMeasureConfig",
+    accountant: "AccessAccountant | None" = None,
+) -> WSAFTable:
+    """The WSAF instance ``config`` asks for (scalar or batch-probed)."""
+    if config.wsaf_engine not in WSAF_ENGINE_CHOICES:
+        raise ConfigurationError(
+            f"unknown wsaf_engine {config.wsaf_engine!r}; "
+            f"known: {WSAF_ENGINE_CHOICES}"
+        )
+    if resolved_wsaf_engine(config) == "batched":
+        from repro.kernels.wsaf_batched import BatchedWSAFTable
+
+        table_class: "type[WSAFTable]" = BatchedWSAFTable
+    else:
+        table_class = WSAFTable
+    return table_class(
+        num_entries=config.wsaf_entries,
+        probe_limit=config.probe_limit,
+        gc_timeout=config.gc_timeout,
+        accountant=accountant,
+        eviction_policy=config.eviction_policy,
+    )
+
 
 @dataclass
 class InstaMeasureConfig:
@@ -78,6 +124,10 @@ class InstaMeasureConfig:
             Python loop.  All engines are bit-identical.
         chunk_size: packets per batched-kernel chunk (bounds the working
             set of the vectorized stage; irrelevant to the scalar path).
+        wsaf_engine: WSAF backing store — ``"auto"`` pairs the batch-probed
+            array table with the batched trace engine (and keeps the scalar
+            table otherwise), ``"batched"`` / ``"scalar"`` force one.  Both
+            stores are state-identical; only throughput differs.
     """
 
     l1_memory_bytes: int = 32 * 1024
@@ -92,6 +142,7 @@ class InstaMeasureConfig:
     seed: int = 0
     engine: str = "auto"
     chunk_size: int = 1 << 20
+    wsaf_engine: str = "auto"
 
 
 @dataclass
@@ -169,13 +220,8 @@ class InstaMeasure:
                     "engine='batched' requires the 2-layer FlowRegulator "
                     "with vector_bits <= 8; use engine='auto' to fall back"
                 )
-        self.wsaf = WSAFTable(
-            num_entries=self.config.wsaf_entries,
-            probe_limit=self.config.probe_limit,
-            gc_timeout=self.config.gc_timeout,
-            accountant=accountant,
-            eviction_policy=self.config.eviction_policy,
-        )
+        self.wsaf = build_wsaf_table(self.config, accountant)
+        self.wsaf_engine = resolved_wsaf_engine(self.config)
         self._rng = random.Random(self.config.seed ^ 0x5EED)
 
     # -- per-packet path -----------------------------------------------------
@@ -371,7 +417,10 @@ class InstaMeasure:
 
         start = time.perf_counter()
         counters = process_trace_batched(
-            self, trace, on_accumulate=on_accumulate
+            self,
+            trace,
+            on_accumulate=on_accumulate,
+            delegate=self.wsaf_engine == "batched",
         )
         elapsed = time.perf_counter() - start
 
@@ -508,7 +557,7 @@ class InstaMeasure:
         """
         est_packets = np.zeros(trace.num_flows)
         est_bytes = np.zeros(trace.num_flows)
-        table = self.wsaf.estimates()
+        table = self.wsaf.estimates(flow_keys=trace.flows.key64)
         for flow_index in range(trace.num_flows):
             key = int(trace.flows.key64[flow_index])
             record = table.get(key)

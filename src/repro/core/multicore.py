@@ -36,6 +36,7 @@ from repro.core.instameasure import (
     InstaMeasure,
     InstaMeasureConfig,
     MeasurementResult,
+    build_wsaf_table,
 )
 from repro.core.regulator import FlowRegulator
 from repro.core.wsaf import WSAFTable
@@ -233,12 +234,10 @@ class MultiCoreInstaMeasure:
         self.num_workers = num_workers
         self.config = config or InstaMeasureConfig()
         self.parallel = parallel
-        self.wsaf = WSAFTable(
-            num_entries=self.config.wsaf_entries,
-            probe_limit=self.config.probe_limit,
-            gc_timeout=self.config.gc_timeout,
-            eviction_policy=self.config.eviction_policy,
-        )
+        # The shared table honours ``config.wsaf_engine``: merged event
+        # logs arrive as one big batch, which is exactly the shape the
+        # batch-probed store is built for.
+        self.wsaf = build_wsaf_table(self.config)
         self.workers: "list[InstaMeasure]" = []
         for worker_index in range(num_workers):
             worker_config = replace(
@@ -353,7 +352,7 @@ class MultiCoreInstaMeasure:
         """Per-flow (packets, bytes) estimates from the shared WSAF."""
         est_packets = np.zeros(trace.num_flows)
         est_bytes = np.zeros(trace.num_flows)
-        table = self.wsaf.estimates()
+        table = self.wsaf.estimates(flow_keys=trace.flows.key64)
         for flow_index in range(trace.num_flows):
             record = table.get(int(trace.flows.key64[flow_index]))
             if record is not None:

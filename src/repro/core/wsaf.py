@@ -285,8 +285,27 @@ class WSAFTable:
                 five_tuple_packed=self._tuples[slot],
             )
 
-    def estimates(self) -> "dict[int, tuple[float, float]]":
-        """Mapping of flow key → (packets, bytes) for all records."""
+    def estimates(
+        self, flow_keys=None
+    ) -> "dict[int, tuple[float, float]]":
+        """Mapping of flow key → (packets, bytes).
+
+        With ``flow_keys`` (an iterable of keys), only those keys are
+        probed — O(len(flow_keys) · probe_limit) instead of a full-table
+        snapshot — and keys absent from the table are omitted.  Detection
+        apps polling a watch list every window tick use the filtered form.
+        """
+        if flow_keys is not None:
+            found: "dict[int, tuple[float, float]]" = {}
+            occupied = self._occupied
+            keys = self._keys
+            for key in flow_keys:
+                key = int(key)
+                for slot in self.probe_sequence(key):
+                    if occupied[slot] and keys[slot] == key:
+                        found[key] = (self._packets[slot], self._bytes[slot])
+                        break
+            return found
         return {
             self._keys[slot]: (self._packets[slot], self._bytes[slot])
             for slot in sorted(self._occupied_slots)

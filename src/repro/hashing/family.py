@@ -2,8 +2,16 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError
-from repro.hashing.mix import MASK64, hash_u64, splitmix64
+from repro.hashing.mix import (
+    MASK64,
+    hash_u64,
+    mix64_array,
+    splitmix64,
+    splitmix64_array,
+)
 
 
 class HashFamily:
@@ -24,6 +32,11 @@ class HashFamily:
         for _ in range(size):
             state = splitmix64(state)
             self._seeds.append(state)
+        # Pre-mixed per-member seeds: hash_u64(v, s) = mix64(splitmix64(v)
+        # ^ splitmix64(s)), so the member only contributes this constant.
+        self._seed_mixes = np.array(
+            [splitmix64(s) for s in self._seeds], dtype=np.uint64
+        )
 
     def __len__(self) -> int:
         return len(self._seeds)
@@ -35,6 +48,27 @@ class HashFamily:
     def hash_mod(self, index: int, value: int, modulus: int) -> int:
         """Apply the ``index``-th member and reduce modulo ``modulus``."""
         return self.hash(index, value) % modulus
+
+    def hash_array(self, index: int, values: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`hash`: the ``index``-th member over a
+        ``uint64`` array (bit-identical to the scalar member)."""
+        if not 0 <= index < len(self._seeds):
+            raise ConfigurationError(f"no member {index} in a family of {len(self)}")
+        values = np.asarray(values, dtype=np.uint64)
+        return mix64_array(splitmix64_array(values) ^ self._seed_mixes[index])
+
+    def hash_matrix(self, values: "np.ndarray") -> "np.ndarray":
+        """All members over ``values`` at once: a ``(len(values),
+        len(self))`` uint64 matrix whose column ``j`` equals
+        ``hash_array(j, values)``.
+
+        The splitmix64 pre-mix of the values is shared across members, so
+        this is cheaper than ``len(self)`` separate :meth:`hash_array`
+        calls — the shape CSM's per-flow counter placement wants.
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        premixed = splitmix64_array(values)
+        return mix64_array(premixed[:, None] ^ self._seed_mixes[None, :])
 
     def seed_of(self, index: int) -> int:
         """The derived seed of the ``index``-th member (for vectorized use)."""

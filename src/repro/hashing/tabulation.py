@@ -9,6 +9,8 @@ the hash.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -41,6 +43,33 @@ class TabulationHash:
         for position in range(self.key_bytes):
             char = (key >> (8 * position)) & 0xFF
             acc ^= int(self._tables[position, char])
+        return acc
+
+    def hash_many(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`hash` over a ``uint64`` key array.
+
+        Views the keys as a ``uint8`` byte matrix and XOR-folds one table
+        gather per byte position — the same LUT walk as the scalar path,
+        array-at-a-time.  Only defined for ``key_bytes <= 8`` (one machine
+        word per key); wider keys keep the scalar path.
+        """
+        if self.key_bytes > 8:
+            raise ConfigurationError(
+                f"hash_many requires key_bytes <= 8, got {self.key_bytes}"
+            )
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        if self.key_bytes < 8 and int(keys.max()) >> (8 * self.key_bytes):
+            raise ConfigurationError(
+                f"some keys do not fit in {self.key_bytes} bytes"
+            )
+        chars = keys.view(np.uint8).reshape(-1, 8)
+        if sys.byteorder != "little":  # pragma: no cover - x86/ARM are little
+            chars = chars[:, ::-1]
+        acc = self._tables[0][chars[:, 0]].copy()
+        for position in range(1, self.key_bytes):
+            acc ^= self._tables[position][chars[:, position]]
         return acc
 
     def __call__(self, key: int) -> int:

@@ -35,13 +35,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.kernels.luts import SENTINEL, kernel_tables
+from repro.kernels.luts import SENTINEL, kernel_tables, quad_tables
 
 #: Trace attribute under which per-chunk sort layouts are cached.
 _LAYOUT_ATTR = "_batched_layout"
 
 #: Bumped when the layout dict layout changes, to invalidate stale caches.
-_LAYOUT_VERSION = 2
+_LAYOUT_VERSION = 3
 
 #: Default packets per kernel chunk (one chunk for most lab traces).
 DEFAULT_CHUNK_SIZE = 1 << 20
@@ -122,16 +122,36 @@ def _chunk_layouts(trace, l1, chunk_size: int) -> "list[dict]":
             reduce_starts = np.zeros(1, dtype=np.int64)
         head_offsets = sorted_offsets[reduce_starts]
         order_dtype = np.int32 if trace.num_packets <= (1 << 31) - 1 else np.int64
+        ends_arr = np.append(reduce_starts[1:], span)
+        stretch_words = sorted_words[reduce_starts].astype(np.int64)
+        # Stretches sorted by (word, offset) group same-word stretches into
+        # contiguous *word runs* — the unit of the delegated path's
+        # vectorized word-level screen.
+        if len(stretch_words) > 1:
+            word_run_starts = np.flatnonzero(
+                np.concatenate(([True], stretch_words[1:] != stretch_words[:-1]))
+            )
+        else:
+            word_run_starts = np.zeros(1, dtype=np.int64)
+        word_run_lengths = np.diff(
+            np.append(word_run_starts, len(stretch_words))
+        )
         layouts.append(
             dict(
                 # Global packet positions, chunk-sorted; int32 for gathers.
                 order=(order + begin).astype(order_dtype),
                 reduce_starts=reduce_starts,
                 starts=reduce_starts.tolist(),
-                ends=np.append(reduce_starts[1:], span).tolist(),
-                words=sorted_words[reduce_starts].tolist(),
+                ends=ends_arr.tolist(),
+                words=stretch_words.tolist(),
                 offsets=head_offsets.tolist(),
                 offsets_arr=head_offsets.astype(np.uint64),
+                words_arr=stretch_words,
+                starts_arr=reduce_starts,
+                ends_arr=ends_arr,
+                word_run_starts=word_run_starts,
+                word_run_lengths=word_run_lengths,
+                word_run_heads=stretch_words[word_run_starts],
             )
         )
     setattr(trace, _LAYOUT_ATTR, (cache_key, layouts))
@@ -139,7 +159,11 @@ def _chunk_layouts(trace, l1, chunk_size: int) -> "list[dict]":
 
 
 def process_trace_batched(
-    engine, trace, on_accumulate=None, chunk_size: "int | None" = None
+    engine,
+    trace,
+    on_accumulate=None,
+    chunk_size: "int | None" = None,
+    delegate: bool = False,
 ) -> BatchCounters:
     """Process ``trace`` through ``engine``'s regulator and WSAF, batched.
 
@@ -147,7 +171,18 @@ def process_trace_batched(
     would and returns the run's :class:`BatchCounters` (the caller folds
     them into the shared stats/accounting objects).  ``chunk_size``
     defaults to the engine config's value.
+
+    With ``delegate=True`` (selected when ``wsaf_engine`` resolves to the
+    batch-probed table) the run takes :func:`_process_trace_delegated`:
+    a vectorized word-level saturation screen in front of the per-stretch
+    loop, an 8-packet OR screen inside the FSM replay, and WSAF updates
+    handed over per chunk as one ``accumulate_batch`` call instead of one
+    ``accumulate`` per event.  Both paths are bit-identical to the scalar
+    loop; ``delegate=False`` preserves the original pipeline so the two
+    generations stay separately benchmarkable.
     """
+    if delegate:
+        return _process_trace_delegated(engine, trace, on_accumulate, chunk_size)
     regulator = engine.regulator
     l1 = regulator.l1
     vector_bits = l1.vector_bits
@@ -409,6 +444,712 @@ def process_trace_batched(
                 )
                 if on_accumulate is not None:
                     on_accumulate(key, totals[0], totals[1], stamp)
+            insertions += len(event_pos)
+
+    counters.l1_saturations = l1_saturations
+    counters.insertions = insertions
+    return counters
+
+
+def _process_trace_delegated(
+    engine, trace, on_accumulate=None, chunk_size: "int | None" = None
+) -> BatchCounters:
+    """Second-generation batched pipeline, feeding the batch-probed WSAF.
+
+    Four changes over :func:`process_trace_batched`'s original body, each
+    preserving bit-identity with the scalar loop:
+
+    * **Word-level screen.**  Windows of different flows in one word may
+      overlap (offsets are arbitrary), so per-stretch outcomes are coupled
+      through shared bits — but ``word | OR(all stretch bits)`` is a
+      monotone upper bound on every intermediate word state.  If *every*
+      stretch's window stays below the saturation threshold even against
+      that bound, no packet anywhere in the word can saturate, the word's
+      final value *is* the bound, and the whole word run commits with zero
+      Python-loop iterations.
+    * **Screening rounds.**  Words that fail the bound take a vectorized
+      screen-and-commit loop instead of a per-stretch Python sweep: each
+      round screens every pending word's *next* stretch against its live
+      word state (words are mutually independent and each word contributes
+      one stretch per round, so passing candidates commit as one array
+      scatter).  Only stretches whose live screen fails — the ones that
+      can truly saturate — drop into the FSM replay.
+    * **Quad FSM steps.**  With ``saturation_bits >= 4`` a four-packet
+      block saturates at most once (a recycled window plus three more
+      packets cannot reach the threshold again), so the replay advances
+      four packets per lookup through :func:`~repro.kernels.luts.quad_tables`
+      with an aligned 8-packet OR screen in front.  Narrower thresholds
+      keep the two-packet pair tables.
+    * **Deferred L2 replay.**  A window that saturates from a post-reset
+      state grows one distinct bit per packet from zero, so it holds
+      exactly ``saturation_bits`` set bits at the saturating packet and
+      its noise level is the constant ``vector_bits - saturation_bits``.
+      Only a stretch's *first* saturation — seeded by the inherited word
+      state, which can carry extra bits committed by overlapping offsets
+      — can deviate, and those are rare (tens per trace).  The hot loop
+      therefore just records saturation positions (plus the deviating
+      first-sat noise levels), and a short per-chunk pass afterwards
+      replays the recorded stream through the L2 banks segment by
+      segment in the same per-word order, reproducing the interleaved
+      updates bit for bit.
+    * **Batch delegation.**  Decoded estimates are handed to the
+      batch-probed WSAF per chunk as column arrays
+      (:meth:`~repro.kernels.wsaf_batched.BatchedWSAFTable.accumulate_batch_arrays`)
+      instead of one Python ``accumulate`` call per event.
+    """
+    regulator = engine.regulator
+    l1 = regulator.l1
+    vector_bits = l1.vector_bits
+    word_bits = l1.word_bits
+    sat_bits = l1.saturation_bits
+    if chunk_size is None:
+        chunk_size = getattr(engine.config, "chunk_size", DEFAULT_CHUNK_SIZE)
+
+    counters = BatchCounters(
+        packets=trace.num_packets,
+        l2_encoded=[0] * len(regulator.l2),
+        l2_saturated=[0] * len(regulator.l2),
+    )
+    num_packets = trace.num_packets
+    if num_packets == 0:
+        return counters
+
+    tables = kernel_tables(vector_bits, sat_bits)
+    step1 = tables.single
+    step_pair = tables.pair
+    popcount = tables.popcount
+    step1_empty = step1[0]
+    sentinel = SENTINEL
+    use_quad = sat_bits >= 4
+    step_quad = quad_tables(vector_bits, sat_bits) if use_quad else None
+
+    layouts = _chunk_layouts(trace, l1, chunk_size)
+    bit_values = np.left_shift(np.uint8(1), np.arange(vector_bits, dtype=np.uint8))
+
+    # The sorted noise/code streams are pure functions of (trace, seed,
+    # layout, layer geometry) — like the chunk layouts, they are cached on
+    # the trace so repeated runs skip the draws and gathers.  Filled
+    # lazily per chunk below.
+    stream_key = (
+        _LAYOUT_VERSION,
+        engine.config.seed,
+        vector_bits,
+        sat_bits,
+        word_bits,
+        l1._place_seed_idx,
+        l1._place_seed_off,
+        l1.num_words,
+        chunk_size,
+    )
+    stream_cache = getattr(trace, "_delegated_streams", None)
+    if stream_cache is None or stream_cache[0] != stream_key:
+        stream_cache = (stream_key, [None] * len(layouts))
+        trace._delegated_streams = stream_cache
+    chunk_streams = stream_cache[1]
+
+    code_all = None
+    if any(entry is None for entry in chunk_streams):
+        # Identical draws to the scalar path: same generator, sizes, order.
+        rng = np.random.default_rng(engine.config.seed ^ 0xB17)
+        bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+        bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+        code_all = bits1 + np.uint8(vector_bits) * bits2
+
+    window_masks = l1._window_masks
+    window_masks_np = np.array(window_masks, dtype=np.uint64)
+    decode_np = np.asarray(l1._decode_table, dtype=np.float64)
+    words = l1.words
+    l2_words = [sketch.words for sketch in regulator.l2]
+    num_banks = len(l2_words)
+    word_mask = (1 << word_bits) - 1
+    window_all = (1 << vector_bits) - 1
+    l2_encoded = counters.l2_encoded
+    l2_saturated = counters.l2_saturated
+
+    flow_ids = trace.flow_ids
+    key64 = trace.flows.key64
+    timestamps = trace.timestamps
+    sizes = trace.sizes
+    packed_tuples = trace.flows.packed_tuples()
+    wsaf = engine.wsaf
+    wsaf_arrays = getattr(wsaf, "accumulate_batch_arrays", None)
+
+    l1_saturations = 0
+    insertions = 0
+
+    for chunk_index, layout in enumerate(layouts):
+        order = layout["order"]
+
+        streams = chunk_streams[chunk_index]
+        if streams is None:
+            sorted_code = code_all[order]
+            if vector_bits & (vector_bits - 1) == 0:
+                sorted_b1 = sorted_code & np.uint8(vector_bits - 1)
+            else:
+                sorted_b1 = sorted_code % np.uint8(vector_bits)
+            bit_stream = bit_values[sorted_b1]
+            or_heads = np.bitwise_or.reduceat(
+                bit_stream, layout["reduce_starts"]
+            )
+            offsets_arr = layout["offsets_arr"]
+            or64 = or_heads.astype(np.uint64)
+            inv_shifts = (np.uint64(word_bits) - offsets_arr) & np.uint64(
+                word_bits - 1
+            )
+            rotated_or_np = (
+                (or64 << offsets_arr) | (or64 >> inv_shifts)
+            ) & np.uint64(word_mask)
+            stretch_windows = window_masks_np[offsets_arr.astype(np.intp)]
+            b1s = sorted_b1.tobytes()
+            b2s = (sorted_code // np.uint8(vector_bits)).tobytes()
+            if use_quad:
+                nq = len(sorted_b1) >> 2
+                q16 = sorted_b1[: 4 * nq : 4].astype(np.uint16)
+                q16 = q16 | (sorted_b1[1 : 4 * nq : 4].astype(np.uint16) << 3)
+                q16 = q16 | (sorted_b1[2 : 4 * nq : 4].astype(np.uint16) << 6)
+                q16 = q16 | (sorted_b1[3 : 4 * nq : 4].astype(np.uint16) << 9)
+                # A list indexes ~2x faster than a memoryview in the replay
+                # loop, and the boxed ints are built once per trace (the
+                # stream cache holds them across runs).
+                quad_stream = q16.tolist()
+            else:
+                quad_stream = None
+            streams = (
+                sorted_code,
+                sorted_b1,
+                bit_stream,
+                rotated_or_np,
+                stretch_windows,
+                b1s,
+                b2s,
+                quad_stream,
+            )
+            chunk_streams[chunk_index] = streams
+        else:
+            (
+                sorted_code,
+                sorted_b1,
+                bit_stream,
+                rotated_or_np,
+                stretch_windows,
+                b1s,
+                b2s,
+                quad_stream,
+            ) = streams
+
+        word_run_starts = layout["word_run_starts"]
+        word_run_lengths = layout["word_run_lengths"]
+        word_run_heads = layout["word_run_heads"]
+        words_np = np.array(words, dtype=np.uint64)
+        upper = words_np[word_run_heads] | np.bitwise_or.reduceat(
+            rotated_or_np, word_run_starts
+        )
+        stretch_ok = (
+            np.bitwise_count(np.repeat(upper, word_run_lengths) & stretch_windows)
+            < sat_bits
+        )
+        word_ok = np.logical_and.reduceat(stretch_ok, word_run_starts)
+        words_np[word_run_heads[word_ok]] = upper[word_ok]
+
+        event_pos: "list[int]" = []
+        event_z: "list[int]" = []
+        event_z2: "list[int]" = []
+        noise_z = vector_bits - sat_bits
+
+        if not word_ok.all():
+            starts_l = layout["starts"]
+            ends_l = layout["ends"]
+            words_l = layout["words"]
+            offs_l = layout["offsets"]
+
+            if use_quad:
+
+                def replay(
+                    sid,
+                    s1=step1,
+                    sq=step_quad,
+                    qs=quad_stream,
+                    sen=sentinel,
+                    b1l=b1s,
+                    b2l=b2s,
+                    words_l=layout["words"],
+                    offs_l=layout["offsets"],
+                    starts_l=layout["starts"],
+                    ends_l=layout["ends"],
+                    words_np=words_np,
+                    window_masks=window_masks,
+                    word_bits=word_bits,
+                    window_all=window_all,
+                    word_mask=word_mask,
+                    noise_z=noise_z,
+                    bank2=l2_words[vector_bits - sat_bits],
+                    l2_words=l2_words,
+                    l2_encoded=l2_encoded,
+                    eap=event_pos.append,
+                    ezap=event_z.append,
+                    ez2ap=event_z2.append,
+                ):
+                    # Replay one screen-failed stretch through the quad FSM
+                    # with the L2 step folded inline.  Chain saturations all
+                    # carry noise_z — the window regrew from zero — so a
+                    # single local (st2) holds the noise_z bank's window for
+                    # the whole stretch and the common saturation handler is
+                    # one table step.  Only the stretch's first saturation
+                    # (inherited word state) can deviate; it read-modify-
+                    # writes its own bank directly.  (Keyword defaults bind
+                    # every table and column into fast locals — this runs
+                    # tens of thousands of times per trace.)
+                    w = words_l[sid]
+                    off = offs_l[sid]
+                    a = starts_l[sid]
+                    b = ends_l[sid]
+                    word = int(words_np[w])
+                    window = window_masks[off]
+                    inv = word_bits - off
+                    state = ((word >> off) | (word << inv)) & window_all
+                    rest = word & ~window
+                    st2 = -1
+                    rest2 = 0
+                    ns = 0
+                    nf = 0
+                    while a & 3 and a < b:  # align to the quad stream
+                        nxt = s1[state][b1l[a]]
+                        if nxt < sen:
+                            state = nxt
+                        else:
+                            ns += 1
+                            z = nxt - sen
+                            if st2 < 0:
+                                bw2 = bank2[w]
+                                st2 = ((bw2 >> off) | (bw2 << inv)) & window_all
+                                rest2 = bw2 & ~window
+                            if z == noise_z:
+                                nxt2 = s1[st2][b2l[a]]
+                                if nxt2 < sen:
+                                    st2 = nxt2
+                                else:
+                                    eap(a)
+                                    ezap(z)
+                                    ez2ap(nxt2 - sen)
+                                    st2 = 0
+                            else:
+                                # Deviating first saturation: step its own
+                                # bank in place.
+                                nf += 1
+                                l2_encoded[z] += 1
+                                bz = l2_words[z]
+                                bwz = bz[w]
+                                stz = (
+                                    (bwz >> off) | (bwz << inv)
+                                ) & window_all
+                                nxt2 = s1[stz][b2l[a]]
+                                if nxt2 < sen:
+                                    stz = nxt2
+                                else:
+                                    eap(a)
+                                    ezap(z)
+                                    ez2ap(nxt2 - sen)
+                                    stz = 0
+                                bz[w] = (bwz & ~window) | (
+                                    ((stz << off) | (stz >> inv)) & word_mask
+                                )
+                            state = 0
+                        a += 1
+                    qq = a >> 2
+                    end_q = b >> 2
+                    if ns == 0:
+                        # Scan to the stretch's first saturation: it starts
+                        # from the inherited word state, so it is the only
+                        # one whose noise level can differ from noise_z.
+                        while qq < end_q:
+                            nxt = sq[(state << 12) | qs[qq]]
+                            if nxt < sen:
+                                state = nxt
+                                qq += 1
+                                continue
+                            t = nxt - sen
+                            j = (qq << 2) | (t >> 11)
+                            z = (t >> 8) & 7
+                            ns = 1
+                            bw2 = bank2[w]
+                            st2 = ((bw2 >> off) | (bw2 << inv)) & window_all
+                            rest2 = bw2 & ~window
+                            if z == noise_z:
+                                nxt2 = s1[st2][b2l[j]]
+                                if nxt2 < sen:
+                                    st2 = nxt2
+                                else:
+                                    eap(j)
+                                    ezap(z)
+                                    ez2ap(nxt2 - sen)
+                                    st2 = 0
+                            else:
+                                nf = 1
+                                l2_encoded[z] += 1
+                                bz = l2_words[z]
+                                bwz = bz[w]
+                                stz = (
+                                    (bwz >> off) | (bwz << inv)
+                                ) & window_all
+                                nxt2 = s1[stz][b2l[j]]
+                                if nxt2 < sen:
+                                    stz = nxt2
+                                else:
+                                    eap(j)
+                                    ezap(z)
+                                    ez2ap(nxt2 - sen)
+                                    stz = 0
+                                bz[w] = (bwz & ~window) | (
+                                    ((stz << off) | (stz >> inv)) & word_mask
+                                )
+                            state = t & 255
+                            qq += 1
+                            break
+                    end_q1 = end_q - 1
+                    while qq < end_q1:
+                        # Chain saturations: constant noise_z, one L2 table
+                        # step on st2.  Two quad lookups per loop check.
+                        nxt = sq[(state << 12) | qs[qq]]
+                        if nxt < sen:
+                            nxt = sq[(nxt << 12) | qs[qq + 1]]
+                            if nxt < sen:
+                                state = nxt
+                                qq += 2
+                                continue
+                            qq += 1
+                        t = nxt - sen
+                        j = (qq << 2) | (t >> 11)
+                        nxt2 = s1[st2][b2l[j]]
+                        if nxt2 < sen:
+                            st2 = nxt2
+                        else:
+                            eap(j)
+                            ezap(noise_z)
+                            ez2ap(nxt2 - sen)
+                            st2 = 0
+                        ns += 1
+                        state = t & 255  # window after the in-block restart
+                        qq += 1
+                    if qq < end_q:
+                        # Leftover quad: only reached with ns > 0 (the
+                        # first-saturation scan otherwise covers it), so any
+                        # saturation here is a chain one.
+                        nxt = sq[(state << 12) | qs[qq]]
+                        if nxt < sen:
+                            state = nxt
+                        else:
+                            t = nxt - sen
+                            j = (qq << 2) | (t >> 11)
+                            nxt2 = s1[st2][b2l[j]]
+                            if nxt2 < sen:
+                                st2 = nxt2
+                            else:
+                                eap(j)
+                                ezap(noise_z)
+                                ez2ap(nxt2 - sen)
+                                st2 = 0
+                            ns += 1
+                            state = t & 255
+                        qq += 1
+                    j = end_q << 2
+                    if j < a:
+                        j = a
+                    for j in range(j, b):  # trailing packets
+                        nxt = s1[state][b1l[j]]
+                        if nxt < sen:
+                            state = nxt
+                            continue
+                        ns += 1
+                        z = nxt - sen
+                        if st2 < 0:
+                            bw2 = bank2[w]
+                            st2 = ((bw2 >> off) | (bw2 << inv)) & window_all
+                            rest2 = bw2 & ~window
+                        if z == noise_z:
+                            nxt2 = s1[st2][b2l[j]]
+                            if nxt2 < sen:
+                                st2 = nxt2
+                            else:
+                                eap(j)
+                                ezap(z)
+                                ez2ap(nxt2 - sen)
+                                st2 = 0
+                        else:
+                            nf += 1
+                            l2_encoded[z] += 1
+                            bz = l2_words[z]
+                            bwz = bz[w]
+                            stz = ((bwz >> off) | (bwz << inv)) & window_all
+                            nxt2 = s1[stz][b2l[j]]
+                            if nxt2 < sen:
+                                stz = nxt2
+                            else:
+                                eap(j)
+                                ezap(z)
+                                ez2ap(nxt2 - sen)
+                                stz = 0
+                            bz[w] = (bwz & ~window) | (
+                                ((stz << off) | (stz >> inv)) & word_mask
+                            )
+                        state = 0
+                    words_np[w] = rest | (
+                        ((state << off) | (state >> inv)) & word_mask
+                    )
+                    if st2 >= 0:
+                        bank2[w] = rest2 | (
+                            ((st2 << off) | (st2 >> inv)) & word_mask
+                        )
+                        l2_encoded[noise_z] += ns - nf
+                    return ns
+
+            else:
+                stream = sorted_code.tobytes()
+                b2_of = tables.b2_of_code
+                pairs = len(sorted_b1) >> 1
+                pair_stream = (
+                    sorted_b1[: 2 * pairs : 2]
+                    | (sorted_b1[1 : 2 * pairs : 2] << 3)
+                ).tobytes()
+                pair_or = (
+                    bit_stream[: 2 * pairs : 2] | bit_stream[1 : 2 * pairs : 2]
+                )
+                quads = pairs >> 1
+                quad_or = (
+                    pair_or[: 2 * quads : 2] | pair_or[1 : 2 * quads : 2]
+                ).tobytes()
+
+                def replay(sid):
+                    # Pair-table replay for saturation_bits < 4 (a quad
+                    # block could saturate more than once there).
+                    s1 = step1
+                    sp = step_pair
+                    sen = sentinel
+                    w = words_l[sid]
+                    off = offs_l[sid]
+                    a = starts_l[sid]
+                    b = ends_l[sid]
+                    word = int(words_np[w])
+                    window = window_masks[off]
+                    inv = word_bits - off
+                    state = ((word >> off) | (word << inv)) & window_all
+                    rest = word & ~window
+                    l2_states = None
+                    nsat = 0
+                    if a & 1:  # align the stretch to the packet-pair stream
+                        c0 = stream[a]
+                        nxt = s1[state][c0 - b2_of[c0] * vector_bits]
+                        if nxt < sen:
+                            state = nxt
+                        else:
+                            z = nxt - sen
+                            if l2_states is None:
+                                l2_states = [
+                                    (
+                                        (l2_words[q][w] >> off)
+                                        | (l2_words[q][w] << inv)
+                                    )
+                                    & window_all
+                                    for q in range(num_banks)
+                                ]
+                            nxt2 = s1[l2_states[z]][b2_of[c0]]
+                            l2_encoded[z] += 1
+                            if nxt2 >= sen:
+                                event_pos.append(a)
+                                event_z.append(z)
+                                event_z2.append(nxt2 - sen)
+                                l2_saturated[z] += 1
+                                l2_states[z] = 0
+                            else:
+                                l2_states[z] = nxt2
+                            nsat += 1
+                            state = 0
+                        a += 1
+                    pair_end = b - ((b - a) & 1)
+                    jj = a >> 1
+                    end_jj = pair_end >> 1
+                    while jj < end_jj:
+                        if not jj & 1 and jj + 2 <= end_jj:
+                            candidate = state | quad_or[jj >> 1]
+                            if popcount[candidate] < sat_bits:
+                                state = candidate
+                                jj += 2
+                                continue
+                        pb = pair_stream[jj]
+                        nxt = sp[state][pb]
+                        if nxt < sen:
+                            state = nxt
+                            jj += 1
+                            continue
+                        tag = nxt - sen
+                        pos = tag >> 3
+                        z = tag & 7
+                        j = (jj << 1) | pos
+                        if l2_states is None:
+                            l2_states = [
+                                ((l2_words[q][w] >> off) | (l2_words[q][w] << inv))
+                                & window_all
+                                for q in range(num_banks)
+                            ]
+                        nxt2 = s1[l2_states[z]][b2_of[stream[j]]]
+                        l2_encoded[z] += 1
+                        if nxt2 >= sen:
+                            event_pos.append(j)
+                            event_z.append(z)
+                            event_z2.append(nxt2 - sen)
+                            l2_saturated[z] += 1
+                            l2_states[z] = 0
+                        else:
+                            l2_states[z] = nxt2
+                        nsat += 1
+                        if pos:
+                            state = 0
+                        else:
+                            # The pair's second packet restarts the window.
+                            nxt = step1_empty[pb >> 3]
+                            if nxt < sen:
+                                state = nxt
+                            else:
+                                z = nxt - sen
+                                j += 1
+                                nxt2 = s1[l2_states[z]][b2_of[stream[j]]]
+                                l2_encoded[z] += 1
+                                if nxt2 >= sen:
+                                    event_pos.append(j)
+                                    event_z.append(z)
+                                    event_z2.append(nxt2 - sen)
+                                    l2_saturated[z] += 1
+                                    l2_states[z] = 0
+                                else:
+                                    l2_states[z] = nxt2
+                                nsat += 1
+                                state = 0
+                        jj += 1
+                    if pair_end < b:  # odd trailing packet
+                        c0 = stream[pair_end]
+                        nxt = s1[state][c0 - b2_of[c0] * vector_bits]
+                        if nxt < sen:
+                            state = nxt
+                        else:
+                            z = nxt - sen
+                            if l2_states is None:
+                                l2_states = [
+                                    (
+                                        (l2_words[q][w] >> off)
+                                        | (l2_words[q][w] << inv)
+                                    )
+                                    & window_all
+                                    for q in range(num_banks)
+                                ]
+                            nxt2 = s1[l2_states[z]][b2_of[c0]]
+                            l2_encoded[z] += 1
+                            if nxt2 >= sen:
+                                event_pos.append(pair_end)
+                                event_z.append(z)
+                                event_z2.append(nxt2 - sen)
+                                l2_saturated[z] += 1
+                                l2_states[z] = 0
+                            else:
+                                l2_states[z] = nxt2
+                            nsat += 1
+                            state = 0
+                    words_np[w] = rest | (
+                        ((state << off) | (state >> inv)) & word_mask
+                    )
+                    if l2_states is not None:
+                        for q in range(num_banks):
+                            bank_word = l2_words[q][w]
+                            bank_state = l2_states[q]
+                            l2_words[q][w] = (bank_word & ~window) | (
+                                ((bank_state << off) | (bank_state >> inv))
+                                & word_mask
+                            )
+                    return nsat
+
+            # Screening rounds: one stretch per failed word per round,
+            # screened against the live word states and committed as an
+            # array scatter.  Per-word stretch order is preserved (the
+            # pointer only advances after the stretch committed or
+            # replayed); cross-word order is free because words are
+            # independent and events are re-sorted by packet position
+            # before delegation.
+            fail_runs = np.flatnonzero(~word_ok)
+            ptr = word_run_starts[fail_runs].copy()
+            run_end = ptr + word_run_lengths[fail_runs]
+            run_wid = word_run_heads[fail_runs]
+            active = np.arange(fail_runs.size)
+            while active.size > 32:
+                sidx = ptr[active]
+                cand = words_np[run_wid[active]] | rotated_or_np[sidx]
+                okv = (
+                    np.bitwise_count(cand & stretch_windows[sidx]) < sat_bits
+                )
+                words_np[run_wid[active][okv]] = cand[okv]
+                if not okv.all():
+                    for sid in sidx[~okv].tolist():
+                        l1_saturations += replay(sid)
+                ptr[active] += 1
+                active = active[ptr[active] < run_end[active]]
+            # Tail: few enough runs left that scalar screening beats the
+            # per-round array overhead.
+            for r in active.tolist():
+                w = int(run_wid[r])
+                word = int(words_np[w])
+                for sid in range(int(ptr[r]), int(run_end[r])):
+                    window = window_masks[offs_l[sid]]
+                    candidate = word | int(rotated_or_np[sid])
+                    if (candidate & window).bit_count() < sat_bits:
+                        word = candidate
+                    else:
+                        words_np[w] = word
+                        l1_saturations += replay(sid)
+                        word = int(words_np[w])
+                words_np[w] = word
+
+            if use_quad:
+                # The quad replay appends events inline; the pair replay
+                # bumps l2_saturated itself.
+                for z in event_z:
+                    l2_saturated[z] += 1
+
+        words[:] = words_np.tolist()
+
+        if event_pos:
+            # One delegated batch per chunk, in original packet order; the
+            # batch-probed table groups it by flow key internally.
+            positions = order[np.array(event_pos, dtype=np.int64)]
+            rank = np.argsort(positions, kind="stable")
+            positions = positions[rank]
+            event_flows = flow_ids[positions]
+            noise1 = np.array(event_z, dtype=np.int64)[rank]
+            noise2 = np.array(event_z2, dtype=np.int64)[rank]
+            est_pkt = decode_np[noise1] * decode_np[noise2]
+            est_byte = est_pkt * sizes[positions]
+            event_stamps = timestamps[positions]
+            event_keys = key64[event_flows]
+            event_tuples = [packed_tuples[f] for f in event_flows.tolist()]
+            if wsaf_arrays is not None:
+                wsaf_arrays(
+                    event_keys,
+                    est_pkt,
+                    est_byte,
+                    event_stamps,
+                    event_tuples,
+                    on_accumulate,
+                    collect_totals=False,
+                )
+            else:
+                wsaf.accumulate_batch(
+                    list(
+                        zip(
+                            event_keys.tolist(),
+                            est_pkt.tolist(),
+                            est_byte.tolist(),
+                            event_stamps.tolist(),
+                            event_tuples,
+                        )
+                    ),
+                    on_accumulate=on_accumulate,
+                )
             insertions += len(event_pos)
 
     counters.l1_saturations = l1_saturations

@@ -20,7 +20,10 @@ and are cached per geometry for the life of the process.
 
 from __future__ import annotations
 
+from array import array
 from typing import NamedTuple
+
+import numpy as np
 
 from repro.core.rcc import popcount_table
 from repro.errors import ConfigurationError
@@ -112,3 +115,74 @@ def kernel_tables(vector_bits: int, saturation_bits: int) -> KernelTables:
     )
     _CACHE[key] = tables
     return tables
+
+
+_QUAD_CACHE: "dict[tuple[int, int], object]" = {}
+
+
+def quad_tables(vector_bits: int, saturation_bits: int):
+    """Four-packet transition table as a flat ``array('H')``, indexed
+    ``quad[(state << 12) | q]`` with ``q = b0 | b1 << 3 | b2 << 6 | b3 << 9``.
+
+    Only defined for ``saturation_bits >= 4``: a window recycles to zero on
+    saturation, and the at most three packets left in the block can set at
+    most three bits, so a four-packet block saturates **at most once** from
+    any starting state.  That makes a single return value sufficient —
+    either the final window state (``< SENTINEL``), or
+
+    ``SENTINEL + (((pos << 3) | z) << 8) + after``
+
+    where ``pos`` is the saturating packet's position in the block, ``z``
+    its noise level, and ``after`` the window state once the remaining
+    packets replayed from empty.  Built by composing the (separately
+    verified) single-packet table, vectorized over the full
+    ``states x 4096`` grid.
+
+    The flat unboxed layout matters: the table has a million entries, and
+    a nested list of boxed ints scatters them across the heap — every
+    lookup in the hot loop then chases cold pointers.  ``array('H')`` keeps
+    the whole table in 2 MB of contiguous shorts.
+    """
+    if saturation_bits < 4:
+        raise ConfigurationError(
+            "quad tables need saturation_bits >= 4 (single-saturation "
+            f"blocks), got {saturation_bits}"
+        )
+    key = (vector_bits, saturation_bits)
+    cached = _QUAD_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    tables = kernel_tables(vector_bits, saturation_bits)
+    num_states = 1 << vector_bits
+    s1 = np.array(
+        [row + [0] * (8 - vector_bits) for row in tables.single],
+        dtype=np.int32,
+    )
+    codes = np.arange(4096, dtype=np.int32)
+    bits = [(codes >> (3 * p)) & 7 for p in range(4)]
+    valid = np.ones(4096, dtype=bool)
+    for b in bits:
+        valid &= b < vector_bits
+    cur = np.broadcast_to(
+        np.arange(num_states, dtype=np.int32)[:, None], (num_states, 4096)
+    ).copy()
+    sat_tag = np.full((num_states, 4096), -1, dtype=np.int32)
+    for pos, b in enumerate(bits):
+        safe_b = np.where(valid, b, 0)
+        nxt = s1[cur, safe_b[None, :]]
+        # With saturation_bits >= 4 a second saturation inside the block
+        # is impossible, so any sentinel here is the block's only one.
+        sat_now = nxt >= SENTINEL
+        sat_tag = np.where(
+            sat_now, (pos << 3) | (nxt - SENTINEL), sat_tag
+        )
+        cur = np.where(sat_now, 0, nxt)
+    result = np.where(
+        sat_tag < 0, cur, SENTINEL + (sat_tag << 8) + cur
+    )
+    result[:, ~valid] = 0
+    flat = array("H")
+    flat.frombytes(np.ascontiguousarray(result.astype(np.uint16)).tobytes())
+    _QUAD_CACHE[key] = flat
+    return flat

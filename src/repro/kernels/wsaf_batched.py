@@ -1,0 +1,413 @@
+"""Batch-probed, array-backed WSAF (the In-DRAM table, vectorized).
+
+:class:`BatchedWSAFTable` keeps the scalar :class:`~repro.core.wsaf.WSAFTable`
+semantics — same probe sequence, same eviction policies, same opportunistic
+GC, same counters — but stores the columns as NumPy arrays and applies
+delegated update batches with **cohort-based batch probing**:
+
+1. Sort the batch stably by flow key, so all updates of one flow form a
+   *cohort* that costs one probe plus one add-chain.
+2. Compute every cohort's full probe window at once — a ``(cohorts,
+   probe_limit)`` slot matrix from the triangular-number sequence — and
+   resolve hits and first-free slots with array gathers.
+3. Classify cohorts: *pure hits* (key present) and *pure inserts* (key
+   absent, empty slot in window) commit vectorized; anything that could
+   take the eviction/GC path — no free slot, an expired entry in the
+   window, two cohorts racing for one insert slot — falls back to the
+   inherited scalar logic.
+4. A conflict fixpoint demotes any pure cohort whose probe window
+   intersects a scalar cohort's window, so the scalar path sees exactly
+   the intermediate states it would have seen in event order.  After the
+   fixpoint, pure windows and scalar windows are disjoint, which makes
+   the two groups commute; within the pure group, hit updates and
+   first-free inserts are mutually non-interfering (a free slot earlier
+   in another cohort's window would have *been* that cohort's target).
+
+Per-event running totals are reproduced with a sequential add loop over
+within-cohort positions (vectorized **across** cohorts), because float
+addition is not associative and the contract is bit-identical results.
+
+The scalar fallback is exercised constantly by the equivalence suite
+(``tests/test_wsaf_batched.py``) — under adversarial same-window cohorts
+and tiny tables everything demotes, and the result must still match the
+scalar table slot for slot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.wsaf import WSAFTable
+from repro.memmodel import AccessAccountant
+
+#: Below this many events the NumPy staging costs more than it saves.
+_SCALAR_CUTOFF = 8
+
+
+class BatchedWSAFTable(WSAFTable):
+    """A :class:`WSAFTable` with NumPy columns and batched accumulation.
+
+    State-identical to the scalar table for every operation; only the
+    execution strategy of :meth:`accumulate_batch` (and the storage of the
+    columns) differs.  Scalar entry points (:meth:`accumulate`,
+    :meth:`lookup`, sweeps) are inherited and operate on the array columns
+    element-wise.
+    """
+
+    def __init__(
+        self,
+        num_entries: int = 1 << 20,
+        probe_limit: int = 16,
+        gc_timeout: "float | None" = None,
+        accountant: "AccessAccountant | None" = None,
+        eviction_policy: str = "second-chance",
+    ) -> None:
+        super().__init__(
+            num_entries=num_entries,
+            probe_limit=probe_limit,
+            gc_timeout=gc_timeout,
+            accountant=accountant,
+            eviction_policy=eviction_policy,
+        )
+        # Replace the list columns with a struct-of-arrays layout.  The
+        # packed 5-tuple stays a Python list: it is a 104-bit integer (or
+        # None), which no fixed-width dtype holds.
+        self._occupied = np.zeros(num_entries, dtype=bool)
+        self._keys = np.zeros(num_entries, dtype=np.uint64)
+        self._packets = np.zeros(num_entries, dtype=np.float64)
+        self._bytes = np.zeros(num_entries, dtype=np.float64)
+        self._timestamps = np.zeros(num_entries, dtype=np.float64)
+        self._chance = np.zeros(num_entries, dtype=bool)
+        #: Triangular probe offsets (i + i²)/2 for the whole window.
+        self._tri = np.array(
+            [(i + i * i) >> 1 for i in range(self.probe_limit)], dtype=np.uint64
+        )
+
+    # -- batched accumulation ----------------------------------------------
+
+    def accumulate_batch(
+        self,
+        events,
+        on_accumulate=None,
+    ) -> "list[tuple[float, float]]":
+        """Apply many accumulate events, cohort-batched.
+
+        Same contract as :meth:`WSAFTable.accumulate_batch` — same final
+        table state, same counters, same per-event running totals, same
+        callback order — resolved with vectorized probing wherever event
+        order provably cannot matter.
+        """
+        events = events if isinstance(events, list) else list(events)
+        n = len(events)
+        if n < _SCALAR_CUTOFF:
+            return super().accumulate_batch(events, on_accumulate)
+
+        keys = np.fromiter((e[0] for e in events), dtype=np.uint64, count=n)
+        pkts = np.fromiter((e[1] for e in events), dtype=np.float64, count=n)
+        byts = np.fromiter((e[2] for e in events), dtype=np.float64, count=n)
+        stamps = np.fromiter((e[3] for e in events), dtype=np.float64, count=n)
+        tuples = [e[4] for e in events]
+        return self.accumulate_batch_arrays(
+            keys, pkts, byts, stamps, tuples, on_accumulate
+        )
+
+    def accumulate_batch_arrays(
+        self,
+        keys,
+        packets,
+        bytes_,
+        timestamps,
+        tuples,
+        on_accumulate=None,
+        collect_totals: bool = True,
+    ) -> "list[tuple[float, float]] | None":
+        """Column-array form of :meth:`accumulate_batch`.
+
+        ``keys``/``packets``/``bytes_``/``timestamps`` are parallel arrays
+        (one entry per event, original order); ``tuples`` is the matching
+        sequence of packed 5-tuples.  This is the delegated kernel's entry
+        point — it hands its decoded estimates over without a Python
+        tuple-list round trip.  With ``collect_totals=False`` the per-event
+        totals list is not materialised and ``None`` is returned (the
+        callback, if any, still fires with the exact running totals).
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        pkts = np.ascontiguousarray(packets, dtype=np.float64)
+        byts = np.ascontiguousarray(bytes_, dtype=np.float64)
+        stamps = np.ascontiguousarray(timestamps, dtype=np.float64)
+        n = len(keys)
+        if n < _SCALAR_CUTOFF:
+            accumulate = super().accumulate
+            totals = []
+            for key, est_p, est_b, stamp, packed in zip(
+                keys.tolist(),
+                pkts.tolist(),
+                byts.tolist(),
+                stamps.tolist(),
+                tuples,
+            ):
+                total = accumulate(key, est_p, est_b, stamp, packed)
+                totals.append(total)
+                if on_accumulate is not None:
+                    on_accumulate(key, total[0], total[1], stamp)
+            return totals
+
+        # Cohorts: stable sort keeps each flow's events in original order.
+        order = np.argsort(keys, kind="stable")
+        skeys = keys[order]
+        run_starts = np.flatnonzero(
+            np.concatenate(([True], skeys[1:] != skeys[:-1]))
+        )
+        counts = np.diff(np.append(run_starts, n))
+        ukeys = skeys[run_starts]
+        num_cohorts = len(ukeys)
+
+        mask64 = np.uint64(self._mask)
+        slots = (
+            ((ukeys & mask64)[:, None] + self._tri[None, :]) & mask64
+        ).astype(np.intp)
+        occ = self._occupied[slots]
+        hit_matrix = occ & (self._keys[slots] == ukeys[:, None])
+        hit_any = hit_matrix.any(axis=1)
+        hit_round = np.where(hit_any, hit_matrix.argmax(axis=1), 0)
+        free_matrix = ~occ
+        free_any = free_matrix.any(axis=1)
+        free_round = np.where(free_any, free_matrix.argmax(axis=1), 0)
+
+        if self.gc_timeout is None:
+            gc_risk = np.zeros(num_cohorts, dtype=bool)
+        else:
+            # Conservative: an entry expired at the cohort's latest event
+            # is the only way probe-time GC could fire for any of them
+            # (timestamps only grow, so expiry at an earlier event implies
+            # expiry at the latest).
+            sorted_stamps = stamps[order]
+            cohort_max_ts = np.maximum.reduceat(sorted_stamps, run_starts)
+            gc_risk = (
+                occ
+                & (
+                    cohort_max_ts[:, None] - self._timestamps[slots]
+                    > self.gc_timeout
+                )
+            ).any(axis=1)
+
+        pure_hit = hit_any & ~gc_risk
+        pure_ins = (~hit_any) & (~gc_risk) & free_any
+        scalar_set = ~(pure_hit | pure_ins)
+
+        cohort_rows = np.arange(num_cohorts)
+        ins_target = slots[cohort_rows, free_round]
+
+        # Two cohorts racing for the same first-free slot must apply in
+        # event order: demote every contender to the scalar path.
+        if pure_ins.any():
+            targets = ins_target[pure_ins]
+            unique_targets, target_counts = np.unique(
+                targets, return_counts=True
+            )
+            contested = unique_targets[target_counts > 1]
+            if contested.size:
+                demote = pure_ins & np.isin(ins_target, contested)
+                scalar_set |= demote
+                pure_ins &= ~demote
+
+        # Conflict fixpoint: scalar cohorts may read/write anything inside
+        # their probe windows (eviction scans, GC reclaims, victim writes),
+        # so a pure cohort overlapping such a window is order-sensitive and
+        # demotes — which adds *its* window to the conflict set, possibly
+        # cascading.
+        if scalar_set.any() and (pure_hit.any() or pure_ins.any()):
+            conflict = np.zeros(self.num_entries, dtype=bool)
+            pending = scalar_set
+            while True:
+                conflict[slots[pending].ravel()] = True
+                demote = (pure_hit | pure_ins) & conflict[slots].any(axis=1)
+                if not demote.any():
+                    break
+                pure_hit &= ~demote
+                pure_ins &= ~demote
+                scalar_set |= demote
+                pending = demote
+
+        totals_packets = np.empty(n, dtype=np.float64)
+        totals_bytes = np.empty(n, dtype=np.float64)
+        resolved = pure_hit | pure_ins
+        res = np.flatnonzero(resolved)
+
+        if res.size:
+            sorted_pkts = pkts[order]
+            sorted_byts = byts[order]
+            sorted_stamps = stamps[order]
+            hit_slot = slots[cohort_rows, hit_round]
+            res_slot = np.where(pure_hit, hit_slot, ins_target)[res]
+
+            # Per-event running totals, bit-identical to sequential adds:
+            # float addition is non-associative, so the add chains must run
+            # in within-cohort order.  Lay the resolved cohorts out as rows
+            # of a zero-padded (cohorts x max_count) matrix and accumulate
+            # along the rows — padding zeros leave the running value
+            # unchanged (x + 0.0 == x for the non-negative totals here), so
+            # one ``np.add.accumulate`` reproduces every chain exactly.
+            # (Empty insert targets hold 0.0, so the gathered base is right
+            # for both hits and inserts.)
+            running_packets = self._packets[res_slot].copy()
+            running_bytes = self._bytes[res_slot].copy()
+            sorted_tot_p = np.empty(n, dtype=np.float64)
+            sorted_tot_b = np.empty(n, dtype=np.float64)
+            starts_res = run_starts[res]
+            counts_res = counts[res]
+            max_count = int(counts_res.max())
+            if res.size * max_count <= max(16 * n, 1 << 16):
+                row_of = np.repeat(np.arange(res.size), counts_res)
+                within = np.arange(len(row_of)) - np.repeat(
+                    np.cumsum(counts_res) - counts_res, counts_res
+                )
+                member_idx = np.repeat(starts_res, counts_res) + within
+                chain_p = np.zeros((res.size, max_count), dtype=np.float64)
+                chain_b = np.zeros((res.size, max_count), dtype=np.float64)
+                chain_p[row_of, within] = sorted_pkts[member_idx]
+                chain_b[row_of, within] = sorted_byts[member_idx]
+                chain_p[:, 0] += running_packets
+                chain_b[:, 0] += running_bytes
+                np.add.accumulate(chain_p, axis=1, out=chain_p)
+                np.add.accumulate(chain_b, axis=1, out=chain_b)
+                sorted_tot_p[member_idx] = chain_p[row_of, within]
+                sorted_tot_b[member_idx] = chain_b[row_of, within]
+                rows = np.arange(res.size)
+                running_packets = chain_p[rows, counts_res - 1]
+                running_bytes = chain_b[rows, counts_res - 1]
+            else:
+                # One giant cohort would blow the matrix up; walk positions
+                # instead (vectorized across cohorts, sequential within).
+                active = np.flatnonzero(counts_res)
+                position = 0
+                while active.size:
+                    event_idx = starts_res[active] + position
+                    running_packets[active] += sorted_pkts[event_idx]
+                    running_bytes[active] += sorted_byts[event_idx]
+                    sorted_tot_p[event_idx] = running_packets[active]
+                    sorted_tot_b[event_idx] = running_bytes[active]
+                    position += 1
+                    active = active[counts_res[active] > position]
+
+            last_pos = run_starts + counts - 1
+            hit_of_res = pure_hit[res]
+            ins_of_res = ~hit_of_res
+
+            hit_cohorts = res[hit_of_res]
+            hit_slots = res_slot[hit_of_res]
+            self._packets[hit_slots] = running_packets[hit_of_res]
+            self._bytes[hit_slots] = running_bytes[hit_of_res]
+            self._timestamps[hit_slots] = sorted_stamps[last_pos[hit_cohorts]]
+            self._chance[hit_slots] = True
+            hit_events = int(counts[hit_cohorts].sum())
+            self.updates += hit_events
+
+            ins_cohorts = res[ins_of_res]
+            ins_slots = res_slot[ins_of_res]
+            self._occupied[ins_slots] = True
+            self._keys[ins_slots] = ukeys[ins_cohorts]
+            self._packets[ins_slots] = running_packets[ins_of_res]
+            self._bytes[ins_slots] = running_bytes[ins_of_res]
+            self._timestamps[ins_slots] = sorted_stamps[last_pos[ins_cohorts]]
+            self._chance[ins_slots] = True
+            first_event = order[run_starts[ins_cohorts]]
+            for slot, event_index in zip(
+                ins_slots.tolist(), first_event.tolist()
+            ):
+                self._tuples[slot] = tuples[event_index]
+                self._occupied_slots.add(slot)
+            self.size += len(ins_cohorts)
+            self.insertions += len(ins_cohorts)
+            follow_ups = counts[ins_cohorts] - 1
+            self.updates += int(follow_ups.sum())
+
+            if self.accountant is not None:
+                # Hits probe to the hit round; an insert's first event
+                # walks the whole window, its follow-ups hit at the target.
+                reads = int(
+                    (counts[hit_cohorts] * (hit_round[hit_cohorts] + 1)).sum()
+                )
+                reads += len(ins_cohorts) * self.probe_limit
+                reads += int(
+                    (follow_ups * (free_round[ins_cohorts] + 1)).sum()
+                )
+                writes = hit_events + len(ins_cohorts) + int(follow_ups.sum())
+                self.accountant.record("wsaf", reads=reads, writes=writes)
+
+            member_res = np.repeat(resolved, counts)
+            original_idx = order[member_res]
+            totals_packets[original_idx] = sorted_tot_p[member_res]
+            totals_bytes[original_idx] = sorted_tot_b[member_res]
+
+        if scalar_set.any():
+            # Order-sensitive leftovers replay through the inherited scalar
+            # accumulate, in original event order (their windows are
+            # disjoint from every vectorized cohort's, so interleaving with
+            # the commits above is immaterial).
+            member_scalar = np.repeat(scalar_set, counts)
+            scalar_original = np.sort(order[member_scalar])
+            scalar_accumulate = super().accumulate
+            for i in scalar_original.tolist():
+                total_p, total_b = scalar_accumulate(
+                    int(keys[i]),
+                    float(pkts[i]),
+                    float(byts[i]),
+                    float(stamps[i]),
+                    tuples[i],
+                )
+                totals_packets[i] = total_p
+                totals_bytes[i] = total_b
+
+        if on_accumulate is not None:
+            for key, stamp, total_p, total_b in zip(
+                keys.tolist(),
+                stamps.tolist(),
+                totals_packets.tolist(),
+                totals_bytes.tolist(),
+            ):
+                on_accumulate(key, total_p, total_b, stamp)
+        if not collect_totals:
+            return None
+        return list(zip(totals_packets.tolist(), totals_bytes.tolist()))
+
+    # -- snapshots ----------------------------------------------------------
+
+    def estimates(
+        self, flow_keys=None
+    ) -> "dict[int, tuple[float, float]]":
+        """Vectorized :meth:`WSAFTable.estimates` (same mapping, native
+        Python keys/values)."""
+        if flow_keys is None:
+            occupied_slots = np.flatnonzero(self._occupied)
+            return {
+                key: (packets, bytes_)
+                for key, packets, bytes_ in zip(
+                    self._keys[occupied_slots].tolist(),
+                    self._packets[occupied_slots].tolist(),
+                    self._bytes[occupied_slots].tolist(),
+                )
+            }
+        query = np.asarray(
+            flow_keys
+            if isinstance(flow_keys, np.ndarray)
+            else list(flow_keys),
+            dtype=np.uint64,
+        )
+        if query.size == 0:
+            return {}
+        mask64 = np.uint64(self._mask)
+        slots = (
+            ((query & mask64)[:, None] + self._tri[None, :]) & mask64
+        ).astype(np.intp)
+        found = self._occupied[slots] & (self._keys[slots] == query[:, None])
+        rows = np.flatnonzero(found.any(axis=1))
+        hit_slots = slots[rows, found[rows].argmax(axis=1)]
+        return {
+            key: (packets, bytes_)
+            for key, packets, bytes_ in zip(
+                query[rows].tolist(),
+                self._packets[hit_slots].tolist(),
+                self._bytes[hit_slots].tolist(),
+            )
+        }
