@@ -7,6 +7,7 @@ Subcommands::
     instameasure summarize trace.npz
     instameasure run trace.npz --l1-kb 8
     instameasure hh trace.npz --threshold-packets 1000
+    instameasure bench --quick
 
 Traces are the NPZ files of :mod:`repro.traffic.trace_io`.
 """
@@ -83,6 +84,23 @@ def _build_parser() -> argparse.ArgumentParser:
     spread.add_argument("--min-destinations", type=int, default=10)
     spread.add_argument("--l1-kb", type=float, default=8.0)
     spread.add_argument("--wsaf-bits", type=int, default=16)
+
+    bench = commands.add_parser(
+        "bench", help="run the throughput regression harness"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: small trace, one round, history file untouched",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=None, help="timed rounds per variant"
+    )
+    bench.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip writing BENCH_throughput.json (quick implies this)",
+    )
     return parser
 
 
@@ -238,6 +256,65 @@ def _cmd_spreaders(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_bench_module():
+    """The throughput harness, loaded from the repo's benchmarks/ tree.
+
+    The harness stays outside the installed package (it writes repo-level
+    report files), so it is located relative to this source checkout.
+    """
+    import importlib.util
+    import pathlib
+
+    bench_path = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "benchmarks"
+        / "bench_throughput.py"
+    )
+    if not bench_path.exists():
+        raise ReproError(
+            f"benchmark harness not found at {bench_path} — the bench "
+            "subcommand needs a source checkout with benchmarks/"
+        )
+    spec = importlib.util.spec_from_file_location("bench_throughput", bench_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    bench = _load_bench_module()
+    if args.quick:
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=4_000, duration=10.0, seed=1)
+        )
+        rounds = args.rounds or 1
+        result = bench.run_benchmark(
+            trace, rounds=rounds, stage_rounds=2, record=False
+        )
+    else:
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=30_000, duration=60.0, seed=1)
+        )
+        rounds = args.rounds or bench.ROUNDS
+        result = bench.run_benchmark(
+            trace,
+            rounds=rounds,
+            stage_rounds=bench.STAGE_ROUNDS,
+            record=not args.no_record,
+        )
+    print(result["report"])
+    if args.quick:
+        scan_ratio = result["speedups"]["scan_vs_loop"]
+        if scan_ratio < bench.MIN_SCAN_SPEEDUP_SMOKE:
+            print(
+                f"error: scan replay regressed to {scan_ratio:.2f}x the "
+                "loop replay",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -247,6 +324,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "hh": _cmd_hh,
         "topk": _cmd_topk,
         "spreaders": _cmd_spreaders,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -56,6 +56,28 @@ ENGINE_CHOICES = ("auto", "batched", "scalar")
 #: Valid ``InstaMeasureConfig.wsaf_engine`` values.
 WSAF_ENGINE_CHOICES = ("auto", "batched", "scalar")
 
+#: Valid ``InstaMeasureConfig.regulator_replay`` values.
+REGULATOR_REPLAY_CHOICES = ("auto", "scan", "loop")
+
+
+def resolved_regulator_replay(config: "InstaMeasureConfig") -> str:
+    """Which contested-stretch replay ``config`` gets: "scan" or "loop".
+
+    ``"auto"`` picks the vectorized segmented-FSM scan
+    (:mod:`repro.kernels.regulator_scan`) whenever the fully batched
+    pipeline runs — batched trace engine *and* batch-probed WSAF — and
+    keeps the per-stretch FSM loop otherwise, preserving the PR-2 loop
+    variants as A/B baselines.  Both replays are bit-identical; only
+    throughput differs.
+    """
+    if config.regulator_replay in ("scan", "loop"):
+        return config.regulator_replay
+    if config.engine == "scalar":
+        return "loop"
+    if resolved_wsaf_engine(config) == "batched":
+        return "scan"
+    return "loop"
+
 
 def resolved_wsaf_engine(config: "InstaMeasureConfig") -> str:
     """Which WSAF backing store ``config`` gets: "batched" or "scalar".
@@ -128,6 +150,11 @@ class InstaMeasureConfig:
             array table with the batched trace engine (and keeps the scalar
             table otherwise), ``"batched"`` / ``"scalar"`` force one.  Both
             stores are state-identical; only throughput differs.
+        regulator_replay: contested-stretch replay inside the batched
+            kernel — ``"auto"`` uses the vectorized segmented-FSM scan when
+            the fully batched pipeline runs and the per-stretch FSM loop
+            otherwise; ``"scan"`` / ``"loop"`` force one (A/B knob).  Both
+            replays are bit-identical; ignored by ``engine="scalar"``.
     """
 
     l1_memory_bytes: int = 32 * 1024
@@ -143,6 +170,7 @@ class InstaMeasureConfig:
     engine: str = "auto"
     chunk_size: int = 1 << 20
     wsaf_engine: str = "auto"
+    regulator_replay: str = "auto"
 
 
 @dataclass
@@ -189,6 +217,11 @@ class InstaMeasure:
             raise ConfigurationError(
                 f"unknown engine {self.config.engine!r}; known: {ENGINE_CHOICES}"
             )
+        if self.config.regulator_replay not in REGULATOR_REPLAY_CHOICES:
+            raise ConfigurationError(
+                f"unknown regulator_replay {self.config.regulator_replay!r}; "
+                f"known: {REGULATOR_REPLAY_CHOICES}"
+            )
         if self.config.chunk_size < 1:
             raise ConfigurationError(
                 f"chunk_size must be >= 1, got {self.config.chunk_size}"
@@ -222,6 +255,7 @@ class InstaMeasure:
                 )
         self.wsaf = build_wsaf_table(self.config, accountant)
         self.wsaf_engine = resolved_wsaf_engine(self.config)
+        self.regulator_replay = resolved_regulator_replay(self.config)
         self._rng = random.Random(self.config.seed ^ 0x5EED)
 
     # -- per-packet path -----------------------------------------------------
@@ -421,6 +455,7 @@ class InstaMeasure:
             trace,
             on_accumulate=on_accumulate,
             delegate=self.wsaf_engine == "batched",
+            regulator_replay=self.regulator_replay,
         )
         elapsed = time.perf_counter() - start
 

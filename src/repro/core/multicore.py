@@ -42,6 +42,7 @@ from repro.core.regulator import FlowRegulator
 from repro.core.wsaf import WSAFTable
 from repro.errors import ConfigurationError
 from repro.hashing import popcount32
+from repro.kernels.batched import clear_kernel_caches
 from repro.traffic.packet import Trace
 
 
@@ -189,7 +190,10 @@ def _parallel_worker(worker_index: int) -> dict:
     manager, trace, assignment = _PARALLEL_STATE
     worker = manager.workers[worker_index]
     queue = _worker_queue(trace, assignment, worker_index)
-    result, events = _run_worker_recorded(worker, queue)
+    try:
+        result, events = _run_worker_recorded(worker, queue)
+    finally:
+        clear_kernel_caches(queue)
     regulator = worker.regulator
     return {
         "worker_index": worker_index,
@@ -307,7 +311,12 @@ class MultiCoreInstaMeasure:
         runs = []
         for worker_index, worker in enumerate(self.workers):
             queue = _worker_queue(trace, assignment, worker_index)
-            result, events = _run_worker_recorded(worker, queue)
+            try:
+                result, events = _run_worker_recorded(worker, queue)
+            finally:
+                # The queue sub-trace dies here; drop the kernel caches it
+                # accumulated so they cannot pin chunk-sized arrays.
+                clear_kernel_caches(queue)
             result.wsaf = self.wsaf
             runs.append((queue.num_packets, events, result))
         return runs

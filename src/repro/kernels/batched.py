@@ -40,11 +40,32 @@ from repro.kernels.luts import SENTINEL, kernel_tables, quad_tables
 #: Trace attribute under which per-chunk sort layouts are cached.
 _LAYOUT_ATTR = "_batched_layout"
 
+#: Trace attribute holding the delegated path's per-chunk derived streams.
+_STREAM_ATTR = "_delegated_streams"
+
+#: Trace attribute holding the scan replay's per-chunk occ/chain tables.
+_SCAN_ATTR = "_scan_streams"
+
 #: Bumped when the layout dict layout changes, to invalidate stale caches.
 _LAYOUT_VERSION = 3
 
 #: Default packets per kernel chunk (one chunk for most lab traces).
 DEFAULT_CHUNK_SIZE = 1 << 20
+
+
+def clear_kernel_caches(trace) -> None:
+    """Drop every kernel-derived cache pinned on ``trace``.
+
+    The chunk layouts (:data:`_LAYOUT_ATTR`), the delegated path's derived
+    streams (:data:`_STREAM_ATTR`), and the scan replay's position tables
+    (:data:`_SCAN_ATTR`) together hold several NumPy arrays per chunk — on
+    a million-packet trace tens of megabytes that would otherwise live as
+    long as the trace object does.  Call this when a trace outlives its
+    runs (the multi-core manager does, for its per-worker sub-traces).
+    """
+    for attr in (_LAYOUT_ATTR, _STREAM_ATTR, _SCAN_ATTR):
+        if hasattr(trace, attr):
+            delattr(trace, attr)
 
 
 @dataclass
@@ -164,6 +185,7 @@ def process_trace_batched(
     on_accumulate=None,
     chunk_size: "int | None" = None,
     delegate: bool = False,
+    regulator_replay: str = "loop",
 ) -> BatchCounters:
     """Process ``trace`` through ``engine``'s regulator and WSAF, batched.
 
@@ -177,10 +199,17 @@ def process_trace_batched(
     a vectorized word-level saturation screen in front of the per-stretch
     loop, an 8-packet OR screen inside the FSM replay, and WSAF updates
     handed over per chunk as one ``accumulate_batch`` call instead of one
-    ``accumulate`` per event.  Both paths are bit-identical to the scalar
-    loop; ``delegate=False`` preserves the original pipeline so the two
-    generations stay separately benchmarkable.
+    ``accumulate`` per event.  ``regulator_replay="scan"`` swaps the
+    contested-stretch FSM loop for the fully vectorized segmented scan
+    (:mod:`repro.kernels.regulator_scan`), which always runs the delegated
+    pipeline shape.  All paths are bit-identical to the scalar loop;
+    ``"loop"`` preserves the original pipelines so the generations stay
+    separately benchmarkable.
     """
+    if regulator_replay == "scan":
+        from repro.kernels.regulator_scan import process_trace_scan
+
+        return process_trace_scan(engine, trace, on_accumulate, chunk_size)
     if delegate:
         return _process_trace_delegated(engine, trace, on_accumulate, chunk_size)
     regulator = engine.regulator
@@ -451,6 +480,157 @@ def process_trace_batched(
     return counters
 
 
+def _stream_key(engine, l1, chunk_size: int) -> "tuple":
+    """Cache key covering every knob that changes the derived streams.
+
+    The streams are functions of the trace *and* of (seed → bit draws,
+    vector/saturation/word geometry → codes and masks, placement seeds and
+    word count → sort layout, chunking).  Any config change that would
+    alter stream contents must land in this tuple, or a reused trace would
+    replay stale data — ``tests/test_kernels.py`` exercises each knob.
+    """
+    return (
+        _LAYOUT_VERSION,
+        engine.config.seed,
+        l1.vector_bits,
+        l1.saturation_bits,
+        l1.word_bits,
+        l1._place_seed_idx,
+        l1._place_seed_off,
+        l1.num_words,
+        int(chunk_size),
+    )
+
+
+def _chunk_stream_slots(trace, key, num_chunks: int, attr: str) -> "list":
+    """The per-chunk cache list under ``trace.<attr>``, reset on key change."""
+    cache = getattr(trace, attr, None)
+    if cache is None or cache[0] != key:
+        cache = (key, [None] * num_chunks)
+        setattr(trace, attr, cache)
+    return cache[1]
+
+
+def _quad_stream_list(sorted_b1) -> "list[int]":
+    """Aligned 4-packet bit codes as boxed ints for the scalar quad loop.
+
+    A list indexes ~2x faster than a memoryview in the replay loop, and
+    the boxed ints are built once per trace (the stream cache holds them
+    across runs).
+    """
+    nq = len(sorted_b1) >> 2
+    q16 = sorted_b1[: 4 * nq : 4].astype(np.uint16)
+    q16 = q16 | (sorted_b1[1 : 4 * nq : 4].astype(np.uint16) << 3)
+    q16 = q16 | (sorted_b1[2 : 4 * nq : 4].astype(np.uint16) << 6)
+    q16 = q16 | (sorted_b1[3 : 4 * nq : 4].astype(np.uint16) << 9)
+    return q16.tolist()
+
+
+def _build_chunk_stream(
+    layout,
+    code_all,
+    vector_bits: int,
+    word_bits: int,
+    word_mask: int,
+    bit_values,
+    window_masks_np,
+    with_quad_list: bool,
+) -> "tuple":
+    """One chunk's derived streams (see ``_process_trace_delegated``).
+
+    ``with_quad_list`` controls whether the scalar quad replay's boxed-int
+    stream is materialized now (the vectorized scan never needs it; the
+    loop replay fills it lazily on first use via :func:`_quad_stream_list`).
+    """
+    order = layout["order"]
+    sorted_code = code_all[order]
+    if vector_bits & (vector_bits - 1) == 0:
+        sorted_b1 = sorted_code & np.uint8(vector_bits - 1)
+    else:
+        sorted_b1 = sorted_code % np.uint8(vector_bits)
+    bit_stream = bit_values[sorted_b1]
+    or_heads = np.bitwise_or.reduceat(bit_stream, layout["reduce_starts"])
+    offsets_arr = layout["offsets_arr"]
+    or64 = or_heads.astype(np.uint64)
+    inv_shifts = (np.uint64(word_bits) - offsets_arr) & np.uint64(word_bits - 1)
+    rotated_or_np = ((or64 << offsets_arr) | (or64 >> inv_shifts)) & np.uint64(
+        word_mask
+    )
+    stretch_windows = window_masks_np[offsets_arr.astype(np.intp)]
+    b1s = sorted_b1.tobytes()
+    b2s = (sorted_code // np.uint8(vector_bits)).tobytes()
+    quad_stream = _quad_stream_list(sorted_b1) if with_quad_list else None
+    return (
+        sorted_code,
+        sorted_b1,
+        bit_stream,
+        rotated_or_np,
+        stretch_windows,
+        b1s,
+        b2s,
+        quad_stream,
+    )
+
+
+def _delegate_chunk_events(
+    event_pos,
+    event_z,
+    event_z2,
+    order,
+    flow_ids,
+    key64,
+    timestamps,
+    sizes,
+    packed_tuples,
+    decode_np,
+    wsaf,
+    wsaf_arrays,
+    on_accumulate,
+) -> None:
+    """Apply one chunk's saturation events to the WSAF in packet order.
+
+    ``event_pos`` holds chunk-sorted stream positions; global coupling is
+    restored by mapping through ``order`` and re-sorting by original packet
+    position (chunks are contiguous, so chunk order composes to trace
+    order).  The batch-probed table takes the grouped array form; any other
+    table gets the equivalent ``accumulate_batch`` call.
+    """
+    positions = order[event_pos]
+    rank = np.argsort(positions, kind="stable")
+    positions = positions[rank]
+    event_flows = flow_ids[positions]
+    noise1 = event_z[rank]
+    noise2 = event_z2[rank]
+    est_pkt = decode_np[noise1] * decode_np[noise2]
+    est_byte = est_pkt * sizes[positions]
+    event_stamps = timestamps[positions]
+    event_keys = key64[event_flows]
+    event_tuples = [packed_tuples[f] for f in event_flows.tolist()]
+    if wsaf_arrays is not None:
+        wsaf_arrays(
+            event_keys,
+            est_pkt,
+            est_byte,
+            event_stamps,
+            event_tuples,
+            on_accumulate,
+            collect_totals=False,
+        )
+    else:
+        wsaf.accumulate_batch(
+            list(
+                zip(
+                    event_keys.tolist(),
+                    est_pkt.tolist(),
+                    est_byte.tolist(),
+                    event_stamps.tolist(),
+                    event_tuples,
+                )
+            ),
+            on_accumulate=on_accumulate,
+        )
+
+
 def _process_trace_delegated(
     engine, trace, on_accumulate=None, chunk_size: "int | None" = None
 ) -> BatchCounters:
@@ -530,22 +710,9 @@ def _process_trace_delegated(
     # layout, layer geometry) — like the chunk layouts, they are cached on
     # the trace so repeated runs skip the draws and gathers.  Filled
     # lazily per chunk below.
-    stream_key = (
-        _LAYOUT_VERSION,
-        engine.config.seed,
-        vector_bits,
-        sat_bits,
-        word_bits,
-        l1._place_seed_idx,
-        l1._place_seed_off,
-        l1.num_words,
-        chunk_size,
+    chunk_streams = _chunk_stream_slots(
+        trace, _stream_key(engine, l1, chunk_size), len(layouts), _STREAM_ATTR
     )
-    stream_cache = getattr(trace, "_delegated_streams", None)
-    if stream_cache is None or stream_cache[0] != stream_key:
-        stream_cache = (stream_key, [None] * len(layouts))
-        trace._delegated_streams = stream_cache
-    chunk_streams = stream_cache[1]
 
     code_all = None
     if any(entry is None for entry in chunk_streams):
@@ -582,60 +749,32 @@ def _process_trace_delegated(
 
         streams = chunk_streams[chunk_index]
         if streams is None:
-            sorted_code = code_all[order]
-            if vector_bits & (vector_bits - 1) == 0:
-                sorted_b1 = sorted_code & np.uint8(vector_bits - 1)
-            else:
-                sorted_b1 = sorted_code % np.uint8(vector_bits)
-            bit_stream = bit_values[sorted_b1]
-            or_heads = np.bitwise_or.reduceat(
-                bit_stream, layout["reduce_starts"]
-            )
-            offsets_arr = layout["offsets_arr"]
-            or64 = or_heads.astype(np.uint64)
-            inv_shifts = (np.uint64(word_bits) - offsets_arr) & np.uint64(
-                word_bits - 1
-            )
-            rotated_or_np = (
-                (or64 << offsets_arr) | (or64 >> inv_shifts)
-            ) & np.uint64(word_mask)
-            stretch_windows = window_masks_np[offsets_arr.astype(np.intp)]
-            b1s = sorted_b1.tobytes()
-            b2s = (sorted_code // np.uint8(vector_bits)).tobytes()
-            if use_quad:
-                nq = len(sorted_b1) >> 2
-                q16 = sorted_b1[: 4 * nq : 4].astype(np.uint16)
-                q16 = q16 | (sorted_b1[1 : 4 * nq : 4].astype(np.uint16) << 3)
-                q16 = q16 | (sorted_b1[2 : 4 * nq : 4].astype(np.uint16) << 6)
-                q16 = q16 | (sorted_b1[3 : 4 * nq : 4].astype(np.uint16) << 9)
-                # A list indexes ~2x faster than a memoryview in the replay
-                # loop, and the boxed ints are built once per trace (the
-                # stream cache holds them across runs).
-                quad_stream = q16.tolist()
-            else:
-                quad_stream = None
-            streams = (
-                sorted_code,
-                sorted_b1,
-                bit_stream,
-                rotated_or_np,
-                stretch_windows,
-                b1s,
-                b2s,
-                quad_stream,
+            streams = _build_chunk_stream(
+                layout,
+                code_all,
+                vector_bits,
+                word_bits,
+                word_mask,
+                bit_values,
+                window_masks_np,
+                with_quad_list=use_quad,
             )
             chunk_streams[chunk_index] = streams
-        else:
-            (
-                sorted_code,
-                sorted_b1,
-                bit_stream,
-                rotated_or_np,
-                stretch_windows,
-                b1s,
-                b2s,
-                quad_stream,
-            ) = streams
+        elif use_quad and streams[7] is None:
+            # The cache entry was built by a scan run, which never needs
+            # the boxed-int quad stream; materialize it once.
+            streams = streams[:7] + (_quad_stream_list(streams[1]),)
+            chunk_streams[chunk_index] = streams
+        (
+            sorted_code,
+            sorted_b1,
+            bit_stream,
+            rotated_or_np,
+            stretch_windows,
+            b1s,
+            b2s,
+            quad_stream,
+        ) = streams
 
         word_run_starts = layout["word_run_starts"]
         word_run_lengths = layout["word_run_lengths"]
@@ -1116,40 +1255,21 @@ def _process_trace_delegated(
         if event_pos:
             # One delegated batch per chunk, in original packet order; the
             # batch-probed table groups it by flow key internally.
-            positions = order[np.array(event_pos, dtype=np.int64)]
-            rank = np.argsort(positions, kind="stable")
-            positions = positions[rank]
-            event_flows = flow_ids[positions]
-            noise1 = np.array(event_z, dtype=np.int64)[rank]
-            noise2 = np.array(event_z2, dtype=np.int64)[rank]
-            est_pkt = decode_np[noise1] * decode_np[noise2]
-            est_byte = est_pkt * sizes[positions]
-            event_stamps = timestamps[positions]
-            event_keys = key64[event_flows]
-            event_tuples = [packed_tuples[f] for f in event_flows.tolist()]
-            if wsaf_arrays is not None:
-                wsaf_arrays(
-                    event_keys,
-                    est_pkt,
-                    est_byte,
-                    event_stamps,
-                    event_tuples,
-                    on_accumulate,
-                    collect_totals=False,
-                )
-            else:
-                wsaf.accumulate_batch(
-                    list(
-                        zip(
-                            event_keys.tolist(),
-                            est_pkt.tolist(),
-                            est_byte.tolist(),
-                            event_stamps.tolist(),
-                            event_tuples,
-                        )
-                    ),
-                    on_accumulate=on_accumulate,
-                )
+            _delegate_chunk_events(
+                np.array(event_pos, dtype=np.int64),
+                np.array(event_z, dtype=np.int64),
+                np.array(event_z2, dtype=np.int64),
+                order,
+                flow_ids,
+                key64,
+                timestamps,
+                sizes,
+                packed_tuples,
+                decode_np,
+                wsaf,
+                wsaf_arrays,
+                on_accumulate,
+            )
             insertions += len(event_pos)
 
     counters.l1_saturations = l1_saturations

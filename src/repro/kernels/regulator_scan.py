@@ -1,0 +1,965 @@
+"""Vectorized segmented-FSM replay for contested regulator stretches.
+
+The delegated pipeline's last per-packet Python loop is the contested
+stretch replay in :mod:`repro.kernels.batched`: every stretch whose
+saturation screen fails walks its packets through FSM tables one (or four)
+at a time.  This module replaces that walk with a **per-saturation scan**
+built from three precomputed position tables over the chunk's sorted bit
+stream:
+
+* ``occ[v][p]`` — the first position ``>= p`` whose L1 bit choice is
+  ``v`` (``span`` if none).  A window's future is fully described by
+  these first-occurrence positions, because ORing an already-set bit
+  never changes state.
+* ``jump[p]`` — the position where a *fresh* (empty) window starting at
+  ``p`` saturates: the ``saturation_bits``-th smallest entry of
+  ``occ[:, p]``, i.e. where the ``saturation_bits``-th distinct bit
+  value first appears.
+* ``chain[q] = jump[q + 1]`` — the next saturation after a saturation at
+  ``q`` (windows recycle to empty), making saturation chains a linked
+  list that is followed **per saturation, never per packet**.
+
+Two invariants of the RCC window make the replay whole-array work
+(both proven by the table construction and enforced by the equivalence
+suite):
+
+* A stretch's **first** saturation deviates from the geometry's constant
+  noise level ``noise_z = vector_bits - saturation_bits`` *only* when the
+  inherited word state already holds ``>= saturation_bits`` set bits
+  (bits committed by overlapping windows at other offsets) — and then it
+  happens on the stretch's first packet.  Otherwise the window crosses
+  the threshold exactly at its ``k``-th missing bit, the popcount at the
+  crossing is exactly ``saturation_bits``, and the noise level is exactly
+  ``noise_z``.
+* Every **chain** saturation grows from a recycled (empty) window one
+  distinct bit at a time, so it carries ``noise_z`` too.
+
+Each screening round (one stretch per contested word — distinct words,
+hence independent) is then a handful of whole-array stages:
+
+* **Exact saturation screen.**  Un-rotating a stretch's OR mask yields
+  the exact set of bit values it contains; the window gains at most one
+  bit per packet, so the stretch saturates iff
+  ``popcount(inherited | stretch_bits) >= saturation_bits``.  One gather
+  commits every clean stretch and confines the rest of the round to the
+  saturating subset.
+* **Binary lifting over the chain.**  The saturation walk
+  ``q, chain[q], chain[chain[q]], ...`` merges toward ``span``
+  (``chain`` is monotone), so lazily-built lift tables
+  ``lift[k] = chain^(2**k)`` reach each stretch's *last* in-stretch
+  saturation in ``O(log depth)`` gathers, and a precomputed walk-length
+  (``depth``) table turns per-stretch saturation counts into two more
+  gathers — orbits are never materialized.
+* **L2 replay via walk tables.**  Chain saturations all step the
+  constant ``noise_z`` bank, and the symbol sequence a stretch's L2
+  window consumes is fixed by the chunk-wide walk graph.  A
+  first-occurrence-along-the-walk table (``focc``) gives each stretch's
+  first L2 saturation by order statistic; a ``g`` chain (next L2 event
+  after an event) is lifted the same way to each stretch's last event,
+  and final L1/L2 window states come from first-occurrence gathers, not
+  replay.  The rare event *positions* (a few thousand per chunk) are
+  enumerated once per chunk by concat-doubling over the ``g`` lift
+  tables, with rows retiring as their block crosses the stretch bound.
+
+Only the rare deviating first saturation (tens per trace) takes a scalar
+fixup, and per-word tails too short to amortize array dispatch walk the
+same ``chain`` table in Python — still per saturation, behind the same
+exact one-popcount screen.  Saturation events land in preallocated
+growable arrays instead of per-event list appends.
+
+Bit-identicality with the scalar engine is the contract, as everywhere in
+:mod:`repro.kernels`; ``tests/test_kernels.py`` and
+``tests/test_regulator_scan.py`` enforce it across seeds, chunk sizes,
+policies, and geometries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rcc import popcount_table
+from repro.kernels.batched import (
+    _LAYOUT_ATTR,
+    _SCAN_ATTR,
+    _STREAM_ATTR,
+    BatchCounters,
+    DEFAULT_CHUNK_SIZE,
+    _build_chunk_stream,
+    _chunk_layouts,
+    _chunk_stream_slots,
+    _delegate_chunk_events,
+    _stream_key,
+)
+from repro.kernels.luts import SENTINEL, kernel_tables, single_flat_np
+
+#: Below this many simultaneously active word runs, per-round NumPy
+#: dispatch overhead exceeds the per-saturation Python walk; the
+#: remaining runs take the scalar tail (which advances via the same
+#: ``chain`` table — per saturation, never per packet).
+_TAIL_RUNS = 96
+
+
+def _scan_tables(sorted_b1, vector_bits: int, sat_bits: int):
+    """``(occ, jump, chain)`` position tables for one chunk's bit stream.
+
+    See the module docstring for their meaning.  Pure functions of the
+    stream and the layer geometry, cached per chunk alongside the derived
+    streams.
+    """
+    span = int(sorted_b1.size)
+    occ = np.full((vector_bits, span + 1), span, dtype=np.int32)
+    if span:
+        positions = np.arange(span, dtype=np.int32)
+        for v in range(vector_bits):
+            hits = np.where(sorted_b1 == v, positions, np.int32(span))
+            occ[v, :span] = np.minimum.accumulate(hits[::-1])[::-1]
+    # k-th order statistic down the value axis = where the k-th distinct
+    # bit value first appears from each start position.
+    jump = np.partition(occ, sat_bits - 1, axis=0)[sat_bits - 1]
+    chain = np.empty(span + 1, dtype=np.int32)
+    chain[:span] = jump[1:]
+    chain[span] = span
+    return occ, jump, chain
+
+
+def _walk_tables(chain, b2_np, vector_bits: int, sat_bits: int):
+    """``(focc, g)`` tables over the saturation walk graph of one chunk.
+
+    ``chain`` is strictly increasing, so "the saturations after position
+    ``p``" form a walk ``p, chain[p], chain[chain[p]], ...`` through a
+    functional graph whose paths all merge toward ``span``.  Along that
+    walk the noise-level bank consumes one L2 bit choice per saturation,
+    which makes the bank's whole future a function of the walk alone.
+    Returns ``(focc, g, depth)``:
+
+    * ``focc[v][p]`` — the first walk position at or after ``p`` whose L2
+      bit choice is ``v`` (``span`` if none before the walk exhausts).
+    * ``g[p]`` — the next L2 saturation *event* after an event at ``p``:
+      the recycled (empty) window re-saturates where the
+      ``saturation_bits``-th distinct bit value appears along the walk
+      from ``chain[p]``.
+    * ``depth[p]`` — the walk's length from ``p`` (its saturation count
+      through the end of the chunk).
+
+    Built once per chunk by doubling over the *distinct* chain targets
+    (the walks' merge points — typically a small fraction of the span)
+    and broadcast back to the full span with one gather.
+    """
+    span = int(b2_np.size)
+    symbols = np.empty(span + 1, dtype=np.int64)
+    symbols[:span] = b2_np
+    symbols[span] = vector_bits  # matches no bit value: the walk's end
+    values = np.arange(vector_bits, dtype=np.int64)
+
+    # Walks from two positions sharing a chain target share their whole
+    # tail, so first-occurrence tables only need the chain's image; rank
+    # lookups are exact because chain values index into themselves.
+    targets = np.unique(chain)
+    rank = np.empty(span + 1, dtype=np.int32)
+    rank[targets] = np.arange(targets.size, dtype=np.int32)
+    step = rank[chain[targets]]
+    first = np.where(
+        symbols[targets][None, :] == values[:, None],
+        targets[None, :],
+        np.int32(span),
+    ).astype(np.int32)
+    while True:
+        merged = np.where(first < span, first, first[:, step])
+        next_step = step[step]
+        if np.array_equal(next_step, step) and np.array_equal(merged, first):
+            break
+        first = merged
+        step = next_step
+
+    focc = first[:, rank[chain]]
+    own = symbols[None, :] == values[:, None]
+    positions = np.arange(span + 1, dtype=np.int32)
+    focc = np.where(own, positions[None, :], focc)
+    sat = np.partition(focc, sat_bits - 1, axis=0)[sat_bits - 1]
+    g = sat[chain]
+
+    # depth[p] — the walk length from p to span (0 at span itself): the
+    # same doubling over the chain's image, then one gather + the "own
+    # step" increment.  Lets the batch kernel size its binary lifting and
+    # total saturation counts without per-level bookkeeping.
+    dt = np.zeros(targets.size, dtype=np.int32)
+    dt[targets < span] = 1
+    step = rank[chain[targets]]
+    while True:
+        merged = dt + dt[step]
+        next_step = step[step]
+        if np.array_equal(next_step, step) and np.array_equal(merged, dt):
+            break
+        dt = merged
+        step = next_step
+    depth = np.zeros(span + 1, dtype=np.int32)
+    depth[:span] = dt[rank[chain[:span]]] + 1
+    return focc, g, depth
+
+
+_BIT_TBL_CACHE: "dict[int, np.ndarray]" = {}
+
+
+def _bit_membership(vector_bits: int) -> "np.ndarray":
+    """``tbl[v][state]`` — whether ``state`` holds bit ``v`` (bool LUT).
+
+    Turns the per-round "which bits does each inherited window hold"
+    shift-and-mask cascade into a single table gather.
+    """
+    tbl = _BIT_TBL_CACHE.get(vector_bits)
+    if tbl is None:
+        states = np.arange(1 << vector_bits, dtype=np.int64)
+        values = np.arange(vector_bits, dtype=np.int64)
+        tbl = ((states[None, :] >> values[:, None]) & 1).astype(bool)
+        _BIT_TBL_CACHE[vector_bits] = tbl
+    return tbl
+
+
+class _EventBuffer:
+    """Growable preallocated event columns: (stream position, z, z2)."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.pos = np.empty(capacity, dtype=np.int64)
+        self.z = np.empty(capacity, dtype=np.int64)
+        self.z2 = np.empty(capacity, dtype=np.int64)
+        self.n = 0
+
+    def _reserve(self, extra: int) -> None:
+        need = self.n + extra
+        capacity = self.pos.size
+        if need <= capacity:
+            return
+        while capacity < need:
+            capacity *= 2
+        for name in ("pos", "z", "z2"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[: self.n] = old[: self.n]
+            setattr(self, name, grown)
+
+    def extend(self, positions, z: int, z2) -> None:
+        """Append a column of same-L1-noise-level events."""
+        count = positions.size
+        self._reserve(count)
+        n = self.n
+        self.pos[n : n + count] = positions
+        self.z[n : n + count] = z
+        self.z2[n : n + count] = z2
+        self.n = n + count
+
+    def push(self, position: int, z: int, z2: int) -> None:
+        """Append one event (deviating first saturations, scalar tail)."""
+        self._reserve(1)
+        n = self.n
+        self.pos[n] = position
+        self.z[n] = z
+        self.z2[n] = z2
+        self.n = n + 1
+
+    def arrays(self):
+        return self.pos[: self.n], self.z[: self.n], self.z2[: self.n]
+
+
+class _ChunkScan:
+    """One chunk's contested-path scan state and kernels."""
+
+    def __init__(
+        self,
+        *,
+        layout,
+        streams,
+        occ,
+        jump,
+        chain,
+        b2_np,
+        lift,
+        focc,
+        glift,
+        depth,
+        stretch_ok,
+        words_np,
+        bank2_np,
+        l2_words,
+        l2_encoded,
+        window_masks,
+        vector_bits: int,
+        word_bits: int,
+        sat_bits: int,
+    ) -> None:
+        self.layout = layout
+        self.occ = occ
+        self.jump = jump
+        self.chain = chain
+        self.b2_np = b2_np
+        self.lift = lift
+        self.focc = focc
+        self.glift = glift
+        self.depth = depth
+        self.stretch_ok = stretch_ok
+        self.words_np = words_np
+        self.bank2_np = bank2_np
+        self.l2_words = l2_words
+        self.l2_encoded = l2_encoded
+        self.window_masks = window_masks
+        self.vector_bits = vector_bits
+        self.word_bits = word_bits
+        self.sat_bits = sat_bits
+        self.noise_z = vector_bits - sat_bits
+        self.word_mask = (1 << word_bits) - 1
+        self.window_all = (1 << vector_bits) - 1
+        self.span = int(b2_np.size)
+
+        self.rotated_or = streams[3]
+        self.stretch_windows = streams[4]
+        self.b1_bytes = streams[5]
+        self.b2_bytes = streams[6]
+        self.b1_np = streams[1]
+
+        self.s1 = kernel_tables(vector_bits, sat_bits).single
+        self.s1_flat = single_flat_np(vector_bits, sat_bits)
+        self.popcount_np = np.array(
+            popcount_table(vector_bits), dtype=np.int64
+        )
+        self.arange_v = np.arange(vector_bits, dtype=np.int64)
+        self.arange_v_u64 = np.arange(vector_bits, dtype=np.uint64)
+        self.bit_tbl = _bit_membership(vector_bits)
+        self._ar = np.arange(1024, dtype=np.int64)
+
+        self.events = _EventBuffer()
+        self.nsat = 0  # L1 saturations (all of them, deviants included)
+        self.nenc = 0  # noise_z-bank L2 encode steps (= nsat - deviants)
+
+        # Deferred L2 event segments: per-round (first event, bound, first
+        # z2) columns, enumerated in one pass by :meth:`finish`.
+        self.ev_j0: "list" = []
+        self.ev_b: "list" = []
+        self.ev_z2: "list" = []
+        # Adaptive binary-lifting depths (grown on verification failure).
+        self._clevel = 5
+        self._glevel = 3
+
+    def _lift_table(self, level: int):
+        """``chain`` composed ``2**level`` times, grown lazily.
+
+        The list lives in the chunk's scan cache entry, so lift tables
+        survive across runs of the same trace like ``occ``/``chain`` do.
+        """
+        lift = self.lift
+        while len(lift) <= level:
+            prev = lift[-1]
+            lift.append(prev[prev])
+        return lift[level]
+
+    def _g_lift(self, level: int):
+        """``g`` composed ``2**level`` times, grown lazily (see above)."""
+        glift = self.glift
+        while len(glift) <= level:
+            prev = glift[-1]
+            glift.append(prev[prev])
+        return glift[level]
+
+    def _arange(self, n: int):
+        """A shared ``arange`` prefix (column picks happen every round)."""
+        buf = self._ar
+        if buf.size < n:
+            buf = np.arange(max(n, 2 * buf.size), dtype=np.int64)
+            self._ar = buf
+        return buf[:n]
+
+    # -- contested rounds ---------------------------------------------------
+
+    def run(self, word_ok) -> None:
+        """Process every stretch of every screen-failed word run.
+
+        Mirrors the loop replay's screening rounds: each round handles one
+        stretch per pending word (stretches of one round touch distinct
+        words, hence are independent), preserving per-word stretch order.
+        Unlike the loop rounds there is no per-round screen — the first
+        saturation position computed from ``occ`` *is* the exact screen,
+        and non-saturating stretches commit their pre-rotated OR mask.
+        """
+        layout = self.layout
+        fail_runs = np.flatnonzero(~word_ok)
+        ptr = layout["word_run_starts"][fail_runs].copy()
+        run_end = ptr + layout["word_run_lengths"][fail_runs]
+        active = np.arange(fail_runs.size)
+        while active.size > _TAIL_RUNS:
+            self._batch(ptr[active])
+            ptr[active] += 1
+            active = active[ptr[active] < run_end[active]]
+        if active.size:
+            # The scalar tail works on plain-int copies of the sketch
+            # words (one bulk tolist/writeback per chunk) and on
+            # per-run pre-gathered table columns, so the per-stretch
+            # work is pure Python int arithmetic.
+            wl = self.words_np.tolist()
+            bl = self.bank2_np.tolist()
+            starts_arr = layout["starts_arr"]
+            offsets_arr = layout["offsets_arr"]
+            word_bits_u = np.uint64(self.word_bits)
+            word_low_u = np.uint64(self.word_bits - 1)
+            window_all_u = np.uint64(self.window_all)
+            for run in active.tolist():
+                lo = int(ptr[run])
+                hi = int(run_end[run])
+                jumps = self.jump[starts_arr[lo:hi]].tolist()
+                rots_np = self.rotated_or[lo:hi]
+                offs = offsets_arr[lo:hi]
+                inv = (word_bits_u - offs) & word_low_u
+                # Un-rotate each stretch's OR mask back to its window: the
+                # exact set of bit values the stretch contains, which makes
+                # the tail's saturation screen one popcount.
+                sbs = (
+                    ((rots_np >> offs) | (rots_np << inv)) & window_all_u
+                ).tolist()
+                rots = rots_np.tolist()
+                for i in range(hi - lo):
+                    self._tail(lo + i, wl, bl, sbs[i], jumps[i], rots[i])
+            self.words_np[:] = wl
+            self.bank2_np[:] = bl
+        self.finish()
+
+    # -- the column-parallel batch kernel -----------------------------------
+
+    def _batch(self, sidx) -> None:
+        """Fully process one round's stretches (distinct words) at once."""
+        layout = self.layout
+        # The chunk-wide screen already proved conservatively-clean
+        # stretches cannot saturate (their word's upper bound stays under
+        # the threshold): commit their OR mask and drop them up front.
+        ok = self.stretch_ok[sidx]
+        if ok.any():
+            oi = sidx[ok]
+            self.words_np[layout["words_arr"][oi]] |= self.rotated_or[oi]
+            if ok.all():
+                return
+            sidx = sidx[~ok]
+        w = layout["words_arr"][sidx]
+        off_u = layout["offsets_arr"][sidx]
+        word = self.words_np[w]
+        ror = self.rotated_or[sidx]
+        word_bits_u = np.uint64(self.word_bits)
+        inv_u = (word_bits_u - off_u) & np.uint64(self.word_bits - 1)
+        window_all_u = np.uint64(self.window_all)
+        st0 = ((word >> off_u) | (word << inv_u)) & window_all_u
+
+        # Exact saturation screen: the union of inherited and stretch bits
+        # reaches the threshold iff the stretch saturates (the window
+        # gains at most one bit per packet).  Everything expensive below
+        # then runs on the saturating subset only.
+        sb = ((ror >> off_u) | (ror << inv_u)) & window_all_u
+        sat = self.popcount_np[(st0 | sb).astype(np.int64)] >= self.sat_bits
+        if not sat.all():
+            nosat = ~sat
+            self.words_np[w[nosat]] = word[nosat] | ror[nosat]
+            sel = np.flatnonzero(sat)
+            if sel.size == 0:
+                return
+            sidx = sidx[sel]
+            w = w[sel]
+            off_u = off_u[sel]
+            inv_u = inv_u[sel]
+            word = word[sel]
+            st0 = st0[sel]
+
+        a = layout["starts_arr"][sidx]
+        b = layout["ends_arr"][sidx]
+        window = self.stretch_windows[sidx]
+        st0_i = st0.astype(np.int64)
+        missing = self.sat_bits - self.popcount_np[st0_i]
+
+        # First saturation position: the missing-count-th smallest first
+        # occurrence among bits the inherited window does not hold yet
+        # (in-stretch by the screen above, so no saturation check needed).
+        occ_a = self.occ[:, a]
+        in_st0 = self.bit_tbl[:, st0_i]
+        cand = np.where(in_st0, np.int32(self.span), occ_a)
+        cand.sort(axis=0)
+        n = sidx.size
+        q0 = cand[np.maximum(missing - 1, 0), self._arange(n)].astype(np.int64)
+        dev = missing <= 0
+        if dev.any():
+            # Inherited state already at/over the threshold: the first
+            # packet saturates unconditionally.
+            q0 = np.where(dev, a, q0)
+        rest = word & ~window
+        bank_word = self.bank2_np[w]
+        st2_all = (
+            ((bank_word >> off_u) | (bank_word << inv_u)) & window_all_u
+        ).astype(np.int64)
+        rest2 = bank_word & ~window
+        last_sat = q0.copy()
+        q = q0
+
+        if dev.any():
+            di = np.flatnonzero(dev)
+            first_bit = self.b1_np[a[di]].astype(np.int64)
+            merged = st0_i[di] | (np.int64(1) << first_bit)
+            z0 = self.vector_bits - self.popcount_np[merged]
+            hard = z0 != self.noise_z
+            if hard.any():
+                # Deviating first saturations: scalar read-modify-write of
+                # their own L2 bank, then the cursor moves to the chain.
+                hi = di[hard]
+                for j, z in zip(hi.tolist(), z0[hard].tolist()):
+                    self._dev_fixup(
+                        int(w[j]), int(off_u[j]), int(a[j]), int(z)
+                    )
+                q = q.copy()
+                q[hi] = self.chain[a[hi]]
+                self.nsat += hi.size
+            # Easy deviants (z0 == noise_z) step like any chain saturation.
+
+        ic = np.flatnonzero(q < b)
+        if ic.size:
+            self._chain_scan(ic, q, b, st2_all, last_sat)
+
+        # Final L1 window: the bits whose next occurrence after the last
+        # saturation still falls inside the stretch (the window regrows
+        # from empty and never saturates again).
+        next_occ = self.occ[:, last_sat + 1]
+        final = (
+            (next_occ < b[None, :]).astype(np.uint64)
+            << self.arange_v_u64[:, None]
+        ).sum(axis=0)
+        word_mask_u = np.uint64(self.word_mask)
+        self.words_np[w] = rest | (
+            ((final << off_u) | (final >> inv_u)) & word_mask_u
+        )
+        st2_u = st2_all.astype(np.uint64)
+        self.bank2_np[w] = rest2 | (
+            ((st2_u << off_u) | (st2_u >> inv_u)) & word_mask_u
+        )
+
+    def _chain_scan(self, ic, q, b, st2_all, last_sat) -> None:
+        """Replay every remaining chain saturation of one round at once.
+
+        Everything is per *stretch* (size ``m``) or per rare *L2 event*;
+        the saturation orbits themselves are never materialized.
+
+        * **Count pass** — binary lifting through the ``chain`` lift
+          tables yields each stretch's saturation count and its last
+          in-stretch saturation in ``O(log depth)`` ``m``-sized gathers.
+        * **L2 replay via walk tables** — every chain saturation steps
+          the constant ``noise_z`` bank, and the symbol sequence a
+          stretch's L2 window consumes is fixed by the chunk-wide walk
+          graph, so the cached ``focc`` table answers "which bits does
+          the window collect before the stretch ends" and the ``g``
+          chain steps straight from one L2 saturation *event* to the
+          next.  The rare event positions come from a doubling
+          enumeration over the ``g`` lift tables; final L2 windows are
+          one ``focc`` gather.
+        """
+        sat_bits = self.sat_bits
+        noise_z = self.noise_z
+        qs = q[ic].astype(np.int32)
+        bounds = b[ic].astype(np.int32)
+        m = int(ic.size)
+
+        # -- count pass: saturations per stretch + last one -----------------
+        # Binary lifting to the last in-stretch saturation; the depth
+        # table then gives every stretch's saturation count from two
+        # gathers.  The lifting level is an adaptive estimate (within-
+        # stretch chains are much shorter than whole-chunk walks), checked
+        # and regrown on the rare miss.
+        dq = self.depth[qs]
+        level = min(int(dq.max()).bit_length(), self._clevel)
+        while True:
+            pos = qs.copy()
+            for k in range(level - 1, -1, -1):
+                nxt = self._lift_table(k)[pos]
+                np.copyto(pos, nxt, where=nxt < bounds)
+            if not (self.chain[pos] < bounds).any():
+                break
+            level += 2
+            self._clevel = level
+        total = int((dq - self.depth[pos]).sum()) + m
+        self.nsat += total
+        self.nenc += total
+        last_sat[ic] = pos
+
+        # -- first L2 saturation per stretch --------------------------------
+        # The k2-th missing bit of the inherited L2 window along the walk
+        # from the stretch's first saturation — or, when that window is
+        # already at the threshold, the first saturation itself (with its
+        # own noise level pulled from the transition table; everything
+        # else is noise_z by the constant-noise invariant).
+        st2seg = st2_all[ic]
+        k2 = sat_bits - self.popcount_np[st2seg]
+        focc_q = self.focc[:, qs]
+        in_st2 = self.bit_tbl[:, st2seg]
+        cand = np.where(in_st2, np.int32(self.span), focc_q)
+        cand.sort(axis=0)
+        j0 = cand[np.maximum(k2 - 1, 0), self._arange(m)].astype(np.int64)
+        first_z2 = np.full(m, noise_z, dtype=np.int64)
+        dev2 = k2 <= 0
+        if dev2.any():
+            d2 = np.flatnonzero(dev2)
+            qd = qs[d2]
+            nxt = self.s1_flat[(st2seg[d2] << 3) | self.b2_np[qd]].astype(
+                np.int64
+            )
+            first_z2[d2] = nxt - SENTINEL
+            j0[d2] = qd
+        has_event = j0 < bounds
+
+        # -- last L2 event per stretch (enumeration deferred) ---------------
+        # Only the *last* event matters for this round's final window (the
+        # bank restarts empty after it); the event positions themselves
+        # are appended as (first, bound, z2) segments and materialized in
+        # one chunk-wide pass by :meth:`finish`.
+        probe = qs
+        wi = np.flatnonzero(has_event)
+        if wi.size:
+            j0w = j0[wi].astype(np.int32)
+            bw = bounds[wi]
+            g0 = self._g_lift(0)
+            glevel = self._glevel
+            while True:
+                gpos = j0w.copy()
+                for k in range(glevel - 1, -1, -1):
+                    nxt = self._g_lift(k)[gpos]
+                    np.copyto(gpos, nxt, where=nxt < bw)
+                if not (g0[gpos] < bw).any():
+                    break
+                glevel += 2
+                self._glevel = glevel
+            self.ev_j0.append(j0w)
+            self.ev_b.append(bw)
+            self.ev_z2.append(first_z2[wi])
+            # After its last event the window restarts empty at the next
+            # orbit position.
+            probe = qs.copy()
+            probe[wi] = self.chain[gpos]
+
+        # -- final L2 windows: one focc gather ------------------------------
+        # Event segments regrow from empty after their last event;
+        # event-free segments keep the inherited bits.  Walk positions
+        # beyond the stretch are >= b, so the comparison below is exactly
+        # "collected before the stretch ends".
+        grown = (
+            (self.focc[:, probe] < bounds[None, :]).astype(np.int64)
+            << self.arange_v[:, None]
+        ).sum(axis=0)
+        st2_all[ic] = np.where(has_event, grown, st2seg | grown)
+
+    def finish(self) -> None:
+        """Materialize every deferred L2 event segment in one pass.
+
+        One concat-doubling enumeration over all rounds' event segments:
+        rows retire the moment their doubling block crosses the stretch
+        bound, so the whole chunk costs ``O(log max_events)`` iterations.
+        Emission order across segments is free — the delegation helper
+        re-sorts events by packet position (positions are unique).
+        """
+        if not self.ev_j0:
+            return
+        j0 = np.concatenate(self.ev_j0)
+        be = np.concatenate(self.ev_b)
+        z2f = np.concatenate(self.ev_z2)
+        noise_z = self.noise_z
+        mat = j0[:, None]
+        ids = np.arange(j0.size)
+        id_parts = []
+        pos_parts = []
+        count_parts = []
+        glevel = 0
+        while True:
+            done = mat[:, -1] >= be
+            if done.any():
+                di = np.flatnonzero(done)
+                rows = mat[di]
+                valid = rows < be[di, None]
+                id_parts.append(ids[di])
+                count_parts.append(valid.sum(axis=1))
+                pos_parts.append(rows[valid])
+                keep = np.flatnonzero(~done)
+                if keep.size == 0:
+                    break
+                mat = mat[keep]
+                be = be[keep]
+                ids = ids[keep]
+            mat = np.concatenate((mat, self._g_lift(glevel)[mat]), axis=1)
+            glevel += 1
+        ids_all = np.concatenate(id_parts)
+        epos = np.concatenate(pos_parts)
+        ns_ev = np.concatenate(count_parts)
+        seg_ends = np.cumsum(ns_ev)
+        z2_flat = np.full(epos.size, noise_z, dtype=np.int64)
+        z2_flat[seg_ends - ns_ev] = z2f[ids_all]
+        self.events.extend(epos.astype(np.int64), noise_z, z2_flat)
+
+    # -- scalar paths --------------------------------------------------------
+
+    def _dev_fixup(self, w: int, off: int, pos: int, z0: int) -> None:
+        """Deviating first saturation: step bank ``z0`` in place (scalar)."""
+        window = self.window_masks[off]
+        inv = self.word_bits - off
+        bank = self.l2_words[z0]
+        bank_word = bank[w]
+        state = ((bank_word >> off) | (bank_word << inv)) & self.window_all
+        nxt2 = self.s1[state][self.b2_bytes[pos]]
+        self.l2_encoded[z0] += 1
+        if nxt2 >= SENTINEL:
+            self.events.push(pos, z0, nxt2 - SENTINEL)
+            state = 0
+        else:
+            state = nxt2
+        bank[w] = (bank_word & ~window) | (
+            ((state << off) | (state >> inv)) & self.word_mask
+        )
+
+    def _tail(
+        self,
+        sid: int,
+        wl: "list[int]",
+        bl: "list[int]",
+        sb: int,
+        jump_a: int,
+        rot: int,
+    ) -> None:
+        """Per-saturation Python walk of one stretch's chain (short runs).
+
+        ``wl``/``bl`` are the plain-int L1/noise-bank word lists the whole
+        tail phase shares (bulk-converted once in :meth:`run`);
+        ``sb``/``jump_a``/``rot`` are this stretch's pre-gathered bit-value
+        set, ``jump[a]`` entry, and rotated OR mask.
+        """
+        layout = self.layout
+        w = layout["words"][sid]
+        off = layout["offsets"][sid]
+        word = wl[w]
+        window = self.window_masks[off]
+        inv = self.word_bits - off
+        window_all = self.window_all
+        st0 = ((word >> off) | (word << inv)) & window_all
+        if (st0 | sb).bit_count() < self.sat_bits:
+            # Exact screen: the union of inherited and stretch bits never
+            # reaches the threshold, so the stretch cannot saturate.
+            wl[w] = word | rot
+            return
+        a = layout["starts"][sid]
+        b = layout["ends"][sid]
+        occ = self.occ
+        if st0 == 0:
+            # Empty inherited window: its first saturation is exactly the
+            # fresh-window jump table entry (the screen above already
+            # proved the stretch saturates).
+            q = jump_a
+            z0 = self.noise_z
+        elif st0.bit_count() < self.sat_bits:
+            missing = self.sat_bits - st0.bit_count()
+            col = occ[:, a].tolist()
+            candidates = [
+                col[v] for v in range(self.vector_bits) if not (st0 >> v) & 1
+            ]
+            candidates.sort()
+            q = candidates[missing - 1]
+            z0 = self.noise_z
+        else:
+            q = a
+            z0 = self.vector_bits - (st0 | (1 << self.b1_bytes[a])).bit_count()
+        rest = word & ~window
+        bank_word = bl[w]
+        st2 = ((bank_word >> off) | (bank_word << inv)) & window_all
+        rest2 = bank_word & ~window
+        chain = self.chain
+        s1 = self.s1
+        b2b = self.b2_bytes
+        push = self.events.push
+        noise_z = self.noise_z
+        saturations = 0
+        deviant = 0
+        last = q
+        first = True
+        while q < b:
+            saturations += 1
+            last = q
+            if first and z0 != noise_z:
+                deviant = 1
+                self._dev_fixup(w, off, q, z0)
+            else:
+                nxt2 = s1[st2][b2b[q]]
+                if nxt2 >= SENTINEL:
+                    push(q, noise_z, nxt2 - SENTINEL)
+                    st2 = 0
+                else:
+                    st2 = nxt2
+            first = False
+            q = int(chain[q])
+        self.nsat += saturations
+        self.nenc += saturations - deviant
+        final = 0
+        col = occ[:, last + 1].tolist()
+        for v in range(self.vector_bits):
+            if col[v] < b:
+                final |= 1 << v
+        wl[w] = rest | (((final << off) | (final >> inv)) & self.word_mask)
+        bl[w] = rest2 | (((st2 << off) | (st2 >> inv)) & self.word_mask)
+
+
+def process_trace_scan(
+    engine, trace, on_accumulate=None, chunk_size: "int | None" = None
+) -> BatchCounters:
+    """The delegated pipeline with the scan replay on the contested path.
+
+    Same scaffolding as ``_process_trace_delegated`` — chunk layouts,
+    cached derived streams, the monotone word-level screen, one delegated
+    WSAF batch per chunk — but screen-failed word runs go through
+    :class:`_ChunkScan` instead of the per-packet FSM loop.  Works against
+    any WSAF (the non-array table takes the ``accumulate_batch`` branch of
+    the delegation helper), so ``regulator_replay="scan"`` composes with
+    either ``wsaf_engine``.
+    """
+    regulator = engine.regulator
+    l1 = regulator.l1
+    vector_bits = l1.vector_bits
+    word_bits = l1.word_bits
+    sat_bits = l1.saturation_bits
+    if chunk_size is None:
+        chunk_size = getattr(engine.config, "chunk_size", DEFAULT_CHUNK_SIZE)
+
+    counters = BatchCounters(
+        packets=trace.num_packets,
+        l2_encoded=[0] * len(regulator.l2),
+        l2_saturated=[0] * len(regulator.l2),
+    )
+    num_packets = trace.num_packets
+    if num_packets == 0:
+        return counters
+
+    layouts = _chunk_layouts(trace, l1, chunk_size)
+    bit_values = np.left_shift(
+        np.uint8(1), np.arange(vector_bits, dtype=np.uint8)
+    )
+    key = _stream_key(engine, l1, chunk_size)
+    chunk_streams = _chunk_stream_slots(trace, key, len(layouts), _STREAM_ATTR)
+    scan_slots = _chunk_stream_slots(trace, key, len(layouts), _SCAN_ATTR)
+
+    code_all = None
+    if any(entry is None for entry in chunk_streams):
+        # Identical draws to the scalar path: same generator, sizes, order.
+        rng = np.random.default_rng(engine.config.seed ^ 0xB17)
+        bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+        bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+        code_all = bits1 + np.uint8(vector_bits) * bits2
+
+    window_masks = l1._window_masks
+    window_masks_np = np.array(window_masks, dtype=np.uint64)
+    decode_np = np.asarray(l1._decode_table, dtype=np.float64)
+    words = l1.words
+    l2_words = [sketch.words for sketch in regulator.l2]
+    word_mask = (1 << word_bits) - 1
+    noise_z = vector_bits - sat_bits
+    l2_encoded = counters.l2_encoded
+    l2_saturated = counters.l2_saturated
+
+    flow_ids = trace.flow_ids
+    key64 = trace.flows.key64
+    timestamps = trace.timestamps
+    sizes = trace.sizes
+    packed_tuples = trace.flows.packed_tuples()
+    wsaf = engine.wsaf
+    wsaf_arrays = getattr(wsaf, "accumulate_batch_arrays", None)
+
+    l1_saturations = 0
+    insertions = 0
+
+    for chunk_index, layout in enumerate(layouts):
+        order = layout["order"]
+
+        streams = chunk_streams[chunk_index]
+        if streams is None:
+            streams = _build_chunk_stream(
+                layout,
+                code_all,
+                vector_bits,
+                word_bits,
+                word_mask,
+                bit_values,
+                window_masks_np,
+                with_quad_list=False,
+            )
+            chunk_streams[chunk_index] = streams
+        sorted_code = streams[0]
+        sorted_b1 = streams[1]
+        rotated_or_np = streams[3]
+        stretch_windows = streams[4]
+
+        scan_entry = scan_slots[chunk_index]
+        if scan_entry is None:
+            occ, jump, chain = _scan_tables(sorted_b1, vector_bits, sat_bits)
+            b2_np = sorted_code // np.uint8(vector_bits)
+            focc, g, depth = _walk_tables(chain, b2_np, vector_bits, sat_bits)
+            scan_entry = (occ, jump, chain, b2_np, [chain], focc, [g], depth)
+            scan_slots[chunk_index] = scan_entry
+        occ, jump, chain, b2_np, lift, focc, glift, depth = scan_entry
+
+        word_run_starts = layout["word_run_starts"]
+        word_run_lengths = layout["word_run_lengths"]
+        word_run_heads = layout["word_run_heads"]
+        words_np = np.array(words, dtype=np.uint64)
+        upper = words_np[word_run_heads] | np.bitwise_or.reduceat(
+            rotated_or_np, word_run_starts
+        )
+        stretch_ok = (
+            np.bitwise_count(np.repeat(upper, word_run_lengths) & stretch_windows)
+            < sat_bits
+        )
+        word_ok = np.logical_and.reduceat(stretch_ok, word_run_starts)
+        words_np[word_run_heads[word_ok]] = upper[word_ok]
+
+        if not word_ok.all():
+            bank2_np = np.array(l2_words[noise_z], dtype=np.uint64)
+            scan = _ChunkScan(
+                layout=layout,
+                streams=streams,
+                occ=occ,
+                jump=jump,
+                chain=chain,
+                b2_np=b2_np,
+                lift=lift,
+                focc=focc,
+                glift=glift,
+                depth=depth,
+                stretch_ok=stretch_ok,
+                words_np=words_np,
+                bank2_np=bank2_np,
+                l2_words=l2_words,
+                l2_encoded=l2_encoded,
+                window_masks=window_masks,
+                vector_bits=vector_bits,
+                word_bits=word_bits,
+                sat_bits=sat_bits,
+            )
+            scan.run(word_ok)
+            l2_words[noise_z][:] = bank2_np.tolist()
+            l1_saturations += scan.nsat
+            l2_encoded[noise_z] += scan.nenc
+            event_pos, event_z, event_z2 = scan.events.arrays()
+            if event_pos.size:
+                bank_hits = np.bincount(event_z, minlength=len(l2_words))
+                for z, hits in enumerate(bank_hits.tolist()):
+                    l2_saturated[z] += hits
+                _delegate_chunk_events(
+                    event_pos,
+                    event_z,
+                    event_z2,
+                    order,
+                    flow_ids,
+                    key64,
+                    timestamps,
+                    sizes,
+                    packed_tuples,
+                    decode_np,
+                    wsaf,
+                    wsaf_arrays,
+                    on_accumulate,
+                )
+                insertions += int(event_pos.size)
+
+        words[:] = words_np.tolist()
+
+    counters.l1_saturations = l1_saturations
+    counters.insertions = insertions
+    return counters

@@ -28,6 +28,12 @@ def trace():
     )
 
 
+@pytest.fixture(params=["loop", "scan"])
+def replay(request):
+    """Both contested-stretch replays must satisfy the oracle."""
+    return request.param
+
+
 def _config(**overrides) -> InstaMeasureConfig:
     defaults = dict(l1_memory_bytes=2048, wsaf_entries=1 << 12, seed=0)
     defaults.update(overrides)
@@ -62,29 +68,35 @@ def _assert_identical(scalar_engine, batched_engine):
 
 class TestBitIdenticality:
     @pytest.mark.parametrize("seed", [0, 1, 7])
-    def test_identical_across_seeds(self, trace, seed):
+    def test_identical_across_seeds(self, trace, replay, seed):
         scalar_engine, scalar_result = _run(trace, _config(seed=seed, engine="scalar"))
         batched_engine, batched_result = _run(
-            trace, _config(seed=seed, engine="batched")
+            trace, _config(seed=seed, engine="batched", regulator_replay=replay)
         )
         assert scalar_result.packets == batched_result.packets == trace.num_packets
         assert scalar_result.insertions == batched_result.insertions
         _assert_identical(scalar_engine, batched_engine)
 
     @pytest.mark.parametrize("chunk_size", [1, 7, 4096, 1 << 20])
-    def test_identical_across_chunk_sizes(self, trace, chunk_size):
+    def test_identical_across_chunk_sizes(self, trace, replay, chunk_size):
         scalar_engine, _ = _run(trace, _config(engine="scalar"))
         batched_engine, _ = _run(
-            trace, _config(engine="batched", chunk_size=chunk_size)
+            trace,
+            _config(
+                engine="batched", regulator_replay=replay, chunk_size=chunk_size
+            ),
         )
         _assert_identical(scalar_engine, batched_engine)
 
     @pytest.mark.parametrize("policy", ["second-chance", "min", "reject"])
-    def test_identical_under_eviction_pressure(self, trace, policy):
+    def test_identical_under_eviction_pressure(self, trace, replay, policy):
         # A 16-entry table with a 4-slot probe window forces constant
         # evictions, so WSAF ordering bugs cannot hide.
         pressured = _config(
-            wsaf_entries=16, probe_limit=4, eviction_policy=policy
+            wsaf_entries=16,
+            probe_limit=4,
+            eviction_policy=policy,
+            regulator_replay=replay,
         )
         scalar_engine, _ = _run(trace, replace_engine(pressured, "scalar"))
         batched_engine, _ = _run(trace, replace_engine(pressured, "batched"))
@@ -92,38 +104,53 @@ class TestBitIdenticality:
         _assert_identical(scalar_engine, batched_engine)
 
     @pytest.mark.parametrize("saturation_fill", [0.5, 0.75, 0.9])
-    def test_identical_across_saturation_fill(self, trace, saturation_fill):
+    def test_identical_across_saturation_fill(self, trace, replay, saturation_fill):
         scalar_engine, _ = _run(
             trace, _config(engine="scalar", saturation_fill=saturation_fill)
         )
         batched_engine, _ = _run(
-            trace, _config(engine="batched", saturation_fill=saturation_fill)
+            trace,
+            _config(
+                engine="batched",
+                regulator_replay=replay,
+                saturation_fill=saturation_fill,
+            ),
         )
         _assert_identical(scalar_engine, batched_engine)
 
     @pytest.mark.parametrize("vector_bits", [3, 4, 5, 8])
-    def test_identical_across_vector_bits(self, trace, vector_bits):
+    def test_identical_across_vector_bits(self, trace, replay, vector_bits):
         scalar_engine, _ = _run(
             trace, _config(engine="scalar", vector_bits=vector_bits)
         )
         batched_engine, _ = _run(
-            trace, _config(engine="batched", vector_bits=vector_bits)
+            trace,
+            _config(
+                engine="batched",
+                regulator_replay=replay,
+                vector_bits=vector_bits,
+            ),
         )
         _assert_identical(scalar_engine, batched_engine)
 
-    def test_identical_with_64bit_words(self, trace):
+    def test_identical_with_64bit_words(self, trace, replay):
         scalar_engine, _ = _run(trace, _config(engine="scalar", word_bits=64))
-        batched_engine, _ = _run(trace, _config(engine="batched", word_bits=64))
+        batched_engine, _ = _run(
+            trace,
+            _config(engine="batched", regulator_replay=replay, word_bits=64),
+        )
         _assert_identical(scalar_engine, batched_engine)
 
-    def test_callbacks_fire_identically(self, trace):
+    def test_callbacks_fire_identically(self, trace, replay):
         scalar_calls: list = []
         batched_calls: list = []
         scalar_engine = InstaMeasure(_config(engine="scalar"))
         scalar_engine.process_trace(
             trace, on_accumulate=lambda *args: scalar_calls.append(args)
         )
-        batched_engine = InstaMeasure(_config(engine="batched"))
+        batched_engine = InstaMeasure(
+            _config(engine="batched", regulator_replay=replay)
+        )
         batched_engine.process_trace(
             trace, on_accumulate=lambda *args: batched_calls.append(args)
         )
