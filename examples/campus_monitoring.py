@@ -23,6 +23,7 @@ from repro.detection import (
     ground_truth_heavy_hitters,
     keys_to_flow_indices,
 )
+from repro.pipeline import run_pipeline
 from repro.simulate import MirrorPort, simulate_queues
 from repro.traffic import CampusConfig, build_campus_trace
 
@@ -43,7 +44,9 @@ def main() -> None:
     engine = InstaMeasure(
         InstaMeasureConfig(l1_memory_bytes=8 * 1024, wsaf_entries=1 << 16)
     )
-    result = engine.process_trace(delivered, on_accumulate=detector.on_accumulate)
+    result = run_pipeline(
+        engine, delivered, on_accumulate=detector.on_accumulate
+    ).result
     print(
         f"  measured {result.packets:,} packets; regulation rate "
         f"{result.regulation_rate:.2%}; WSAF holds {len(engine.wsaf):,} flows"

@@ -20,6 +20,7 @@ from repro.detection import (
     HeavyHitterDetector,
     detect_volume_changes,
 )
+from repro.pipeline import run_pipeline
 from repro.traffic import (
     AttackConfig,
     CaidaLikeConfig,
@@ -78,7 +79,7 @@ def main() -> None:
     engine = InstaMeasure(
         InstaMeasureConfig(l1_memory_bytes=16 * 1024, wsaf_entries=1 << 16)
     )
-    engine.process_trace(trace, on_accumulate=detector.on_accumulate)
+    run_pipeline(engine, trace, on_accumulate=detector.on_accumulate)
     attack_key = int(trace.flows.key64[injected[0]])
     detected_at = detector.packet_detections.get(attack_key)
     if detected_at is not None:

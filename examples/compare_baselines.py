@@ -6,6 +6,10 @@ counter sharing), a NetFlow-style exact cache, Count-Min, and Space-Saving,
 then compares top-flow accuracy and — the paper's central axis — how many
 table operations per packet each design demands from the flow store.
 
+Every system is driven by the same :func:`repro.pipeline.run_pipeline`
+loop: they all satisfy the streaming protocol (``ingest`` / ``finalize`` /
+``estimates``), so swapping one for another is a one-line change.
+
 Run:  python examples/compare_baselines.py
 """
 
@@ -20,9 +24,10 @@ from repro.baselines import (
     CountMinSketch,
     CounterTree,
     NetFlowTable,
+    RCCRegulatorMeasurer,
     SpaceSaving,
-    run_rcc_regulator,
 )
+from repro.pipeline import run_pipeline
 from repro.traffic import CaidaLikeConfig, build_caida_like_trace
 
 SKETCH_BYTES = 16 * 1024
@@ -37,12 +42,17 @@ def main() -> None:
     top100 = np.argsort(-truth)[:100]
     keys_top100 = trace.flows.key64[top100]
 
+    def top100_packets(measurer) -> "np.ndarray":
+        """Estimated packet counts via the common ``estimates`` protocol."""
+        table = measurer.estimates(keys_top100)
+        return np.array([table[int(k)][0] for k in keys_top100])
+
     rows = []
 
     engine = InstaMeasure(
         InstaMeasureConfig(l1_memory_bytes=SKETCH_BYTES // 4, wsaf_entries=1 << 16)
     )
-    result = engine.process_trace(trace)
+    result = run_pipeline(engine, trace).result
     est, _ = engine.estimates_for(trace)
     rows.append(
         [
@@ -54,79 +64,73 @@ def main() -> None:
         ]
     )
 
-    rcc = run_rcc_regulator(trace, memory_bytes=SKETCH_BYTES)
-    est_rcc = np.array([rcc.estimates.get(int(k), 0.0) for k in keys_top100])
+    rcc_measurer = RCCRegulatorMeasurer(memory_bytes=SKETCH_BYTES)
+    rcc = run_pipeline(rcc_measurer, trace).result
     rows.append(
         [
             "RCC (1 layer)",
             f"{SKETCH_BYTES // 1024}KB",
-            f"{mean_relative_error(est_rcc, truth[top100]):7.2%}",
+            f"{mean_relative_error(top100_packets(rcc_measurer), truth[top100]):7.2%}",
             f"{rcc.regulation_rate:8.3%}",
             "online (WSAF)",
         ]
     )
 
     csm = CSMSketch(memory_bytes=SKETCH_BYTES, counters_per_flow=16)
-    csm.encode_trace(trace)
-    est_csm = csm.decode_flows(keys_top100)
+    run_pipeline(csm, trace)
     rows.append(
         [
             "CSM",
             f"{SKETCH_BYTES // 1024}KB",
-            f"{mean_relative_error(est_csm, truth[top100]):7.2%}",
+            f"{mean_relative_error(top100_packets(csm), truth[top100]):7.2%}",
             "   0.000%",
             "offline decode",
         ]
     )
 
     tree = CounterTree(memory_bytes=SKETCH_BYTES, counter_bits=8, num_layers=3)
-    tree.encode_trace(trace)
-    est_tree = tree.decode_flows(keys_top100)
+    run_pipeline(tree, trace)
     rows.append(
         [
             "Counter Tree",
             f"{SKETCH_BYTES // 1024}KB",
-            f"{mean_relative_error(est_tree, truth[top100]):7.2%}",
+            f"{mean_relative_error(top100_packets(tree), truth[top100]):7.2%}",
             "   0.000%",
             "offline decode",
         ]
     )
 
     cms = CountMinSketch(memory_bytes=SKETCH_BYTES, depth=4)
-    cms.encode_trace(trace)
-    est_cms = cms.query_flows(keys_top100).astype(float)
+    run_pipeline(cms, trace)
     rows.append(
         [
             "Count-Min",
             f"{SKETCH_BYTES // 1024}KB",
-            f"{mean_relative_error(est_cms, truth[top100]):7.2%}",
+            f"{mean_relative_error(top100_packets(cms), truth[top100]):7.2%}",
             "   0.000%",
             "offline query",
         ]
     )
 
     netflow = NetFlowTable(max_entries=4096)
-    stats = netflow.process_trace(trace)
-    nf_est = netflow.estimates()
-    est_nf = np.array([nf_est.get(int(k), (0.0, 0.0))[0] for k in keys_top100])
+    stats = run_pipeline(netflow, trace).result
     rows.append(
         [
             "NetFlow (4K entries)",
             "exact",
-            f"{mean_relative_error(est_nf, truth[top100]):7.2%}",
+            f"{mean_relative_error(top100_packets(netflow), truth[top100]):7.2%}",
             f"{stats.operations_per_packet:8.3%}",
             "exact cache",
         ]
     )
 
     ss = SpaceSaving(capacity=SKETCH_BYTES // 32)  # ~32 B per monitored flow
-    ss.process_trace(trace)
-    est_ss = np.array([float(ss.estimate(int(k))) for k in keys_top100])
+    run_pipeline(ss, trace)
     rows.append(
         [
             "Space-Saving",
             f"{SKETCH_BYTES // 1024}KB",
-            f"{mean_relative_error(est_ss, truth[top100]):7.2%}",
+            f"{mean_relative_error(top100_packets(ss), truth[top100]):7.2%}",
             f"{1.0:8.3%}",
             "counter summary",
         ]

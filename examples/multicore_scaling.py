@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro import InstaMeasureConfig, MultiCoreInstaMeasure
 from repro.analysis import print_table
+from repro.pipeline import run_pipeline
 from repro.simulate import CycleCostModel
 from repro.traffic import CaidaLikeConfig, build_caida_like_trace
 
@@ -32,7 +33,7 @@ def main() -> None:
             workers,
             InstaMeasureConfig(l1_memory_bytes=4 * 1024, wsaf_entries=1 << 16),
         )
-        result = system.process_trace(trace)
+        result = run_pipeline(system, trace).result
         l1_rate = sum(
             r.regulator_stats.l1_saturations for r in result.worker_results
         ) / max(1, result.packets)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro import InstaMeasure, InstaMeasureConfig
 from repro.analysis import band_errors, print_table
+from repro.pipeline import run_pipeline
 from repro.traffic import CaidaLikeConfig, build_caida_like_trace, summarize_trace
 
 
@@ -28,8 +29,10 @@ def main() -> None:
     engine = InstaMeasure(
         InstaMeasureConfig(l1_memory_bytes=8 * 1024, wsaf_entries=1 << 16)
     )
-    result = engine.process_trace(trace)
+    pipeline_result = run_pipeline(engine, trace)
+    result = pipeline_result.result
     print(f"  packets processed : {result.packets:,}")
+    print(f"  pipeline chunks   : {len(pipeline_result.chunks):,}")
     print(f"  WSAF insertions   : {result.insertions:,}")
     print(f"  regulation rate   : {result.regulation_rate:.2%}  (paper: ~1.02%)")
     print(f"  L1 saturation rate: {result.regulator_stats.l1_saturation_rate:.2%}")

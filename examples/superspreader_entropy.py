@@ -23,6 +23,7 @@ from repro.detection import (
     ground_truth_fanout,
     normalized_entropy,
 )
+from repro.pipeline import run_pipeline
 from repro.traffic import (
     AttackConfig,
     CaidaLikeConfig,
@@ -68,7 +69,7 @@ def main() -> None:
     engine = InstaMeasure(
         InstaMeasureConfig(l1_memory_bytes=8 * 1024, wsaf_entries=1 << 14)
     )
-    engine.process_trace(trace)
+    run_pipeline(engine, trace)
 
     spreaders = detect_superspreaders(engine.wsaf, min_destinations=20)
     truth = ground_truth_fanout(trace)
@@ -96,7 +97,7 @@ def main() -> None:
     engine2 = InstaMeasure(
         InstaMeasureConfig(l1_memory_bytes=8 * 1024, wsaf_entries=1 << 14)
     )
-    engine2.process_trace(attacked)
+    run_pipeline(engine2, attacked)
     est, _ = engine2.estimates_for(attacked, include_residual=True)
     estimated = normalized_entropy(est[est > 0])
     print_table(

@@ -1,0 +1,10 @@
+"""``python -m repro`` — the package's CLI entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

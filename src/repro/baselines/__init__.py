@@ -20,9 +20,19 @@
 * :class:`~repro.baselines.delegation.DelegatingMeasurer` — the
   delegation-based decoding strategy of Section II made concrete (epoch
   shipping to a remote collector, with bandwidth and latency costs).
+
+Every baseline satisfies the streaming protocol
+(:class:`repro.pipeline.protocol.StreamingMeasurer`): ``ingest(chunk)``,
+``finalize()``, and a normalized ``estimates(flow_keys)`` returning
+``{key64: (packets, bytes)}`` — so any of them can be driven by
+:class:`repro.pipeline.Pipeline` interchangeably with InstaMeasure.
 """
 
-from repro.baselines.rcc_only import RCCRunResult, run_rcc_regulator
+from repro.baselines.rcc_only import (
+    RCCRegulatorMeasurer,
+    RCCRunResult,
+    run_rcc_regulator,
+)
 from repro.baselines.csm import CSMSketch
 from repro.baselines.netflow import NetFlowStats, NetFlowTable
 from repro.baselines.countmin import CountMinSketch
@@ -48,6 +58,7 @@ __all__ = [
     "IBLT",
     "NetFlowStats",
     "NetFlowTable",
+    "RCCRegulatorMeasurer",
     "RCCRunResult",
     "SpaceSaving",
     "run_rcc_regulator",

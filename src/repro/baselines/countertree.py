@@ -81,6 +81,9 @@ class CounterTree:
         self.overflows = 0
         self._family = HashFamily(counters_per_flow, seed=seed)
         self.seed = seed
+        # Persistent leaf-choice stream (int64 draws split cleanly across
+        # calls, so chunked encoding matches whole-trace encoding).
+        self._rng = np.random.default_rng(seed ^ 0xC7EE)
 
     # -- placement ---------------------------------------------------------
 
@@ -124,8 +127,7 @@ class CounterTree:
         if trace.num_packets == 0:
             return
         leaves = self._flow_leaves_array(trace.flows.key64)
-        rng = np.random.default_rng(self.seed ^ 0xC7EE)
-        choices = rng.integers(
+        choices = self._rng.integers(
             0, self.counters_per_flow, size=trace.num_packets, dtype=np.int64
         )
         targets = leaves[trace.flow_ids, choices].tolist()
@@ -133,6 +135,27 @@ class CounterTree:
         for index in targets:
             bump(0, index)
         self.total_packets += trace.num_packets
+
+    # -- streaming protocol --------------------------------------------------
+
+    def ingest(self, chunk) -> int:
+        """Encode one chunk; the persistent choice stream keeps chunked
+        ingestion identical to encoding the whole trace."""
+        from repro.pipeline.protocol import chunk_trace
+
+        trace = chunk_trace(chunk)
+        self.encode_trace(trace)
+        return trace.num_packets
+
+    def finalize(self) -> "CounterTree":
+        """The encoded tree is the result; decode it for estimates."""
+        return self
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Normalized ``{key64: (packets, 0.0)}`` over ``flow_keys``."""
+        from repro.baselines.streaming import sketch_estimates
+
+        return sketch_estimates(self.decode_flows, flow_keys, "CounterTree")
 
     # -- decode ------------------------------------------------------------
 

@@ -100,6 +100,27 @@ class CountMinSketch:
             np.add.at(self.rows[row], columns[row], packet_counts)
         self.total_packets += trace.num_packets
 
+    # -- streaming protocol --------------------------------------------------
+
+    def ingest(self, chunk) -> int:
+        """Encode one chunk (counter updates are additive, so chunked
+        ingestion is trivially identical to the whole trace)."""
+        from repro.pipeline.protocol import chunk_trace
+
+        trace = chunk_trace(chunk)
+        self.encode_trace(trace)
+        return trace.num_packets
+
+    def finalize(self) -> "CountMinSketch":
+        """The encoded sketch is the result; query it for estimates."""
+        return self
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Normalized ``{key64: (packets, 0.0)}`` over ``flow_keys``."""
+        from repro.baselines.streaming import sketch_estimates
+
+        return sketch_estimates(self.query_flows, flow_keys, "CountMinSketch")
+
     def query(self, flow_key: int) -> int:
         """Estimated packet count (never underestimates)."""
         columns = self._columns(flow_key)

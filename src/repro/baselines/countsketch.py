@@ -94,6 +94,26 @@ class CountSketch:
             np.add.at(self.rows[row], buckets[row], signs[row] * counts)
         self.total_packets += trace.num_packets
 
+    # -- streaming protocol --------------------------------------------------
+
+    def ingest(self, chunk) -> int:
+        """Encode one chunk (signed counters are additive across chunks)."""
+        from repro.pipeline.protocol import chunk_trace
+
+        trace = chunk_trace(chunk)
+        self.encode_trace(trace)
+        return trace.num_packets
+
+    def finalize(self) -> "CountSketch":
+        """The encoded sketch is the result; query it for estimates."""
+        return self
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Normalized ``{key64: (packets, 0.0)}`` over ``flow_keys``."""
+        from repro.baselines.streaming import sketch_estimates
+
+        return sketch_estimates(self.query_flows, flow_keys, "CountSketch")
+
     def query(self, flow_key: int) -> float:
         """Median-of-rows estimate (unbiased; can be negative for mice)."""
         values = [

@@ -49,6 +49,10 @@ class CSMSketch:
         self.total_packets = 0
         self._family = HashFamily(counters_per_flow, seed=seed)
         self.seed = seed
+        # Persistent counter-choice stream: int64 draws are not buffered
+        # across calls, so encoding a trace chunk-by-chunk consumes exactly
+        # the same sequence as encoding it whole.
+        self._rng = np.random.default_rng(seed ^ 0xC5A)
 
     # -- placement ---------------------------------------------------------
 
@@ -78,13 +82,33 @@ class CSMSketch:
         if trace.num_packets == 0:
             return
         locations = self._flow_counters_array(trace.flows.key64)
-        rng = np.random.default_rng(self.seed ^ 0xC5A)
-        choices = rng.integers(
+        choices = self._rng.integers(
             0, self.counters_per_flow, size=trace.num_packets, dtype=np.int64
         )
         counter_index = locations[trace.flow_ids, choices]
         np.add.at(self.pool, counter_index, 1)
         self.total_packets += trace.num_packets
+
+    # -- streaming protocol --------------------------------------------------
+
+    def ingest(self, chunk) -> int:
+        """Encode one chunk; the persistent choice stream keeps chunked
+        ingestion identical to encoding the whole trace."""
+        from repro.pipeline.protocol import chunk_trace
+
+        trace = chunk_trace(chunk)
+        self.encode_trace(trace)
+        return trace.num_packets
+
+    def finalize(self) -> "CSMSketch":
+        """The encoded sketch is the result; decode it for estimates."""
+        return self
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Normalized ``{key64: (packets, 0.0)}`` over ``flow_keys``."""
+        from repro.baselines.streaming import sketch_estimates
+
+        return sketch_estimates(self.decode_flows, flow_keys, "CSMSketch")
 
     # -- decode ------------------------------------------------------------
 

@@ -8,19 +8,22 @@ network/decode delay, and every epoch costs transfer bandwidth.
 
 This module implements that whole loop so it can be compared against
 InstaMeasure's saturation-based decoding on equal terms: same trace, same
-thresholds, measured detection times *and* measured bytes shipped.
+thresholds, measured detection times *and* measured bytes shipped.  The
+measurer streams: epoch boundaries are detected as chunks arrive, each
+completed epoch ships immediately, and :meth:`DelegatingMeasurer.finalize`
+ships the tail epoch — a chunk boundary inside an epoch changes nothing
+because the per-epoch CSM sketch encodes from a persistent choice stream.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.baselines.csm import CSMSketch
 from repro.errors import ConfigurationError
-from repro.traffic.packet import Trace
+from repro.traffic.packet import FlowTable, Trace
 
 #: Wire bytes per flow ID shipped alongside each epoch's sketch.
 FLOW_ID_BYTES = 8
@@ -42,6 +45,22 @@ class DelegationRunStats:
         return self.bytes_shipped * 8 / duration
 
 
+@dataclass
+class _DelegationStream:
+    """Bookkeeping for one in-progress delegation run."""
+
+    start: float
+    flows: FlowTable
+    collector: np.ndarray
+    epoch_counts: np.ndarray
+    detections: "dict[int, float]" = field(default_factory=dict)
+    bytes_shipped: int = 0
+    epochs: int = 0
+    packets: int = 0
+    current_epoch: int = 0
+    sketch: "CSMSketch | None" = None
+
+
 class DelegatingMeasurer:
     """Epoch-sketch-ship-decode measurement (the conventional pipeline).
 
@@ -52,6 +71,9 @@ class DelegatingMeasurer:
         network_delay_seconds: transfer + collector decode delay.
         counters_per_flow: CSM storage-vector length.
         seed: hash/randomness seed.
+        threshold_packets: detection threshold; the collector records when
+            a flow's cumulative estimate first crosses it (None disables
+            detection tracking).
     """
 
     def __init__(
@@ -61,6 +83,7 @@ class DelegatingMeasurer:
         network_delay_seconds: float,
         counters_per_flow: int = 16,
         seed: int = 0,
+        threshold_packets: "float | None" = None,
     ) -> None:
         if epoch_seconds <= 0:
             raise ConfigurationError("epoch_seconds must be positive")
@@ -71,6 +94,124 @@ class DelegatingMeasurer:
         self.network_delay_seconds = network_delay_seconds
         self.counters_per_flow = counters_per_flow
         self.seed = seed
+        self.threshold_packets = threshold_packets
+        self._stream: "_DelegationStream | None" = None
+        #: final per-flow collector estimates of the last finished run,
+        #: aligned with the run's flow table.
+        self.collector: "np.ndarray | None" = None
+        self._flows: "FlowTable | None" = None
+
+    # -- streaming protocol --------------------------------------------------
+
+    def ingest(self, chunk) -> int:
+        """Encode one chunk, shipping every epoch it completes."""
+        from repro.pipeline.protocol import chunk_trace
+
+        trace = chunk_trace(chunk)
+        if trace.num_packets == 0:
+            return 0
+        if self._stream is None:
+            self._stream = _DelegationStream(
+                start=float(trace.timestamps[0]),
+                flows=trace.flows,
+                collector=np.zeros(trace.num_flows),
+                epoch_counts=np.zeros(trace.num_flows, dtype=np.int64),
+            )
+        stream = self._stream
+        stream.packets += trace.num_packets
+
+        epoch_ids = (
+            (trace.timestamps - stream.start) / self.epoch_seconds
+        ).astype(np.int64)
+        begin = 0
+        num_packets = trace.num_packets
+        while begin < num_packets:
+            epoch = int(epoch_ids[begin])
+            end = int(np.searchsorted(epoch_ids, epoch, side="right"))
+            if epoch != stream.current_epoch:
+                self._ship_epoch(stream)
+                stream.current_epoch = epoch
+            if stream.sketch is None:
+                stream.sketch = CSMSketch(
+                    self.sketch_memory_bytes,
+                    counters_per_flow=self.counters_per_flow,
+                    seed=self.seed + stream.current_epoch,
+                )
+            segment = Trace(
+                timestamps=trace.timestamps[begin:end],
+                flow_ids=trace.flow_ids[begin:end],
+                sizes=trace.sizes[begin:end],
+                flows=trace.flows,
+            )
+            stream.sketch.encode_trace(segment)
+            stream.epoch_counts += np.bincount(
+                segment.flow_ids, minlength=len(stream.epoch_counts)
+            )
+            begin = end
+        return trace.num_packets
+
+    def _ship_epoch(self, stream: _DelegationStream) -> None:
+        """Ship the current epoch's sketch to the collector and decode."""
+        if stream.sketch is None:
+            return  # the epoch saw no packets: nothing to ship
+        seen = np.flatnonzero(stream.epoch_counts)
+        estimates = stream.sketch.decode_flows(stream.flows.key64[seen])
+        stream.collector[seen] += estimates
+        stream.bytes_shipped += (
+            self.sketch_memory_bytes + FLOW_ID_BYTES * len(seen)
+        )
+        stream.epochs += 1
+        if self.threshold_packets is not None:
+            available_at = (
+                stream.start
+                + (stream.current_epoch + 1) * self.epoch_seconds
+                + self.network_delay_seconds
+            )
+            for flow in seen:
+                if (
+                    stream.collector[flow] >= self.threshold_packets
+                    and int(flow) not in stream.detections
+                ):
+                    stream.detections[int(flow)] = available_at
+        stream.sketch = None
+        stream.epoch_counts[:] = 0
+
+    def finalize(self) -> DelegationRunStats:
+        """Ship the tail epoch and return the run's cost/outcome stats.
+
+        The collector's final per-flow estimates stay readable through
+        :attr:`collector` and :meth:`estimates`.
+        """
+        stream = self._stream
+        self._stream = None
+        if stream is None:
+            return DelegationRunStats(0, 0, 0, {})
+        self._ship_epoch(stream)
+        self.collector = stream.collector
+        self._flows = stream.flows
+        return DelegationRunStats(
+            epochs=stream.epochs,
+            packets=stream.packets,
+            bytes_shipped=stream.bytes_shipped,
+            detections=stream.detections,
+        )
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Normalized ``{key64: (packets, 0.0)}`` collector estimates."""
+        from repro.baselines.streaming import table_estimates
+
+        if self.collector is None or self._flows is None:
+            return table_estimates({}, flow_keys)
+        seen = np.flatnonzero(self.collector)
+        table = dict(
+            zip(
+                self._flows.key64[seen].tolist(),
+                self.collector[seen].tolist(),
+            )
+        )
+        return table_estimates(table, flow_keys)
+
+    # -- whole-trace convenience ---------------------------------------------
 
     def process_trace(
         self,
@@ -79,64 +220,24 @@ class DelegatingMeasurer:
     ) -> "tuple[np.ndarray, DelegationRunStats]":
         """Run the full delegate-and-decode loop over ``trace``.
 
+        One-chunk streaming: equivalent to ``ingest`` + ``finalize``.
+        ``threshold_packets`` overrides the constructor's threshold for
+        this run.
+
         Returns:
             (final per-flow packet estimates at the collector, stats).
             ``stats.detections`` maps flow index → time the collector first
             saw the flow's cumulative estimate cross ``threshold_packets``
             (absent flows never crossed; empty dict if no threshold given).
         """
-        collector = np.zeros(trace.num_flows)
-        detections: "dict[int, float]" = {}
-        bytes_shipped = 0
-        epochs = 0
-
         if trace.num_packets == 0:
-            return collector, DelegationRunStats(0, 0, 0, detections)
-
-        start = float(trace.timestamps[0])
-        end = float(trace.timestamps[-1])
-        num_epochs = max(1, math.ceil((end - start) / self.epoch_seconds))
-        for epoch in range(num_epochs):
-            window = trace.time_slice(
-                start + epoch * self.epoch_seconds,
-                start + (epoch + 1) * self.epoch_seconds
-                if epoch < num_epochs - 1
-                else np.inf,
-            )
-            if window.num_packets == 0:
-                continue
-            epochs += 1
-            sketch = CSMSketch(
-                self.sketch_memory_bytes,
-                counters_per_flow=self.counters_per_flow,
-                seed=self.seed + epoch,
-            )
-            sketch.encode_trace(window)
-
-            seen = np.flatnonzero(np.bincount(window.flow_ids, minlength=trace.num_flows))
-            estimates = sketch.decode_flows(trace.flows.key64[seen])
-            collector[seen] += estimates
-
-            # Shipping cost: the sketch plus this epoch's flow-ID set.
-            bytes_shipped += self.sketch_memory_bytes + FLOW_ID_BYTES * len(seen)
-
-            if threshold_packets is not None:
-                available_at = (
-                    start
-                    + (epoch + 1) * self.epoch_seconds
-                    + self.network_delay_seconds
-                )
-                for flow in seen:
-                    if (
-                        collector[flow] >= threshold_packets
-                        and int(flow) not in detections
-                    ):
-                        detections[int(flow)] = available_at
-
-        stats = DelegationRunStats(
-            epochs=epochs,
-            packets=trace.num_packets,
-            bytes_shipped=bytes_shipped,
-            detections=detections,
-        )
-        return collector, stats
+            return np.zeros(trace.num_flows), DelegationRunStats(0, 0, 0, {})
+        previous = self.threshold_packets
+        if threshold_packets is not None:
+            self.threshold_packets = threshold_packets
+        try:
+            self.ingest(trace)
+            stats = self.finalize()
+        finally:
+            self.threshold_packets = previous
+        return self.collector, stats

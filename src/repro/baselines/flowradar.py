@@ -95,9 +95,13 @@ class FlowRadar:
         self.packets = 0
         self.distinct_flows = 0
         self.memory_updates = 0
+        # IBLT peeling consumes the table, so decode caches its outcome;
+        # new observations invalidate the cache.
+        self._decode_cache: "tuple[dict[int, float], FlowRadarStats] | None" = None
 
     def observe(self, flow_key: int, packet_bytes: int = 0) -> None:
         """Encode one packet (constant memory updates regardless of state)."""
+        self._decode_cache = None
         self.packets += 1
         if flow_key in self.bloom:
             self.iblt.increment(flow_key, 1.0)
@@ -122,8 +126,11 @@ class FlowRadar:
         Returns (recovered flow→packet-count map, stats).  On IBLT overload
         the map contains whatever peeled before the stall and
         ``stats.decode_failed`` is set — FlowRadar's documented capacity
-        cliff.
+        cliff.  Peeling consumes the IBLT, so the outcome is cached until
+        the next observation.
         """
+        if self._decode_cache is not None:
+            return self._decode_cache
         failed = False
         try:
             recovered = self.iblt.list_entries()
@@ -137,4 +144,27 @@ class FlowRadar:
             decoded_flows=len(recovered),
             decode_failed=failed,
         )
+        self._decode_cache = (recovered, stats)
         return recovered, stats
+
+    # -- streaming protocol --------------------------------------------------
+
+    def ingest(self, chunk) -> int:
+        """Encode one chunk (Bloom filter and IBLT state simply carry)."""
+        from repro.pipeline.protocol import chunk_trace
+
+        trace = chunk_trace(chunk)
+        self.encode_trace(trace)
+        return trace.num_packets
+
+    def finalize(self) -> FlowRadarStats:
+        """End-of-epoch decode; the recovered flows back :meth:`estimates`."""
+        _, stats = self.decode()
+        return stats
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Normalized ``{key64: (packets, 0.0)}`` from the decoded IBLT."""
+        from repro.baselines.streaming import table_estimates
+
+        recovered, _ = self.decode()
+        return table_estimates(recovered, flow_keys)

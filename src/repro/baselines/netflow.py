@@ -60,13 +60,15 @@ class NetFlowTable:
         # key → [packets, bytes, last_update]; dict order gives LRU.
         self._table: "dict[int, list[float]]" = {}
         self.stats = NetFlowStats(0, 0, 0, 0, 0)
+        # Persistent sampling stream: double draws split cleanly across
+        # calls, so chunked ingestion samples the same packets as one call.
+        self._rng = np.random.default_rng(seed)
 
     def process_trace(self, trace: Trace) -> NetFlowStats:
         """Feed every packet of ``trace`` through the cache."""
-        rng = np.random.default_rng(self.seed)
         if self.sampling_rate < 1.0:
             sampled = (
-                rng.random(trace.num_packets) < self.sampling_rate
+                self._rng.random(trace.num_packets) < self.sampling_rate
             ).tolist()
         else:
             sampled = None
@@ -101,13 +103,44 @@ class NetFlowTable:
             stats.insertions += 1
         return stats
 
-    def estimates(self) -> "dict[int, tuple[float, float]]":
-        """Flow key → (packets, bytes), scaled up by the sampling rate."""
+    # -- streaming protocol --------------------------------------------------
+
+    def ingest(self, chunk) -> NetFlowStats:
+        """Feed one chunk through the cache (table state simply carries)."""
+        from repro.pipeline.protocol import chunk_trace
+
+        return self.process_trace(chunk_trace(chunk))
+
+    def finalize(self) -> NetFlowStats:
+        """The run's cumulative cache statistics."""
+        return self.stats
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Flow key → (packets, bytes), scaled up by the sampling rate.
+
+        Without ``flow_keys`` every cached flow is returned; with them,
+        every queried key appears (``(0.0, 0.0)`` when not cached).
+        """
         scale = 1.0 / self.sampling_rate
-        return {
-            key: (record[0] * scale, record[1] * scale)
-            for key, record in self._table.items()
-        }
+        if flow_keys is None:
+            return {
+                key: (record[0] * scale, record[1] * scale)
+                for key, record in self._table.items()
+            }
+        keys = np.asarray(
+            flow_keys if isinstance(flow_keys, np.ndarray) else list(flow_keys),
+            dtype=np.uint64,
+        )
+        empty = (0.0, 0.0)
+        result = {}
+        for key in keys.tolist():
+            record = self._table.get(key)
+            result[key] = (
+                (record[0] * scale, record[1] * scale)
+                if record is not None
+                else empty
+            )
+        return result
 
     def __len__(self) -> int:
         return len(self._table)

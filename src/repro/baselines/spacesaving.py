@@ -91,6 +91,27 @@ class SpaceSaving:
         for key, count in zip(run_keys.tolist(), lengths.tolist()):
             offer(key, count)
 
+    # -- streaming protocol --------------------------------------------------
+
+    def ingest(self, chunk) -> None:
+        """Feed one chunk.  A chunk boundary can split a same-flow packet
+        run into two offers, which leaves identical counts and errors (the
+        count lands in two additions instead of one; stale heap entries
+        are skipped), so chunked ingestion is state-identical."""
+        from repro.pipeline.protocol import chunk_trace
+
+        self.process_trace(chunk_trace(chunk))
+
+    def finalize(self) -> "SpaceSaving":
+        """The summary itself is the result; rank it with :meth:`topk`."""
+        return self
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Normalized ``{key64: (packets, 0.0)}`` over the summary."""
+        from repro.baselines.streaming import table_estimates
+
+        return table_estimates(self._counts, flow_keys)
+
     def estimate(self, key: int) -> int:
         """Estimated count (0 if unmonitored; never underestimates)."""
         return self._counts.get(key, 0)

@@ -1,0 +1,56 @@
+"""Shared helpers for the baselines' streaming-protocol adapters.
+
+Every baseline satisfies :class:`repro.pipeline.protocol.StreamingMeasurer`
+with the same normalized query shape: ``estimates(flow_keys)`` returns
+``{key64: (packets, bytes)}``, with ``0.0`` bytes for measurers that do not
+track sizes.  Pure sketches store no flow identifiers, so they cannot
+enumerate — callers must pass the candidate key set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def require_flow_keys(flow_keys, name: str) -> np.ndarray:
+    """Coerce ``flow_keys`` to uint64, rejecting ``None`` for pure sketches."""
+    if flow_keys is None:
+        raise ConfigurationError(
+            f"{name} stores no flow identifiers and cannot enumerate; "
+            "pass the candidate flow_keys to estimates()"
+        )
+    return np.asarray(
+        flow_keys if isinstance(flow_keys, np.ndarray) else list(flow_keys),
+        dtype=np.uint64,
+    )
+
+
+def sketch_estimates(
+    query_flows, flow_keys, name: str
+) -> "dict[int, tuple[float, float]]":
+    """Normalized estimates for a packets-only sketch: query every key."""
+    keys = require_flow_keys(flow_keys, name)
+    values = query_flows(keys)
+    return {
+        key: (float(value), 0.0)
+        for key, value in zip(keys.tolist(), np.asarray(values).tolist())
+    }
+
+
+def table_estimates(
+    table: "dict[int, float]", flow_keys
+) -> "dict[int, tuple[float, float]]":
+    """Normalized estimates for a packets-only key→count table.
+
+    Without ``flow_keys`` the whole table is returned; with them, every
+    queried key appears (0.0 when untracked).
+    """
+    if flow_keys is None:
+        return {key: (float(count), 0.0) for key, count in table.items()}
+    keys = np.asarray(
+        flow_keys if isinstance(flow_keys, np.ndarray) else list(flow_keys),
+        dtype=np.uint64,
+    )
+    return {key: (float(table.get(key, 0.0)), 0.0) for key in keys.tolist()}

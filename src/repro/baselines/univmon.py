@@ -109,6 +109,33 @@ class UnivMon:
             self._candidates[level].update(int(k) for k in member_keys[keep])
         self.total_packets += trace.num_packets
 
+    # -- streaming protocol --------------------------------------------------
+
+    def ingest(self, chunk) -> int:
+        """Encode one chunk (level sketches and candidate sets are
+        additive across chunks)."""
+        from repro.pipeline.protocol import chunk_trace
+
+        trace = chunk_trace(chunk)
+        self.encode_trace(trace)
+        return trace.num_packets
+
+    def finalize(self) -> "UnivMon":
+        """The encoded sketch is the result; query it for G-sum stats."""
+        return self
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Normalized ``{key64: (packets, 0.0)}`` over ``flow_keys``.
+
+        Per-flow counts come from the level-0 Count-Sketch, which sees
+        every flow (deeper levels only subsample).
+        """
+        from repro.baselines.streaming import sketch_estimates
+
+        return sketch_estimates(
+            self.levels[0].query_flows, flow_keys, "UnivMon"
+        )
+
     def level_heavy_hitters(self, level: int) -> "dict[int, float]":
         """Top candidate flows of one level by Count-Sketch estimate."""
         sketch = self.levels[level]

@@ -29,6 +29,7 @@ from repro.detection import (
     keys_to_flow_indices,
 )
 from repro.errors import ReproError
+from repro.pipeline import run_pipeline
 from repro.traffic import (
     CaidaLikeConfig,
     CampusConfig,
@@ -142,11 +143,13 @@ def _engine_from_args(args: argparse.Namespace) -> InstaMeasure:
 def _cmd_run(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace)
     engine = _engine_from_args(args)
-    result = engine.process_trace(trace)
+    pipeline_result = run_pipeline(engine, trace)
+    result = pipeline_result.result
     est_packets, _est_bytes = engine.estimates_for(trace)
     truth = trace.ground_truth_packets().astype(float)
     rows = [
         ["packets", f"{result.packets:,}"],
+        ["chunks", f"{len(pipeline_result.chunks):,}"],
         ["WSAF insertions", f"{result.insertions:,}"],
         ["regulation rate", f"{result.regulation_rate:.2%}"],
         ["L1 saturation rate", f"{result.regulator_stats.l1_saturation_rate:.2%}"],
@@ -176,7 +179,7 @@ def _cmd_hh(args: argparse.Namespace) -> int:
         threshold_bytes=args.threshold_bytes,
     )
     engine = _engine_from_args(args)
-    engine.process_trace(trace, on_accumulate=detector.on_accumulate)
+    run_pipeline(engine, trace, on_accumulate=detector.on_accumulate)
 
     rows = []
     for label, detections, threshold_kw in (
@@ -211,7 +214,7 @@ def _cmd_hh(args: argparse.Namespace) -> int:
 def _cmd_topk(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace)
     engine = _engine_from_args(args)
-    engine.process_trace(trace)
+    run_pipeline(engine, trace)
     est_packets, est_bytes = engine.estimates_for(trace)
     truth_packets = trace.ground_truth_packets()
     order = np.argsort(-est_packets)[: args.k]
@@ -241,7 +244,7 @@ def _cmd_spreaders(args: argparse.Namespace) -> int:
 
     trace = load_trace(args.trace)
     engine = _engine_from_args(args)
-    engine.process_trace(trace)
+    run_pipeline(engine, trace)
     spreaders = detect_superspreaders(engine.wsaf, args.min_destinations)
     truth = ground_truth_fanout(trace)
     rows = [

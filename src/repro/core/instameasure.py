@@ -102,11 +102,6 @@ def build_wsaf_table(
     accountant: "AccessAccountant | None" = None,
 ) -> WSAFTable:
     """The WSAF instance ``config`` asks for (scalar or batch-probed)."""
-    if config.wsaf_engine not in WSAF_ENGINE_CHOICES:
-        raise ConfigurationError(
-            f"unknown wsaf_engine {config.wsaf_engine!r}; "
-            f"known: {WSAF_ENGINE_CHOICES}"
-        )
     if resolved_wsaf_engine(config) == "batched":
         from repro.kernels.wsaf_batched import BatchedWSAFTable
 
@@ -172,6 +167,37 @@ class InstaMeasureConfig:
     wsaf_engine: str = "auto"
     regulator_replay: str = "auto"
 
+    def __post_init__(self) -> None:
+        """Validate every enumerated/bounded knob in one place.
+
+        Construction is the single choke point all engines, workers, and
+        helpers pass through, so invalid configurations fail before any
+        state is built (instead of in whichever code path first consults
+        the knob).
+        """
+        if self.engine not in ENGINE_CHOICES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; known: {ENGINE_CHOICES}"
+            )
+        if self.wsaf_engine not in WSAF_ENGINE_CHOICES:
+            raise ConfigurationError(
+                f"unknown wsaf_engine {self.wsaf_engine!r}; "
+                f"known: {WSAF_ENGINE_CHOICES}"
+            )
+        if self.regulator_replay not in REGULATOR_REPLAY_CHOICES:
+            raise ConfigurationError(
+                f"unknown regulator_replay {self.regulator_replay!r}; "
+                f"known: {REGULATOR_REPLAY_CHOICES}"
+            )
+        if self.wsaf_entries < 2:
+            raise ConfigurationError(
+                f"wsaf_entries must be >= 2, got {self.wsaf_entries}"
+            )
+        if self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+
 
 @dataclass
 class MeasurementResult:
@@ -204,6 +230,90 @@ class MeasurementResult:
         return self.packets / self.elapsed_seconds
 
 
+#: Monotone id for streams whose total length is unknown up front; makes
+#: their kernel-cache stream tags unique (slices of a grow-as-you-go draw
+#: depend on the draw history, so they must never alias across streams).
+_STREAM_NONCE = iter(range(1 << 62)).__next__
+
+
+class _BitStream:
+    """Per-packet random bit choices for one measurement stream.
+
+    When the stream's total packet count is known up front, the whole
+    sequence is drawn in one call — exactly the draw the whole-trace path
+    makes — and handed out in slices, which is what makes chunked
+    ingestion bit-identical (NumPy's narrow-dtype ``integers`` draws are
+    buffered per call, so N small draws do *not* equal one big draw).
+    Unknown-length streams fall back to drawing per chunk: still
+    deterministic for a fixed chunking, but not whole-trace-identical.
+    """
+
+    def __init__(self, config, flow_regulator: bool, total: "int | None") -> None:
+        self._rng = np.random.default_rng(config.seed ^ 0xB17)
+        self._vector_bits = config.vector_bits
+        self._num_layers = config.num_layers
+        self._flow_regulator = flow_regulator
+        self._total = total
+        self.offset = 0
+        if total is not None:
+            self._draw(total)
+            self._nonce = None
+        else:
+            self._bits1 = self._bits2 = self._matrix = None
+            self._nonce = _STREAM_NONCE()
+
+    def _draw(self, count: int) -> None:
+        if self._flow_regulator:
+            self._bits1 = self._rng.integers(
+                0, self._vector_bits, size=count, dtype=np.uint8
+            )
+            self._bits2 = self._rng.integers(
+                0, self._vector_bits, size=count, dtype=np.uint8
+            )
+        else:
+            self._matrix = self._rng.integers(
+                0,
+                self._vector_bits,
+                size=(count, self._num_layers),
+                dtype=np.int64,
+            )
+
+    def take(self, count: int):
+        """The next ``count`` packets' bit choices, advancing the cursor."""
+        begin = self.offset
+        if self._total is not None:
+            if begin + count > self._total:
+                raise ConfigurationError(
+                    f"stream overran its declared total of {self._total} "
+                    f"packets at offset {begin} (+{count})"
+                )
+        else:
+            self._draw(count)
+            begin = 0
+        end = begin + count
+        self.offset += count
+        if self._flow_regulator:
+            return (self._bits1[begin:end], self._bits2[begin:end])
+        return self._matrix[begin:end]
+
+    def tag(self, count: int) -> "tuple":
+        """Kernel-cache stream tag for the next ``count``-packet slice."""
+        if self._total is not None:
+            return (self.offset, self._total)
+        return (self.offset, self._nonce)
+
+
+@dataclass
+class _StreamState:
+    """Bookkeeping for one in-progress ingest stream."""
+
+    bits: _BitStream
+    packets: int = 0
+    insertions: int = 0
+    l1_saturations: int = 0
+    elapsed: float = 0.0
+
+
 class InstaMeasure:
     """Single-core InstaMeasure engine."""
 
@@ -213,19 +323,6 @@ class InstaMeasure:
         accountant: "AccessAccountant | None" = None,
     ) -> None:
         self.config = config or InstaMeasureConfig()
-        if self.config.engine not in ENGINE_CHOICES:
-            raise ConfigurationError(
-                f"unknown engine {self.config.engine!r}; known: {ENGINE_CHOICES}"
-            )
-        if self.config.regulator_replay not in REGULATOR_REPLAY_CHOICES:
-            raise ConfigurationError(
-                f"unknown regulator_replay {self.config.regulator_replay!r}; "
-                f"known: {REGULATOR_REPLAY_CHOICES}"
-            )
-        if self.config.chunk_size < 1:
-            raise ConfigurationError(
-                f"chunk_size must be >= 1, got {self.config.chunk_size}"
-            )
         if self.config.num_layers == 2:
             self.regulator: "FlowRegulator | MultiLayerRegulator" = FlowRegulator(
                 self.config.l1_memory_bytes,
@@ -257,6 +354,7 @@ class InstaMeasure:
         self.wsaf_engine = resolved_wsaf_engine(self.config)
         self.regulator_replay = resolved_regulator_replay(self.config)
         self._rng = random.Random(self.config.seed ^ 0x5EED)
+        self._stream: "_StreamState | None" = None
 
     # -- per-packet path -----------------------------------------------------
 
@@ -311,6 +409,8 @@ class InstaMeasure:
         self,
         trace: Trace,
         on_accumulate: "AccumulateCallback | None" = None,
+        bits=None,
+        stream_tag=None,
     ) -> MeasurementResult:
         """Process every packet of ``trace`` in timestamp order.
 
@@ -321,14 +421,23 @@ class InstaMeasure:
         configurations run the chunked batched kernel
         (:mod:`repro.kernels`) instead — bit-identical, several times
         faster.  Non-default regulator depths take a generic (slower) loop.
+
+        ``bits``/``stream_tag`` are the streaming-ingest override: a
+        pre-drawn slice of the stream's randomness (``(bits1, bits2)``
+        uint8 arrays for the FlowRegulator, an ``(n, num_layers)`` int64
+        matrix otherwise) plus a cache-disambiguation tag.  Callers other
+        than :meth:`ingest` normally leave both unset and get the
+        engine's own whole-trace draw.
         """
         if not isinstance(self.regulator, FlowRegulator):
-            return self._process_trace_generic(trace, on_accumulate)
+            return self._process_trace_generic(trace, on_accumulate, bits)
         if self.config.engine != "scalar":
             from repro.kernels.batched import supports_batched
 
             if supports_batched(self):
-                return self._process_trace_batched(trace, on_accumulate)
+                return self._process_trace_batched(
+                    trace, on_accumulate, bits, stream_tag
+                )
         num_packets = trace.num_packets
         regulator = self.regulator
         l1 = regulator.l1
@@ -340,11 +449,19 @@ class InstaMeasure:
         keys = trace.flows.key64.tolist()
         packed_tuples = packed_five_tuples(trace.flows)
 
-        # uint8 draws: the batched kernel replays this exact stream, and the
-        # narrow dtype roughly halves generation cost for both paths.
-        rng = np.random.default_rng(self.config.seed ^ 0xB17)
-        bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8).tolist()
-        bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8).tolist()
+        if bits is None:
+            # uint8 draws: the batched kernel replays this exact stream, and
+            # the narrow dtype roughly halves generation cost for both paths.
+            rng = np.random.default_rng(self.config.seed ^ 0xB17)
+            bits1 = rng.integers(
+                0, vector_bits, size=num_packets, dtype=np.uint8
+            ).tolist()
+            bits2 = rng.integers(
+                0, vector_bits, size=num_packets, dtype=np.uint8
+            ).tolist()
+        else:
+            bits1 = bits[0].tolist()
+            bits2 = bits[1].tolist()
 
         flow_ids = trace.flow_ids.tolist()
         sizes = trace.sizes.tolist()
@@ -441,6 +558,8 @@ class InstaMeasure:
         self,
         trace: Trace,
         on_accumulate: "AccumulateCallback | None" = None,
+        bits=None,
+        stream_tag=None,
     ) -> MeasurementResult:
         """Chunked NumPy/LUT path (:mod:`repro.kernels`), bit-identical
         to the scalar loop."""
@@ -456,6 +575,8 @@ class InstaMeasure:
             on_accumulate=on_accumulate,
             delegate=self.wsaf_engine == "batched",
             regulator_replay=self.regulator_replay,
+            bits=bits,
+            stream_tag=stream_tag,
         )
         elapsed = time.perf_counter() - start
 
@@ -497,6 +618,7 @@ class InstaMeasure:
         self,
         trace: Trace,
         on_accumulate: "AccumulateCallback | None" = None,
+        bits=None,
     ) -> MeasurementResult:
         """Trace loop for :class:`MultiLayerRegulator` depths (1, 3, 4)."""
         regulator = self.regulator
@@ -510,10 +632,13 @@ class InstaMeasure:
         keys = trace.flows.key64.tolist()
         packed_tuples = packed_five_tuples(trace.flows)
 
-        rng = np.random.default_rng(self.config.seed ^ 0xB17)
-        bit_choices = rng.integers(
-            0, vector_bits, size=(num_packets, num_layers), dtype=np.int64
-        ).tolist()
+        if bits is None:
+            rng = np.random.default_rng(self.config.seed ^ 0xB17)
+            bit_choices = rng.integers(
+                0, vector_bits, size=(num_packets, num_layers), dtype=np.int64
+            ).tolist()
+        else:
+            bit_choices = bits.tolist()
         flow_ids = trace.flow_ids.tolist()
         sizes = trace.sizes.tolist()
         timestamps = trace.timestamps.tolist()
@@ -555,6 +680,87 @@ class InstaMeasure:
             wsaf=self.wsaf,
         )
 
+    # -- streaming ingestion (pipeline protocol) ---------------------------------
+
+    def ingest(
+        self, chunk, on_accumulate: "AccumulateCallback | None" = None
+    ) -> MeasurementResult:
+        """Process one chunk of a stream, bit-identical to the whole trace.
+
+        Implements the :class:`repro.pipeline.protocol.StreamingMeasurer`
+        protocol.  The first chunk fixes the stream's randomness: when the
+        source knows the stream length up front, the full bit sequence is
+        drawn once — the exact draw :meth:`process_trace` would make on
+        the concatenated trace — and consumed in slices, so regulator,
+        WSAF, and kernel-cache state cross chunk boundaries with the same
+        counters, records, and event order as the whole-trace path.
+        """
+        from repro.pipeline.protocol import chunk_total, chunk_trace
+
+        trace = chunk_trace(chunk)
+        if self._stream is None:
+            self._stream = _StreamState(
+                bits=_BitStream(
+                    self.config,
+                    isinstance(self.regulator, FlowRegulator),
+                    chunk_total(chunk),
+                )
+            )
+        stream = self._stream
+        count = trace.num_packets
+        if stream.bits._total is not None and (
+            stream.bits.offset == 0 and count == stream.bits._total
+        ):
+            # Single-chunk stream: same bits as a direct process_trace
+            # call, so share its kernel-cache entries.
+            tag = None
+        else:
+            tag = stream.bits.tag(count)
+        bits = stream.bits.take(count)
+        result = self.process_trace(
+            trace, on_accumulate=on_accumulate, bits=bits, stream_tag=tag
+        )
+        stream.packets += result.packets
+        stream.insertions += result.insertions
+        stream.l1_saturations += result.regulator_stats.l1_saturations
+        stream.elapsed += result.elapsed_seconds
+        return result
+
+    def finalize(self) -> MeasurementResult:
+        """End the current stream and return its aggregate result.
+
+        Resets only the stream bookkeeping; sketch and WSAF state stay
+        live, so :meth:`estimates` and :meth:`estimates_for` read the
+        finished measurement and a new stream continues on warm state.
+        """
+        stream = self._stream
+        self._stream = None
+        if stream is None:
+            return MeasurementResult(
+                packets=0,
+                insertions=0,
+                elapsed_seconds=0.0,
+                regulator_stats=RegulatorStats(),
+                wsaf=self.wsaf,
+            )
+        return MeasurementResult(
+            packets=stream.packets,
+            insertions=stream.insertions,
+            elapsed_seconds=stream.elapsed,
+            regulator_stats=RegulatorStats(
+                packets=stream.packets,
+                l1_saturations=stream.l1_saturations,
+                insertions=stream.insertions,
+            ),
+            wsaf=self.wsaf,
+        )
+
+    def estimates(
+        self, flow_keys=None
+    ) -> "dict[int, tuple[float, float]]":
+        """WSAF per-flow ``{key64: (packets, bytes)}`` estimates."""
+        return self.wsaf.estimates(flow_keys=flow_keys)
+
     # -- long-run operation ------------------------------------------------------
 
     def rotate(
@@ -590,17 +796,23 @@ class InstaMeasure:
         the regulator's retained-but-unflushed residual is added (evaluation
         aid; see :meth:`FlowRegulator.residual_estimate`).
         """
-        est_packets = np.zeros(trace.num_flows)
-        est_bytes = np.zeros(trace.num_flows)
-        table = self.wsaf.estimates(flow_keys=trace.flows.key64)
-        for flow_index in range(trace.num_flows):
-            key = int(trace.flows.key64[flow_index])
-            record = table.get(key)
-            if record is not None:
-                est_packets[flow_index] = record[0]
-                est_bytes[flow_index] = record[1]
-            if include_residual:
-                est_packets[flow_index] += self.regulator.residual_estimate(key)
+        estimates_arrays = getattr(self.wsaf, "estimates_arrays", None)
+        if estimates_arrays is not None:
+            # Batched WSAF: one vectorized probe, no per-flow dict walk.
+            est_packets, est_bytes = estimates_arrays(trace.flows.key64)
+        else:
+            est_packets = np.zeros(trace.num_flows)
+            est_bytes = np.zeros(trace.num_flows)
+            table = self.wsaf.estimates(flow_keys=trace.flows.key64)
+            for flow_index in range(trace.num_flows):
+                record = table.get(int(trace.flows.key64[flow_index]))
+                if record is not None:
+                    est_packets[flow_index] = record[0]
+                    est_bytes[flow_index] = record[1]
+        if include_residual:
+            residual = self.regulator.residual_estimate
+            keys = trace.flows.key64.tolist()
+            est_packets += np.array([residual(key) for key in keys])
         return est_packets, est_bytes
 
 
@@ -610,8 +822,6 @@ def run_measurement(
     on_accumulate: "AccumulateCallback | None" = None,
 ) -> "tuple[InstaMeasure, MeasurementResult]":
     """Convenience one-shot: build an engine, process ``trace``, return both."""
-    if config is not None and config.wsaf_entries < 2:
-        raise ConfigurationError("wsaf_entries must be >= 2")
     engine = InstaMeasure(config)
     result = engine.process_trace(trace, on_accumulate=on_accumulate)
     return engine, result

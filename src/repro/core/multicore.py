@@ -180,6 +180,30 @@ def _run_worker_recorded(worker: InstaMeasure, queue: Trace):
     return result, log.events
 
 
+def _ingest_worker_recorded(worker: InstaMeasure, chunk):
+    """Stream one chunk into ``worker`` with insertions recorded, not applied."""
+    shared = worker.wsaf
+    log = _InsertionLog()
+    worker.wsaf = log
+    try:
+        result = worker.ingest(chunk)
+    finally:
+        worker.wsaf = shared
+    return result, log.events
+
+
+@dataclass
+class _MultiCoreStream:
+    """Bookkeeping for one in-progress multi-core ingest stream."""
+
+    worker_by_flow: np.ndarray
+    worker_totals: "list[int | None]"
+    pending: "list[tuple]"
+    worker_seq: "list[int]"
+    worker_packets: "list[int]"
+    on_accumulate: "AccumulateCallback | None" = None
+
+
 #: Fork-inherited state for parallel workers (manager, trace, assignment);
 #: set only for the duration of a parallel run.
 _PARALLEL_STATE = None
@@ -250,11 +274,157 @@ class MultiCoreInstaMeasure:
             worker = InstaMeasure(worker_config)
             worker.wsaf = self.wsaf  # all workers accumulate into one table
             self.workers.append(worker)
+        self._stream: "_MultiCoreStream | None" = None
 
     def dispatch(self, trace: Trace) -> np.ndarray:
         """Per-packet worker assignment for ``trace``."""
         worker_by_flow = dispatch_array(trace.flows.src_ip, self.num_workers)
         return worker_by_flow[trace.flow_ids]
+
+    # -- streaming ingestion (pipeline protocol) -----------------------------
+
+    def ingest(
+        self, chunk, on_accumulate: "AccumulateCallback | None" = None
+    ) -> MultiCoreResult:
+        """Dispatch one chunk to the workers' own ingest streams.
+
+        Each worker consumes its slice of the chunk through
+        :meth:`InstaMeasure.ingest` (so a worker's bit stream spans its
+        whole queue, bit-identical to running the queue in one piece);
+        the recorded insertion events are merged in global ``(timestamp,
+        worker, sequence)`` order.  Events stamped strictly before the
+        chunk's last timestamp are applied to the shared WSAF immediately
+        — no later packet can precede them — while events at the boundary
+        are held until time advances or :meth:`finalize`, which preserves
+        the whole-trace merge order exactly.
+        """
+        from repro.pipeline.protocol import chunk_trace
+        from repro.pipeline.source import Chunk
+
+        trace = chunk_trace(chunk)
+        if self._stream is None:
+            parent = chunk if isinstance(chunk, Trace) else chunk.parent
+            worker_by_flow = dispatch_array(
+                trace.flows.src_ip, self.num_workers
+            )
+            if parent is not None:
+                totals = np.bincount(
+                    worker_by_flow[parent.flow_ids],
+                    minlength=self.num_workers,
+                ).tolist()
+            else:
+                totals = [None] * self.num_workers
+            self._stream = _MultiCoreStream(
+                worker_by_flow=worker_by_flow,
+                worker_totals=totals,
+                pending=[],
+                worker_seq=[0] * self.num_workers,
+                worker_packets=[0] * self.num_workers,
+            )
+        stream = self._stream
+        if on_accumulate is not None:
+            stream.on_accumulate = on_accumulate
+        assignment = stream.worker_by_flow[trace.flow_ids]
+
+        chunk_packets: "list[int]" = []
+        chunk_results: "list[MeasurementResult]" = []
+        for worker_index, worker in enumerate(self.workers):
+            queue = _worker_queue(trace, assignment, worker_index)
+            chunk_packets.append(queue.num_packets)
+            stream.worker_packets[worker_index] += queue.num_packets
+            if queue.num_packets == 0:
+                # Nothing dispatched here this chunk; the worker's bit
+                # stream does not advance, so skipping is exact.
+                continue
+            sub = Chunk(
+                trace=queue,
+                index=0,
+                begin=0,
+                end=queue.num_packets,
+                total_packets=stream.worker_totals[worker_index],
+            )
+            try:
+                result, events = _ingest_worker_recorded(worker, sub)
+            finally:
+                clear_kernel_caches(queue)
+            result.wsaf = self.wsaf
+            chunk_results.append(result)
+            sequence = stream.worker_seq[worker_index]
+            for timestamp, key, est_pkt, est_byte, packed in events:
+                stream.pending.append(
+                    (timestamp, worker_index, sequence, key, est_pkt, est_byte, packed)
+                )
+                sequence += 1
+            stream.worker_seq[worker_index] = sequence
+        if trace.num_packets:
+            self._apply_pending(stream, horizon=float(trace.timestamps[-1]))
+        return MultiCoreResult(
+            num_workers=self.num_workers,
+            worker_packets=chunk_packets,
+            worker_insertions=[
+                result.regulator_stats.insertions for result in chunk_results
+            ],
+            worker_results=chunk_results,
+            wsaf=self.wsaf,
+        )
+
+    def _apply_pending(
+        self, stream: _MultiCoreStream, horizon: "float | None"
+    ) -> None:
+        """Apply merged events up to ``horizon`` (all of them when None)."""
+        pending = stream.pending
+        pending.sort(key=lambda event: event[:3])
+        if horizon is None:
+            released = pending
+            stream.pending = []
+        else:
+            split = 0
+            while split < len(pending) and pending[split][0] < horizon:
+                split += 1
+            released = pending[:split]
+            stream.pending = pending[split:]
+        if released:
+            self.wsaf.accumulate_batch(
+                (
+                    (key, est_pkt, est_byte, timestamp, packed)
+                    for timestamp, _, _, key, est_pkt, est_byte, packed in released
+                ),
+                on_accumulate=stream.on_accumulate,
+            )
+
+    def finalize(self) -> MultiCoreResult:
+        """End the stream: flush held events, aggregate worker results."""
+        stream = self._stream
+        self._stream = None
+        if stream is None:
+            return MultiCoreResult(
+                num_workers=self.num_workers,
+                worker_packets=[0] * self.num_workers,
+                worker_insertions=[0] * self.num_workers,
+                worker_results=[],
+                wsaf=self.wsaf,
+            )
+        self._apply_pending(stream, horizon=None)
+        worker_results = []
+        for worker in self.workers:
+            result = worker.finalize()
+            result.wsaf = self.wsaf
+            worker_results.append(result)
+        return MultiCoreResult(
+            num_workers=self.num_workers,
+            worker_packets=stream.worker_packets,
+            worker_insertions=[
+                result.regulator_stats.insertions for result in worker_results
+            ],
+            worker_results=worker_results,
+            wsaf=self.wsaf,
+        )
+
+    def estimates(
+        self, flow_keys=None
+    ) -> "dict[int, tuple[float, float]]":
+        """Shared-WSAF per-flow ``{key64: (packets, bytes)}`` estimates."""
+        return self.wsaf.estimates(flow_keys=flow_keys)
 
     def process_trace(
         self,
@@ -274,11 +444,13 @@ class MultiCoreInstaMeasure:
         """
         if parallel is None:
             parallel = self.parallel
+        if not (parallel and self.num_workers > 1 and _fork_available()):
+            # Sequential execution is one-chunk streaming: same dispatch,
+            # same per-worker draws, same merge — exactly one run loop.
+            self.ingest(trace, on_accumulate=on_accumulate)
+            return self.finalize()
         assignment = self.dispatch(trace)
-        if parallel and self.num_workers > 1 and _fork_available():
-            runs = self._run_parallel(trace, assignment)
-        else:
-            runs = self._run_sequential(trace, assignment)
+        runs = self._run_parallel(trace, assignment)
 
         merged = []
         for worker_index, (_, events, _) in enumerate(runs):
@@ -305,21 +477,6 @@ class MultiCoreInstaMeasure:
             worker_results=[result for _, _, result in runs],
             wsaf=self.wsaf,
         )
-
-    def _run_sequential(self, trace: Trace, assignment: np.ndarray):
-        """Run every worker in-process, collecting (packets, events, result)."""
-        runs = []
-        for worker_index, worker in enumerate(self.workers):
-            queue = _worker_queue(trace, assignment, worker_index)
-            try:
-                result, events = _run_worker_recorded(worker, queue)
-            finally:
-                # The queue sub-trace dies here; drop the kernel caches it
-                # accumulated so they cannot pin chunk-sized arrays.
-                clear_kernel_caches(queue)
-            result.wsaf = self.wsaf
-            runs.append((queue.num_packets, events, result))
-        return runs
 
     def _run_parallel(self, trace: Trace, assignment: np.ndarray):
         """Run every worker as a forked process and re-install its state."""
@@ -359,6 +516,9 @@ class MultiCoreInstaMeasure:
 
     def estimates_for(self, trace: Trace) -> "tuple[np.ndarray, np.ndarray]":
         """Per-flow (packets, bytes) estimates from the shared WSAF."""
+        estimates_arrays = getattr(self.wsaf, "estimates_arrays", None)
+        if estimates_arrays is not None:
+            return estimates_arrays(trace.flows.key64)
         est_packets = np.zeros(trace.num_flows)
         est_bytes = np.zeros(trace.num_flows)
         table = self.wsaf.estimates(flow_keys=trace.flows.key64)

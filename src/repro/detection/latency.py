@@ -29,6 +29,7 @@ from repro.detection.heavy_hitter import (
     ground_truth_detection_times,
 )
 from repro.errors import ConfigurationError
+from repro.pipeline import run_pipeline
 from repro.traffic.attack import AttackConfig, inject_attack_flows
 from repro.traffic.packet import Trace
 
@@ -115,7 +116,7 @@ def detection_latency_experiment(
 
     detector = HeavyHitterDetector(threshold_packets=threshold_packets)
     engine = InstaMeasure(engine_config or InstaMeasureConfig())
-    engine.process_trace(merged, on_accumulate=detector.on_accumulate)
+    run_pipeline(engine, merged, on_accumulate=detector.on_accumulate)
 
     samples: "list[LatencySample]" = []
     for rate, flow_index in zip(rates_pps, injected):

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.instameasure import InstaMeasure, InstaMeasureConfig
 from repro.detection.topk import topk_recall
 from repro.errors import ConfigurationError
+from repro.pipeline import Pipeline
 from repro.traffic.packet import Trace
 
 
@@ -38,7 +39,9 @@ def windowed_topk_recall(
 ) -> "list[WindowSnapshot]":
     """Measure ``trace`` window by window, snapshotting Top-K recall.
 
-    At each boundary the current WSAF packet estimates are scored against
+    A pipeline epoch consumer: the chunk source splits on window
+    boundaries and the driver fires once per window (empty windows
+    included), where the current WSAF packet estimates are scored against
     the exact counts of everything seen *so far* (cumulative ground truth,
     as an operator refreshing a dashboard would experience).
 
@@ -56,21 +59,17 @@ def windowed_topk_recall(
         return []
 
     engine = InstaMeasure(config)
-    start = float(trace.timestamps[0])
     end = float(trace.timestamps[-1])
     snapshots: "list[WindowSnapshot]" = []
-    packets_so_far = 0
-    cumulative_truth = np.zeros(trace.num_flows)
 
-    window_start = start
-    while window_start <= end:
-        window_end = window_start + window_seconds
-        window = trace.time_slice(window_start, window_end)
-        if window.num_packets:
-            engine.process_trace(window)
-            packets_so_far += window.num_packets
-            cumulative_truth += window.ground_truth_packets()
-        est, _ = engine.estimates_for(trace, include_residual=True)
+    def on_window(record, measurer) -> None:
+        # Packets strictly before the boundary — windows are half-open,
+        # matching ``Trace.time_slice``.
+        upto = int(np.searchsorted(trace.timestamps, record.end_time, side="left"))
+        cumulative_truth = np.bincount(
+            trace.flow_ids[:upto], minlength=trace.num_flows
+        ).astype(np.float64)
+        est, _ = measurer.estimates_for(trace, include_residual=True)
         seen = cumulative_truth > 0
         recalls = {}
         for k in ks:
@@ -80,11 +79,12 @@ def windowed_topk_recall(
                 recalls[k] = topk_recall(est[seen], cumulative_truth[seen], k)
         snapshots.append(
             WindowSnapshot(
-                end_time=min(window_end, end),
-                packets_so_far=packets_so_far,
-                wsaf_flows=len(engine.wsaf),
+                end_time=min(record.end_time, end),
+                packets_so_far=upto,
+                wsaf_flows=len(measurer.wsaf),
                 recalls=recalls,
             )
         )
-        window_start = window_end
+
+    Pipeline(engine, epoch_seconds=window_seconds, on_epoch=on_window).run(trace)
     return snapshots

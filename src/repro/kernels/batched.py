@@ -186,6 +186,8 @@ def process_trace_batched(
     chunk_size: "int | None" = None,
     delegate: bool = False,
     regulator_replay: str = "loop",
+    bits=None,
+    stream_tag=None,
 ) -> BatchCounters:
     """Process ``trace`` through ``engine``'s regulator and WSAF, batched.
 
@@ -205,13 +207,24 @@ def process_trace_batched(
     pipeline shape.  All paths are bit-identical to the scalar loop;
     ``"loop"`` preserves the original pipelines so the generations stay
     separately benchmarkable.
+
+    ``bits`` overrides the per-packet random bit draws with externally
+    supplied ``(bits1, bits2)`` uint8 arrays — the streaming ingest path
+    slices one pre-drawn whole-stream pair so chunked runs replay the
+    exact whole-trace randomness.  ``stream_tag`` disambiguates the
+    trace-pinned stream caches when the same trace object is processed
+    with different bit slices (see :func:`_stream_key`).
     """
     if regulator_replay == "scan":
         from repro.kernels.regulator_scan import process_trace_scan
 
-        return process_trace_scan(engine, trace, on_accumulate, chunk_size)
+        return process_trace_scan(
+            engine, trace, on_accumulate, chunk_size, bits, stream_tag
+        )
     if delegate:
-        return _process_trace_delegated(engine, trace, on_accumulate, chunk_size)
+        return _process_trace_delegated(
+            engine, trace, on_accumulate, chunk_size, bits, stream_tag
+        )
     regulator = engine.regulator
     l1 = regulator.l1
     vector_bits = l1.vector_bits
@@ -239,10 +252,13 @@ def process_trace_batched(
 
     layouts = _chunk_layouts(trace, l1, chunk_size)
 
-    # Identical draws to the scalar path: same generator, sizes, order.
-    rng = np.random.default_rng(engine.config.seed ^ 0xB17)
-    bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
-    bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+    if bits is None:
+        # Identical draws to the scalar path: same generator, sizes, order.
+        rng = np.random.default_rng(engine.config.seed ^ 0xB17)
+        bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+        bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+    else:
+        bits1, bits2 = bits
     code_all = bits1 + np.uint8(vector_bits) * bits2
     bit_values = np.left_shift(np.uint8(1), np.arange(vector_bits, dtype=np.uint8))
 
@@ -480,7 +496,7 @@ def process_trace_batched(
     return counters
 
 
-def _stream_key(engine, l1, chunk_size: int) -> "tuple":
+def _stream_key(engine, l1, chunk_size: int, stream_tag=None) -> "tuple":
     """Cache key covering every knob that changes the derived streams.
 
     The streams are functions of the trace *and* of (seed → bit draws,
@@ -488,6 +504,10 @@ def _stream_key(engine, l1, chunk_size: int) -> "tuple":
     word count → sort layout, chunking).  Any config change that would
     alter stream contents must land in this tuple, or a reused trace would
     replay stale data — ``tests/test_kernels.py`` exercises each knob.
+
+    ``stream_tag`` identifies which slice of a pre-drawn whole-stream bit
+    sequence the caller supplied (the streaming ingest path); ``None``
+    means the engine's own whole-trace draw.
     """
     return (
         _LAYOUT_VERSION,
@@ -499,6 +519,7 @@ def _stream_key(engine, l1, chunk_size: int) -> "tuple":
         l1._place_seed_off,
         l1.num_words,
         int(chunk_size),
+        stream_tag,
     )
 
 
@@ -632,7 +653,12 @@ def _delegate_chunk_events(
 
 
 def _process_trace_delegated(
-    engine, trace, on_accumulate=None, chunk_size: "int | None" = None
+    engine,
+    trace,
+    on_accumulate=None,
+    chunk_size: "int | None" = None,
+    bits=None,
+    stream_tag=None,
 ) -> BatchCounters:
     """Second-generation batched pipeline, feeding the batch-probed WSAF.
 
@@ -711,15 +737,22 @@ def _process_trace_delegated(
     # the trace so repeated runs skip the draws and gathers.  Filled
     # lazily per chunk below.
     chunk_streams = _chunk_stream_slots(
-        trace, _stream_key(engine, l1, chunk_size), len(layouts), _STREAM_ATTR
+        trace,
+        _stream_key(engine, l1, chunk_size, stream_tag),
+        len(layouts),
+        _STREAM_ATTR,
     )
 
     code_all = None
     if any(entry is None for entry in chunk_streams):
-        # Identical draws to the scalar path: same generator, sizes, order.
-        rng = np.random.default_rng(engine.config.seed ^ 0xB17)
-        bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
-        bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+        if bits is None:
+            # Identical draws to the scalar path: same generator, sizes,
+            # order.
+            rng = np.random.default_rng(engine.config.seed ^ 0xB17)
+            bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+            bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+        else:
+            bits1, bits2 = bits
         code_all = bits1 + np.uint8(vector_bits) * bits2
 
     window_masks = l1._window_masks

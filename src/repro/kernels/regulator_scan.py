@@ -799,7 +799,12 @@ class _ChunkScan:
 
 
 def process_trace_scan(
-    engine, trace, on_accumulate=None, chunk_size: "int | None" = None
+    engine,
+    trace,
+    on_accumulate=None,
+    chunk_size: "int | None" = None,
+    bits=None,
+    stream_tag=None,
 ) -> BatchCounters:
     """The delegated pipeline with the scan replay on the contested path.
 
@@ -832,16 +837,20 @@ def process_trace_scan(
     bit_values = np.left_shift(
         np.uint8(1), np.arange(vector_bits, dtype=np.uint8)
     )
-    key = _stream_key(engine, l1, chunk_size)
+    key = _stream_key(engine, l1, chunk_size, stream_tag)
     chunk_streams = _chunk_stream_slots(trace, key, len(layouts), _STREAM_ATTR)
     scan_slots = _chunk_stream_slots(trace, key, len(layouts), _SCAN_ATTR)
 
     code_all = None
     if any(entry is None for entry in chunk_streams):
-        # Identical draws to the scalar path: same generator, sizes, order.
-        rng = np.random.default_rng(engine.config.seed ^ 0xB17)
-        bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
-        bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+        if bits is None:
+            # Identical draws to the scalar path: same generator, sizes,
+            # order.
+            rng = np.random.default_rng(engine.config.seed ^ 0xB17)
+            bits1 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+            bits2 = rng.integers(0, vector_bits, size=num_packets, dtype=np.uint8)
+        else:
+            bits1, bits2 = bits
         code_all = bits1 + np.uint8(vector_bits) * bits2
 
     window_masks = l1._window_masks

@@ -411,3 +411,32 @@ class BatchedWSAFTable(WSAFTable):
                 self._bytes[hit_slots].tolist(),
             )
         }
+
+    def estimates_arrays(
+        self, flow_keys
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-flow (packets, bytes) float arrays aligned with ``flow_keys``.
+
+        Missing flows read 0.0 — the array form of :meth:`estimates`, with
+        no intermediate dict for callers that want columns back.
+        """
+        query = np.asarray(
+            flow_keys
+            if isinstance(flow_keys, np.ndarray)
+            else list(flow_keys),
+            dtype=np.uint64,
+        )
+        est_packets = np.zeros(query.size)
+        est_bytes = np.zeros(query.size)
+        if query.size == 0:
+            return est_packets, est_bytes
+        mask64 = np.uint64(self._mask)
+        slots = (
+            ((query & mask64)[:, None] + self._tri[None, :]) & mask64
+        ).astype(np.intp)
+        found = self._occupied[slots] & (self._keys[slots] == query[:, None])
+        rows = np.flatnonzero(found.any(axis=1))
+        hit_slots = slots[rows, found[rows].argmax(axis=1)]
+        est_packets[rows] = self._packets[hit_slots]
+        est_bytes[rows] = self._bytes[hit_slots]
+        return est_packets, est_bytes

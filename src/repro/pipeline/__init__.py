@@ -1,0 +1,56 @@
+"""The streaming pipeline: one run loop for every measurer.
+
+Every measurer in the repository — both InstaMeasure engines, the
+multi-core manager, and all nine baselines — speaks the
+:class:`~repro.pipeline.protocol.StreamingMeasurer` protocol: packets
+arrive as bounded chunks through :meth:`ingest`, results come out of
+:meth:`finalize`, and current per-flow readings come from
+:meth:`estimates`.  A :class:`~repro.pipeline.source.ChunkSource` slices
+a trace (or a trace file) into those chunks, and the
+:class:`~repro.pipeline.driver.Pipeline` driver feeds any measurer from
+any source, firing epoch callbacks at time-window boundaries and
+collecting per-chunk throughput stats.
+
+See ``docs/STREAMING.md`` for the protocol contract, including which
+measurers are bit-identical between chunked and whole-trace ingestion.
+"""
+
+from repro.pipeline.driver import (
+    ChunkStats,
+    EpochRecord,
+    Pipeline,
+    PipelineResult,
+    run_pipeline,
+)
+from repro.pipeline.protocol import (
+    StreamingMeasurer,
+    chunk_total,
+    chunk_trace,
+    supports_merge,
+    supports_rotate,
+)
+from repro.pipeline.source import (
+    Chunk,
+    ChunkSource,
+    FileChunkSource,
+    TraceChunkSource,
+    as_chunk_source,
+)
+
+__all__ = [
+    "Chunk",
+    "ChunkSource",
+    "ChunkStats",
+    "EpochRecord",
+    "FileChunkSource",
+    "Pipeline",
+    "PipelineResult",
+    "StreamingMeasurer",
+    "TraceChunkSource",
+    "as_chunk_source",
+    "chunk_total",
+    "chunk_trace",
+    "run_pipeline",
+    "supports_merge",
+    "supports_rotate",
+]

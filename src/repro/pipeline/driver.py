@@ -1,0 +1,204 @@
+"""The :class:`Pipeline` driver — the repository's one run loop.
+
+Feeds any :class:`~repro.pipeline.protocol.StreamingMeasurer` from any
+:class:`~repro.pipeline.source.ChunkSource`, timing each ``ingest`` call,
+firing an epoch callback at every epoch boundary (including empty epochs,
+so periodic consumers see every tick), and returning the measurer's
+finalized result together with per-chunk throughput stats.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.pipeline.protocol import supports_rotate
+from repro.pipeline.source import ChunkSource, as_chunk_source
+
+
+@dataclass
+class ChunkStats:
+    """Timing of one ``ingest`` call."""
+
+    index: int
+    packets: int
+    seconds: float
+    epoch: int = 0
+
+    @property
+    def pps(self) -> float:
+        return self.packets / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class EpochRecord:
+    """One epoch boundary the driver fired.
+
+    ``snapshot`` holds what the measurer's ``rotate(now)`` returned when
+    the pipeline was built with ``rotate=True`` (and the measurer has the
+    hook), else ``None``.
+    """
+
+    index: int
+    end_time: float
+    packets_so_far: int
+    snapshot: "object | None" = None
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one pipeline run."""
+
+    result: object
+    measurer: object
+    packets: int
+    chunks: "list[ChunkStats]" = field(default_factory=list)
+    epochs: "list[EpochRecord]" = field(default_factory=list)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total time spent inside ``ingest`` (source slicing excluded)."""
+        return sum(chunk.seconds for chunk in self.chunks)
+
+    @property
+    def pps(self) -> float:
+        elapsed = self.elapsed_seconds
+        return self.packets / elapsed if elapsed > 0 else 0.0
+
+
+class Pipeline:
+    """Drive a streaming measurer over a chunked packet stream.
+
+    Args:
+        measurer: any :class:`~repro.pipeline.protocol.StreamingMeasurer`.
+        epoch_seconds: when given (and :meth:`run` receives a bare trace),
+            the source splits chunks on epoch boundaries this wide and the
+            driver fires ``on_epoch`` at every boundary.  A source that
+            already splits on epochs triggers the same callbacks.
+        on_epoch: ``callback(record, measurer)`` fired once per epoch, in
+            order, after the epoch's last chunk was ingested (empty epochs
+            fire too).  The final partial epoch fires before ``finalize``.
+        rotate: call the measurer's optional ``rotate(end_time)`` at each
+            boundary and store its snapshot on the
+            :class:`EpochRecord` (periodic maintenance for long runs).
+        on_accumulate: forwarded to ``ingest`` for measurers that accept
+            an accumulation callback (the InstaMeasure engines); leave
+            ``None`` for measurers that do not.
+        on_chunk: ``callback(stats)`` after each chunk (progress hook).
+    """
+
+    def __init__(
+        self,
+        measurer,
+        epoch_seconds: "float | None" = None,
+        on_epoch=None,
+        rotate: bool = False,
+        on_accumulate=None,
+        on_chunk=None,
+    ) -> None:
+        self.measurer = measurer
+        self.epoch_seconds = epoch_seconds
+        self.on_epoch = on_epoch
+        self.rotate = rotate
+        self.on_accumulate = on_accumulate
+        self.on_chunk = on_chunk
+
+    def run(self, source, chunk_size: "int | None" = None) -> PipelineResult:
+        """Ingest every chunk of ``source`` and finalize.
+
+        ``source`` is a :class:`~repro.pipeline.source.ChunkSource` or a
+        bare :class:`~repro.traffic.packet.Trace` (sliced with
+        ``chunk_size``, defaulting to the measurer's configured
+        ``chunk_size`` when it has one).
+        """
+        if isinstance(source, ChunkSource):
+            source = as_chunk_source(source)
+        else:
+            if chunk_size is None:
+                config = getattr(self.measurer, "config", None)
+                chunk_size = getattr(config, "chunk_size", None)
+            source = as_chunk_source(
+                source, chunk_size=chunk_size, epoch_seconds=self.epoch_seconds
+            )
+        measurer = self.measurer
+        epoch_seconds = source.epoch_seconds
+        epoched = epoch_seconds is not None
+        start_time = source.start_time
+
+        chunks: "list[ChunkStats]" = []
+        epochs: "list[EpochRecord]" = []
+        packets = 0
+        current_epoch = 0
+
+        def fire(epoch_index: int) -> None:
+            end_time = (
+                start_time + (epoch_index + 1) * epoch_seconds
+                if start_time is not None
+                else float(epoch_index + 1)
+            )
+            snapshot = None
+            if self.rotate and supports_rotate(measurer):
+                snapshot = measurer.rotate(end_time)
+            record = EpochRecord(
+                index=epoch_index,
+                end_time=end_time,
+                packets_so_far=packets,
+                snapshot=snapshot,
+            )
+            epochs.append(record)
+            if self.on_epoch is not None:
+                self.on_epoch(record, measurer)
+
+        saw_chunk = False
+        for chunk in source:
+            saw_chunk = True
+            if epoched:
+                while current_epoch < chunk.epoch:
+                    fire(current_epoch)
+                    current_epoch += 1
+            begin = time.perf_counter()
+            if self.on_accumulate is not None:
+                measurer.ingest(chunk, on_accumulate=self.on_accumulate)
+            else:
+                measurer.ingest(chunk)
+            seconds = time.perf_counter() - begin
+            packets += chunk.num_packets
+            stats = ChunkStats(
+                index=chunk.index,
+                packets=chunk.num_packets,
+                seconds=seconds,
+                epoch=chunk.epoch,
+            )
+            chunks.append(stats)
+            if self.on_chunk is not None:
+                self.on_chunk(stats)
+        if epoched and saw_chunk:
+            fire(current_epoch)
+
+        result = measurer.finalize()
+        return PipelineResult(
+            result=result,
+            measurer=measurer,
+            packets=packets,
+            chunks=chunks,
+            epochs=epochs,
+        )
+
+
+def run_pipeline(
+    measurer,
+    source,
+    chunk_size: "int | None" = None,
+    epoch_seconds: "float | None" = None,
+    on_epoch=None,
+    rotate: bool = False,
+    on_accumulate=None,
+) -> PipelineResult:
+    """One-shot convenience: build a :class:`Pipeline` and run it."""
+    return Pipeline(
+        measurer,
+        epoch_seconds=epoch_seconds,
+        on_epoch=on_epoch,
+        rotate=rotate,
+        on_accumulate=on_accumulate,
+    ).run(source, chunk_size=chunk_size)

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import main
@@ -87,3 +91,31 @@ class TestSpreaders:
         code = main(["spreaders", str(trace_path), "--min-destinations", "1"])
         assert code == 0
         assert "fan-out" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, trace_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "summarize", str(trace_path)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "L4 flows" in proc.stdout
+
+    def test_python_dash_m_repro_usage_error(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 2
+        assert "usage" in proc.stderr.lower()
