@@ -277,14 +277,43 @@ def _normalize_history(history: "list[dict]") -> "list[dict]":
     return sorted(best.values(), key=lambda r: r.get("timestamp", 0))
 
 
+def _load_history() -> "list[dict]":
+    """The history rows of BENCH_throughput.json, defensively.
+
+    A bench run must never die on its own report file.  A missing file is
+    an empty history; an unreadable, unparseable, or wrong-shaped one
+    (anything but a list of dicts) is moved aside to
+    ``BENCH_throughput.json.corrupt`` — preserved for inspection — and
+    the run starts a fresh history.
+    """
+    if not OUTPUT_PATH.exists():
+        return []
+    try:
+        history = json.loads(OUTPUT_PATH.read_text())
+        if not isinstance(history, list) or not all(
+            isinstance(row, dict) for row in history
+        ):
+            raise ValueError("history must be a list of row dicts")
+    except (json.JSONDecodeError, OSError, ValueError) as error:
+        backup = OUTPUT_PATH.with_suffix(OUTPUT_PATH.suffix + ".corrupt")
+        try:
+            OUTPUT_PATH.replace(backup)
+            print(
+                f"warning: {OUTPUT_PATH.name} is corrupt ({error}); "
+                f"moved to {backup.name}, starting a fresh history"
+            )
+        except OSError:
+            print(
+                f"warning: {OUTPUT_PATH.name} is corrupt ({error}) and "
+                "could not be moved aside; starting a fresh history"
+            )
+        return []
+    return history
+
+
 def _append_report(rows: "list[dict]") -> None:
     """Append ``rows`` to BENCH_throughput.json and normalize the file."""
-    history: "list[dict]" = []
-    if OUTPUT_PATH.exists():
-        try:
-            history = json.loads(OUTPUT_PATH.read_text())
-        except (json.JSONDecodeError, OSError):
-            history = []
+    history = _load_history()
     history.extend(rows)
     OUTPUT_PATH.write_text(
         json.dumps(_normalize_history(history), indent=2) + "\n"
@@ -293,13 +322,7 @@ def _append_report(rows: "list[dict]") -> None:
 
 def _baseline_row(replay: str) -> "dict | None":
     """The PR-2 baseline delegated row from the history file, if present."""
-    if not OUTPUT_PATH.exists():
-        return None
-    try:
-        history = json.loads(OUTPUT_PATH.read_text())
-    except (json.JSONDecodeError, OSError):
-        return None
-    for row in history:
+    for row in _load_history():
         if _row_key(row) == (PR2_BASELINE_SHA, "batched", "batched", replay):
             return row
     return None

@@ -176,6 +176,36 @@ class DelegatingMeasurer:
         stream.sketch = None
         stream.epoch_counts[:] = 0
 
+    def rotate(self, now: float) -> "dict[int, tuple[float, float]]":
+        """Window boundary: ship every epoch completed by ``now``.
+
+        Aligns the shipping schedule with an external windowing clock —
+        a real collector has received (and decoded) every epoch that
+        ended before the window closed, even when no packet has arrived
+        since.  Returns the collector's estimates as of ``now``, so
+        windowed evaluations compare delegation against the in-DRAM
+        engines at the same instants.
+        """
+        from repro.baselines.streaming import table_estimates
+
+        stream = self._stream
+        if stream is None:
+            return self.estimates()
+        reached = int((now - stream.start) // self.epoch_seconds)
+        if reached > stream.current_epoch:
+            # The in-progress epoch's window has fully elapsed; ship it.
+            # (Empty epochs in between never opened a sketch.)
+            self._ship_epoch(stream)
+            stream.current_epoch = reached
+        seen = np.flatnonzero(stream.collector)
+        table = dict(
+            zip(
+                stream.flows.key64[seen].tolist(),
+                stream.collector[seen].tolist(),
+            )
+        )
+        return table_estimates(table, None)
+
     def finalize(self) -> DelegationRunStats:
         """Ship the tail epoch and return the run's cost/outcome stats.
 

@@ -27,6 +27,8 @@ class NetFlowStats:
     table_operations: int
     insertions: int
     evictions: int
+    #: Entries flushed by the active timeout (:meth:`NetFlowTable.rotate`).
+    timeout_flushes: int = 0
 
     @property
     def operations_per_packet(self) -> float:
@@ -45,18 +47,28 @@ class NetFlowTable:
             thousands of entries — the paper's scalability complaint).
         sampling_rate: probability a packet is examined (1.0 = unsampled).
         seed: sampling RNG seed.
+        active_timeout: idle age (seconds) past which :meth:`rotate`
+            flushes an entry, mirroring NetFlow's active-timeout export.
+            ``None`` keeps rotation a pure estimates snapshot.
     """
 
     def __init__(
-        self, max_entries: int, sampling_rate: float = 1.0, seed: int = 0
+        self,
+        max_entries: int,
+        sampling_rate: float = 1.0,
+        seed: int = 0,
+        active_timeout: "float | None" = None,
     ) -> None:
         if max_entries < 1:
             raise ConfigurationError("max_entries must be >= 1")
         if not 0.0 < sampling_rate <= 1.0:
             raise ConfigurationError("sampling_rate must be in (0, 1]")
+        if active_timeout is not None and active_timeout <= 0:
+            raise ConfigurationError("active_timeout must be positive")
         self.max_entries = max_entries
         self.sampling_rate = sampling_rate
         self.seed = seed
+        self.active_timeout = active_timeout
         # key → [packets, bytes, last_update]; dict order gives LRU.
         self._table: "dict[int, list[float]]" = {}
         self.stats = NetFlowStats(0, 0, 0, 0, 0)
@@ -114,6 +126,34 @@ class NetFlowTable:
     def finalize(self) -> NetFlowStats:
         """The run's cumulative cache statistics."""
         return self.stats
+
+    def rotate(
+        self, now: float, active_timeout: "float | None" = None
+    ) -> "dict[int, tuple[float, float]]":
+        """Window boundary: snapshot estimates, flush timed-out entries.
+
+        Models NetFlow's active-timeout export — a real collector sees a
+        flow's counters once its record has been idle long enough, and
+        the cache slot is reclaimed.  Returns the estimates snapshot
+        taken *before* the flush, so windowed evaluations read each
+        window's full table, comparable to the InstaMeasure engines'
+        :meth:`rotate` contract.
+        """
+        snapshot = self.estimates()
+        timeout = (
+            active_timeout if active_timeout is not None else self.active_timeout
+        )
+        if timeout is not None:
+            cutoff = now - timeout
+            expired = [
+                key
+                for key, record in self._table.items()
+                if record[2] <= cutoff
+            ]
+            for key in expired:
+                del self._table[key]
+            self.stats.timeout_flushes += len(expired)
+        return snapshot
 
     def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
         """Flow key → (packets, bytes), scaled up by the sampling rate.

@@ -6,10 +6,14 @@ Subcommands::
     instameasure gen-trace campus --hours 24 --out campus.npz
     instameasure summarize trace.npz
     instameasure run trace.npz --l1-kb 8
+    instameasure run trace.npz --shards 4 --parallel
     instameasure hh trace.npz --threshold-packets 1000
+    instameasure snapshot save trace.npz --out state.snap
+    instameasure snapshot load state.snap
     instameasure bench --quick
 
-Traces are the NPZ files of :mod:`repro.traffic.trace_io`.
+Traces are the NPZ files of :mod:`repro.traffic.trace_io`; snapshots are
+the versioned wire format of :mod:`repro.state.codec`.
 """
 
 from __future__ import annotations
@@ -64,6 +68,44 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--l1-kb", type=float, default=8.0, help="L1 sketch size (KB)")
     run.add_argument("--wsaf-bits", type=int, default=16, help="WSAF size = 2^bits")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard ingestion across N worker pipelines (exact merge)",
+    )
+    run.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run shards as forked processes (with --shards > 1)",
+    )
+    run.add_argument(
+        "--snapshot-out",
+        default=None,
+        help="write the final measurement state snapshot to this path",
+    )
+
+    snap = commands.add_parser(
+        "snapshot", help="save/load serializable measurement state"
+    )
+    snap_sub = snap.add_subparsers(dest="snapshot_command", required=True)
+    snap_save = snap_sub.add_parser(
+        "save", help="measure a trace and save the final state"
+    )
+    snap_save.add_argument("trace", help="trace NPZ path")
+    snap_save.add_argument("--out", required=True, help="snapshot output path")
+    snap_save.add_argument("--l1-kb", type=float, default=8.0)
+    snap_save.add_argument("--wsaf-bits", type=int, default=16)
+    snap_save.add_argument("--seed", type=int, default=0)
+    snap_save.add_argument("--shards", type=int, default=1)
+    snap_save.add_argument("--parallel", action="store_true")
+    snap_load = snap_sub.add_parser("load", help="inspect a saved snapshot")
+    snap_load.add_argument("snapshot", help="snapshot path")
+    snap_load.add_argument(
+        "--trace",
+        default=None,
+        help="score the snapshot's estimates against this trace NPZ",
+    )
 
     hh = commands.add_parser("hh", help="heavy-hitter detection on a trace")
     hh.add_argument("trace", help="trace NPZ path")
@@ -140,10 +182,60 @@ def _engine_from_args(args: argparse.Namespace) -> InstaMeasure:
     )
 
 
+def _run_sharded(args: argparse.Namespace, source) -> int:
+    """``run --shards N``: shard, merge exactly, report off the snapshot."""
+    from repro.pipeline import ShardedPipeline
+    from repro.state import save as save_snapshot
+
+    config = InstaMeasureConfig(
+        l1_memory_bytes=int(args.l1_kb * 1024),
+        wsaf_entries=1 << args.wsaf_bits,
+        seed=getattr(args, "seed", 0),
+    )
+    sharded = ShardedPipeline(
+        config, num_shards=args.shards, parallel=args.parallel
+    ).run(source)
+    snapshot = sharded.snapshot
+    trace = source.trace
+    est_packets, _est_bytes = sharded.estimates_for(trace)
+    truth = trace.ground_truth_packets().astype(float)
+    shares = ", ".join(f"{share:.1%}" for share in sharded.load_shares)
+    rows = [
+        ["packets", f"{sharded.packets:,}"],
+        ["shards", f"{sharded.num_shards:,}"],
+        ["shard load shares", shares],
+        ["WSAF insertions", f"{sharded.insertions:,}"],
+        ["regulation rate",
+         f"{sharded.insertions / sharded.packets:.2%}" if sharded.packets else "n/a"],
+        ["WSAF flows", f"{snapshot.wsaf.num_records:,}"],
+        ["WSAF evictions", f"{snapshot.wsaf.evictions:,}"],
+    ]
+    big = truth >= 1000
+    if big.any():
+        rows.append(
+            ["std error (1K+ pkt flows)",
+             f"{standard_error(est_packets[big], truth[big]):.2%}"]
+        )
+    print_table(
+        ["metric", "value"], rows, f"InstaMeasure run ({args.shards} shards)"
+    )
+    if args.snapshot_out is not None:
+        save_snapshot(snapshot, args.snapshot_out)
+        print(f"wrote snapshot to {args.snapshot_out}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
+    from repro.pipeline import FileChunkSource, PrefetchChunkSource
+
     engine = _engine_from_args(args)
-    pipeline_result = run_pipeline(engine, trace)
+    source = FileChunkSource(args.trace, chunk_size=engine.config.chunk_size)
+    if args.shards > 1:
+        return _run_sharded(args, source)
+    trace = source.trace
+    # Prefetch stages the next chunk while the engine ingests the
+    # current one; the chunk sequence itself is unchanged.
+    pipeline_result = run_pipeline(engine, PrefetchChunkSource(source))
     result = pipeline_result.result
     est_packets, _est_bytes = engine.estimates_for(trace)
     truth = trace.ground_truth_packets().astype(float)
@@ -165,6 +257,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
              f"{standard_error(est_packets[big], truth[big]):.2%}"]
         )
     print_table(["metric", "value"], rows, "InstaMeasure run")
+    if args.snapshot_out is not None:
+        from repro.state import save as save_snapshot
+
+        save_snapshot(engine.snapshot(), args.snapshot_out)
+        print(f"wrote snapshot to {args.snapshot_out}")
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.state import load as load_snapshot
+    from repro.state import save as save_snapshot
+
+    if args.snapshot_command == "save":
+        if args.shards > 1:
+            from repro.pipeline import FileChunkSource, ShardedPipeline
+
+            config = InstaMeasureConfig(
+                l1_memory_bytes=int(args.l1_kb * 1024),
+                wsaf_entries=1 << args.wsaf_bits,
+                seed=args.seed,
+            )
+            source = FileChunkSource(args.trace, chunk_size=config.chunk_size)
+            snapshot = ShardedPipeline(
+                config, num_shards=args.shards, parallel=args.parallel
+            ).run(source).snapshot
+        else:
+            engine = _engine_from_args(args)
+            run_pipeline(engine, load_trace(args.trace))
+            snapshot = engine.snapshot()
+        save_snapshot(snapshot, args.out)
+        print(
+            f"wrote {args.out}: {snapshot.wsaf.num_records:,} WSAF records, "
+            f"{snapshot.regulator.packets:,} regulated packets"
+        )
+        return 0
+
+    snapshot = load_snapshot(args.snapshot)
+    rows = [
+        ["kind", snapshot.kind],
+        ["shards merged", f"{snapshot.shards_merged:,}"],
+        ["regulated packets", f"{snapshot.regulator.packets:,}"],
+        ["regulator insertions", f"{snapshot.regulator.insertions:,}"],
+        ["regulator sketches", f"{len(snapshot.regulator.sketches):,}"],
+        ["WSAF records", f"{snapshot.wsaf.num_records:,}"],
+        ["WSAF entries", f"{snapshot.wsaf.num_entries:,}"],
+        ["WSAF evictions", f"{snapshot.wsaf.evictions:,}"],
+        ["mid-stream", "yes" if snapshot.stream is not None else "no"],
+        ["seed", f"{snapshot.config.get('seed', 0)}"],
+    ]
+    if snapshot.key_range is not None:
+        rows.append(["key range", f"[{snapshot.key_range[0]}, {snapshot.key_range[1]})"])
+    print_table(["field", "value"], rows, args.snapshot)
+    if args.trace is not None:
+        trace = load_trace(args.trace)
+        table = snapshot.estimates()
+        est_packets = np.zeros(trace.num_flows)
+        for flow_index, key in enumerate(trace.flows.key64.tolist()):
+            record = table.get(key)
+            if record is not None:
+                est_packets[flow_index] = record[0]
+        truth = trace.ground_truth_packets().astype(float)
+        big = truth >= 1000
+        if big.any():
+            print(
+                "std error (1K+ pkt flows): "
+                f"{standard_error(est_packets[big], truth[big]):.2%}"
+            )
     return 0
 
 
@@ -324,6 +483,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "gen-trace": _cmd_gen_trace,
         "summarize": _cmd_summarize,
         "run": _cmd_run,
+        "snapshot": _cmd_snapshot,
         "hh": _cmd_hh,
         "topk": _cmd_topk,
         "spreaders": _cmd_spreaders,

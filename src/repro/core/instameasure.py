@@ -246,21 +246,59 @@ class _BitStream:
     buffered per call, so N small draws do *not* equal one big draw).
     Unknown-length streams fall back to drawing per chunk: still
     deterministic for a fixed chunking, but not whole-trace-identical.
+
+    ``positions`` opens a *positioned* stream: ``total`` is the global
+    stream length the full draw covers, and the stream consumes only the
+    packets at those global positions, in order.  A sharded worker whose
+    packets sit at positions ``P`` of the global trace therefore sees
+    exactly the bits the single-process run would hand those packets —
+    the randomness half of the sharded-equals-single guarantee.
     """
 
-    def __init__(self, config, flow_regulator: bool, total: "int | None") -> None:
+    def __init__(
+        self,
+        config,
+        flow_regulator: bool,
+        total: "int | None",
+        positions: "np.ndarray | None" = None,
+    ) -> None:
         self._rng = np.random.default_rng(config.seed ^ 0xB17)
         self._vector_bits = config.vector_bits
         self._num_layers = config.num_layers
         self._flow_regulator = flow_regulator
         self._total = total
+        self.positions = positions
         self.offset = 0
+        if positions is not None:
+            if total is None:
+                raise ConfigurationError(
+                    "a positioned stream needs the global total to draw from"
+                )
+            self.positions = np.ascontiguousarray(positions, dtype=np.int64)
+            if self.positions.size and (
+                int(self.positions[0]) < 0
+                or int(self.positions[-1]) >= total
+            ):
+                raise ConfigurationError(
+                    f"stream positions must lie in [0, {total})"
+                )
         if total is not None:
             self._draw(total)
-            self._nonce = None
+            # A positioned stream's slices are gathers, not plain offsets
+            # of the global draw, so they get their own cache identity —
+            # unless it covers the whole stream (identity positions).
+            covers_all = self.positions is None or len(self.positions) == total
+            self._nonce = None if covers_all else _STREAM_NONCE()
         else:
             self._bits1 = self._bits2 = self._matrix = None
             self._nonce = _STREAM_NONCE()
+
+    @property
+    def length(self) -> "int | None":
+        """Packets this stream will hand out (None when unknown)."""
+        if self.positions is not None:
+            return len(self.positions)
+        return self._total
 
     def _draw(self, count: int) -> None:
         if self._flow_regulator:
@@ -281,10 +319,11 @@ class _BitStream:
     def take(self, count: int):
         """The next ``count`` packets' bit choices, advancing the cursor."""
         begin = self.offset
-        if self._total is not None:
-            if begin + count > self._total:
+        limit = self.length
+        if limit is not None:
+            if begin + count > limit:
                 raise ConfigurationError(
-                    f"stream overran its declared total of {self._total} "
+                    f"stream overran its declared total of {limit} "
                     f"packets at offset {begin} (+{count})"
                 )
         else:
@@ -292,15 +331,20 @@ class _BitStream:
             begin = 0
         end = begin + count
         self.offset += count
+        if self.positions is not None:
+            index = self.positions[begin:end]
+            if self._flow_regulator:
+                return (self._bits1[index], self._bits2[index])
+            return self._matrix[index]
         if self._flow_regulator:
             return (self._bits1[begin:end], self._bits2[begin:end])
         return self._matrix[begin:end]
 
     def tag(self, count: int) -> "tuple":
         """Kernel-cache stream tag for the next ``count``-packet slice."""
-        if self._total is not None:
-            return (self.offset, self._total)
-        return (self.offset, self._nonce)
+        if self._nonce is not None:
+            return (self.offset, self._nonce)
+        return (self.offset, self._total)
 
 
 @dataclass
@@ -681,6 +725,55 @@ class InstaMeasure:
         )
 
     # -- streaming ingestion (pipeline protocol) ---------------------------------
+
+    def begin_stream(
+        self,
+        total: "int | None" = None,
+        positions: "np.ndarray | None" = None,
+    ) -> None:
+        """Open an ingest stream explicitly, before the first chunk.
+
+        Normally :meth:`ingest` opens the stream lazily from the first
+        chunk's metadata; sharded workers and snapshot restore open it up
+        front instead — ``total`` is the *global* stream length and
+        ``positions`` (optional) the global packet positions this engine
+        will consume, which pins the randomness to the global draw (see
+        :class:`_BitStream`).
+        """
+        if self._stream is not None:
+            raise ConfigurationError(
+                "a stream is already in progress; finalize() it first"
+            )
+        self._stream = _StreamState(
+            bits=_BitStream(
+                self.config,
+                isinstance(self.regulator, FlowRegulator),
+                total,
+                positions=positions,
+            )
+        )
+
+    def snapshot(self, key_range: "tuple[int, int] | None" = None):
+        """This engine's complete state as a serializable
+        :class:`~repro.state.snapshot.MeasurementSnapshot`.
+
+        Captures regulator words/counters, every WSAF record with its
+        bookkeeping, and — when a known-length stream is in progress —
+        the RNG cursor, so ``InstaMeasure.from_snapshot(engine.snapshot())``
+        resumes bit-identically.  See :mod:`repro.state`.
+        """
+        from repro.state.snapshot import capture_engine
+
+        return capture_engine(self, key_range=key_range)
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot, accountant: "AccessAccountant | None" = None
+    ) -> "InstaMeasure":
+        """Rebuild an engine from :meth:`snapshot` output (exact restore)."""
+        from repro.state.snapshot import restore_engine
+
+        return restore_engine(snapshot, accountant=accountant)
 
     def ingest(
         self, chunk, on_accumulate: "AccumulateCallback | None" = None

@@ -9,15 +9,18 @@ the WSAF is shared, which is safe because post-regulation insertions are
 ~1 % of packets.
 
 Execution model: every worker runs against a **private insertion log**
-instead of the shared table; the manager merges all logs in ``(timestamp,
-worker, sequence)`` order and applies them to the WSAF through
+(:class:`repro.state.merge.InsertionLog`) instead of the shared table; the
+manager merges all logs in ``(timestamp, worker, sequence)`` order with
+the state layer's :func:`~repro.state.merge.tag_events` /
+:func:`~repro.state.merge.release_ordered` / :func:`~repro.state.merge.
+apply_events` and applies them to the WSAF through
 :meth:`WSAFTable.accumulate_batch`.  Because regulator state is
 worker-private and the merge order is deterministic, the sequential and
 process-parallel execution modes leave bit-identical state behind
 (tested).  With ``parallel=True`` the workers run as forked
-``multiprocessing`` processes, shipping back their event logs plus
-regulator word state; only the ~1 % of packets that became insertions
-cross the process boundary.
+``multiprocessing`` processes, shipping back their event logs plus a
+:class:`~repro.state.snapshot.RegulatorState`; only the ~1 % of packets
+that became insertions cross the process boundary.
 
 The *timing* of the system (Fig 9(a)'s Mpps-vs-cores curve and Fig 12(c)'s
 utilization series) is produced by feeding the load shares to
@@ -38,11 +41,18 @@ from repro.core.instameasure import (
     MeasurementResult,
     build_wsaf_table,
 )
-from repro.core.regulator import FlowRegulator
 from repro.core.wsaf import WSAFTable
 from repro.errors import ConfigurationError
 from repro.hashing import popcount32
 from repro.kernels.batched import clear_kernel_caches
+from repro.state import (
+    InsertionLog,
+    apply_events,
+    capture_regulator,
+    release_ordered,
+    restore_regulator,
+    tag_events,
+)
 from repro.traffic.packet import Trace
 
 
@@ -106,57 +116,6 @@ class MultiCoreResult:
         return 1.0 / max_share if max_share > 0 else float(self.num_workers)
 
 
-class _InsertionLog:
-    """Stands in for the shared WSAF during a worker run.
-
-    Records ``(timestamp, key, est_packets, est_bytes, packed_tuple)``
-    insertion events instead of applying them, so the manager can merge
-    worker output deterministically — and ship it cheaply across process
-    boundaries in parallel mode.
-    """
-
-    def __init__(self) -> None:
-        self.events: "list[tuple]" = []
-
-    def accumulate(
-        self,
-        key: int,
-        est_packets: float,
-        est_bytes: float,
-        timestamp: float,
-        five_tuple_packed: "int | None" = None,
-    ) -> "tuple[float, float]":
-        """Record one insertion event; totals resolve at merge time."""
-        self.events.append(
-            (timestamp, key, est_packets, est_bytes, five_tuple_packed)
-        )
-        return est_packets, est_bytes
-
-    def accumulate_batch(
-        self, events, on_accumulate=None
-    ) -> "list[tuple[float, float]]":
-        """Record a batch of events (the batched kernel's apply call)."""
-        totals: "list[tuple[float, float]]" = []
-        for key, est_packets, est_bytes, timestamp, five_tuple_packed in events:
-            self.events.append(
-                (timestamp, key, est_packets, est_bytes, five_tuple_packed)
-            )
-            if on_accumulate is not None:
-                on_accumulate(key, est_packets, est_bytes, timestamp)
-            totals.append((est_packets, est_bytes))
-        return totals
-
-
-def _regulator_sketches(regulator) -> "list":
-    """Every RCC sketch of ``regulator``, in a deterministic order."""
-    if isinstance(regulator, FlowRegulator):
-        return [regulator.l1, *regulator.l2]
-    return [
-        regulator.l1,
-        *(sketch for bank in regulator.banks for sketch in bank.values()),
-    ]
-
-
 def _worker_queue(trace: Trace, assignment: np.ndarray, worker_index: int) -> Trace:
     """The sub-trace of packets dispatched to ``worker_index``."""
     mask = assignment == worker_index
@@ -171,7 +130,7 @@ def _worker_queue(trace: Trace, assignment: np.ndarray, worker_index: int) -> Tr
 def _run_worker_recorded(worker: InstaMeasure, queue: Trace):
     """Run ``worker`` over ``queue`` with insertions recorded, not applied."""
     shared = worker.wsaf
-    log = _InsertionLog()
+    log = InsertionLog()
     worker.wsaf = log
     try:
         result = worker.process_trace(queue)
@@ -183,7 +142,7 @@ def _run_worker_recorded(worker: InstaMeasure, queue: Trace):
 def _ingest_worker_recorded(worker: InstaMeasure, chunk):
     """Stream one chunk into ``worker`` with insertions recorded, not applied."""
     shared = worker.wsaf
-    log = _InsertionLog()
+    log = InsertionLog()
     worker.wsaf = log
     try:
         result = worker.ingest(chunk)
@@ -218,17 +177,13 @@ def _parallel_worker(worker_index: int) -> dict:
         result, events = _run_worker_recorded(worker, queue)
     finally:
         clear_kernel_caches(queue)
-    regulator = worker.regulator
     return {
         "worker_index": worker_index,
         "packets": queue.num_packets,
         "events": events,
         "elapsed": result.elapsed_seconds,
         "stats": result.regulator_stats,
-        "sketches": [
-            (sketch.words_array(), sketch.packets_encoded, sketch.saturations)
-            for sketch in _regulator_sketches(regulator)
-        ],
+        "regulator": capture_regulator(worker.regulator),
     }
 
 
@@ -349,13 +304,12 @@ class MultiCoreInstaMeasure:
                 clear_kernel_caches(queue)
             result.wsaf = self.wsaf
             chunk_results.append(result)
-            sequence = stream.worker_seq[worker_index]
-            for timestamp, key, est_pkt, est_byte, packed in events:
-                stream.pending.append(
-                    (timestamp, worker_index, sequence, key, est_pkt, est_byte, packed)
+            stream.pending.extend(
+                tag_events(
+                    events, worker_index, start_seq=stream.worker_seq[worker_index]
                 )
-                sequence += 1
-            stream.worker_seq[worker_index] = sequence
+            )
+            stream.worker_seq[worker_index] += len(events)
         if trace.num_packets:
             self._apply_pending(stream, horizon=float(trace.timestamps[-1]))
         return MultiCoreResult(
@@ -372,25 +326,8 @@ class MultiCoreInstaMeasure:
         self, stream: _MultiCoreStream, horizon: "float | None"
     ) -> None:
         """Apply merged events up to ``horizon`` (all of them when None)."""
-        pending = stream.pending
-        pending.sort(key=lambda event: event[:3])
-        if horizon is None:
-            released = pending
-            stream.pending = []
-        else:
-            split = 0
-            while split < len(pending) and pending[split][0] < horizon:
-                split += 1
-            released = pending[:split]
-            stream.pending = pending[split:]
-        if released:
-            self.wsaf.accumulate_batch(
-                (
-                    (key, est_pkt, est_byte, timestamp, packed)
-                    for timestamp, _, _, key, est_pkt, est_byte, packed in released
-                ),
-                on_accumulate=stream.on_accumulate,
-            )
+        released, stream.pending = release_ordered(stream.pending, horizon)
+        apply_events(self.wsaf, released, on_accumulate=stream.on_accumulate)
 
     def finalize(self) -> MultiCoreResult:
         """End the stream: flush held events, aggregate worker results."""
@@ -454,20 +391,9 @@ class MultiCoreInstaMeasure:
 
         merged = []
         for worker_index, (_, events, _) in enumerate(runs):
-            for sequence, (timestamp, key, est_pkt, est_byte, packed) in enumerate(
-                events
-            ):
-                merged.append(
-                    (timestamp, worker_index, sequence, key, est_pkt, est_byte, packed)
-                )
-        merged.sort(key=lambda event: event[:3])
-        self.wsaf.accumulate_batch(
-            (
-                (key, est_pkt, est_byte, timestamp, packed)
-                for timestamp, _, _, key, est_pkt, est_byte, packed in merged
-            ),
-            on_accumulate=on_accumulate,
-        )
+            merged.extend(tag_events(events, worker_index))
+        released, _ = release_ordered(merged)
+        apply_events(self.wsaf, released, on_accumulate=on_accumulate)
         return MultiCoreResult(
             num_workers=self.num_workers,
             worker_packets=[packets for packets, _, _ in runs],
@@ -491,19 +417,10 @@ class MultiCoreInstaMeasure:
         runs = []
         for payload in sorted(payloads, key=lambda p: p["worker_index"]):
             worker = self.workers[payload["worker_index"]]
-            regulator = worker.regulator
             # The child inherited this worker's pre-run state via fork, so
-            # its cumulative sketch counters/words are authoritative.
-            for sketch, (sketch_words, encoded, saturations) in zip(
-                _regulator_sketches(regulator), payload["sketches"]
-            ):
-                sketch.set_words_array(sketch_words)
-                sketch.packets_encoded = encoded
-                sketch.saturations = saturations
+            # its cumulative regulator words/counters are authoritative.
+            restore_regulator(worker.regulator, payload["regulator"])
             stats = payload["stats"]
-            regulator.stats.packets += stats.packets
-            regulator.stats.l1_saturations += stats.l1_saturations
-            regulator.stats.insertions += stats.insertions
             result = MeasurementResult(
                 packets=payload["packets"],
                 insertions=stats.insertions,

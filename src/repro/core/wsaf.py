@@ -311,6 +311,107 @@ class WSAFTable:
             for slot in sorted(self._occupied_slots)
         }
 
+    # -- state transfer --------------------------------------------------------
+
+    def export_state(self):
+        """The table's records and counters as a serializable
+        :class:`~repro.state.snapshot.WSAFState` (columns in slot order)."""
+        import numpy as np
+
+        from repro.state.snapshot import WSAFState, pack_tuple_columns
+
+        slots = sorted(self._occupied_slots)
+        n = len(slots)
+        lo, hi, present = pack_tuple_columns([self._tuples[s] for s in slots])
+        return WSAFState(
+            num_entries=self.num_entries,
+            probe_limit=self.probe_limit,
+            eviction_policy=self.eviction_policy,
+            size=self.size,
+            insertions=self.insertions,
+            updates=self.updates,
+            evictions=self.evictions,
+            gc_reclaimed=self.gc_reclaimed,
+            rejected=self.rejected,
+            slots=np.array(slots, dtype=np.int64),
+            keys=np.fromiter(
+                (self._keys[s] for s in slots), dtype=np.uint64, count=n
+            ),
+            packets=np.fromiter(
+                (self._packets[s] for s in slots), dtype=np.float64, count=n
+            ),
+            bytes=np.fromiter(
+                (self._bytes[s] for s in slots), dtype=np.float64, count=n
+            ),
+            timestamps=np.fromiter(
+                (self._timestamps[s] for s in slots), dtype=np.float64, count=n
+            ),
+            chance=np.fromiter(
+                (self._chance[s] for s in slots), dtype=bool, count=n
+            ),
+            tuple_lo=lo,
+            tuple_hi=hi,
+            tuple_present=present,
+        )
+
+    def load_state(self, state) -> None:
+        """Replace the table's contents from an :meth:`export_state` snapshot.
+
+        Policy and probe geometry must match (they shape every future
+        probe); capacity may differ — records keep their exact slot when
+        it is valid and free, and re-probe into the first free slot of
+        their full-length probe sequence otherwise (merged snapshots mark
+        contested placements slot ``-1``).  Counters restore wholesale.
+        """
+        from repro.errors import SnapshotError
+
+        if state.probe_limit != self.probe_limit:
+            raise SnapshotError(
+                f"snapshot probe_limit {state.probe_limit} != table "
+                f"probe_limit {self.probe_limit}"
+            )
+        if state.eviction_policy != self.eviction_policy:
+            raise SnapshotError(
+                f"snapshot eviction_policy {state.eviction_policy!r} != "
+                f"table eviction_policy {self.eviction_policy!r}"
+            )
+        if state.num_records > self.num_entries:
+            raise SnapshotError(
+                f"snapshot holds {state.num_records} records; table "
+                f"capacity is {self.num_entries}"
+            )
+        for slot in sorted(self._occupied_slots):
+            self._clear(slot)
+        exact = state.num_entries == self.num_entries
+        tuples = state.tuples()
+        for i, (slot, key) in enumerate(
+            zip(state.slots.tolist(), state.keys.tolist())
+        ):
+            if not (exact and 0 <= slot < self.num_entries) or self._occupied[slot]:
+                slot = -1
+                for probe in self.probe_sequence(key, length=self.num_entries):
+                    if not self._occupied[probe]:
+                        slot = probe
+                        break
+                if slot < 0:
+                    raise SnapshotError(
+                        f"no free slot for restored key {key:#x}"
+                    )
+            self._occupied[slot] = True
+            self._occupied_slots.add(slot)
+            self._keys[slot] = key
+            self._packets[slot] = float(state.packets[i])
+            self._bytes[slot] = float(state.bytes[i])
+            self._timestamps[slot] = float(state.timestamps[i])
+            self._chance[slot] = bool(state.chance[i])
+            self._tuples[slot] = tuples[i]
+        self.size = state.num_records
+        self.insertions = state.insertions
+        self.updates = state.updates
+        self.evictions = state.evictions
+        self.gc_reclaimed = state.gc_reclaimed
+        self.rejected = state.rejected
+
     # -- lifecycle -------------------------------------------------------------
 
     def expire_older_than(self, cutoff: float) -> int:

@@ -26,3 +26,7 @@ class TraceFormatError(ReproError):
 
 class DecodeError(ReproError):
     """A sketch decode was requested in a state that cannot be decoded."""
+
+
+class SnapshotError(ReproError):
+    """A measurement snapshot could not be encoded, decoded, or merged."""

@@ -440,3 +440,39 @@ class BatchedWSAFTable(WSAFTable):
         est_packets[rows] = self._packets[hit_slots]
         est_bytes[rows] = self._bytes[hit_slots]
         return est_packets, est_bytes
+
+    # -- state transfer ------------------------------------------------------
+
+    def export_state(self):
+        """Array-gather :meth:`WSAFTable.export_state` (identical snapshot).
+
+        The occupied slots come straight off the boolean column and every
+        numeric column gathers in one fancy index; only the 5-tuple list
+        (104-bit Python ints) walks a loop.
+        """
+        from repro.state.snapshot import WSAFState, pack_tuple_columns
+
+        slots = np.flatnonzero(self._occupied)
+        lo, hi, present = pack_tuple_columns(
+            [self._tuples[s] for s in slots.tolist()]
+        )
+        return WSAFState(
+            num_entries=self.num_entries,
+            probe_limit=self.probe_limit,
+            eviction_policy=self.eviction_policy,
+            size=self.size,
+            insertions=self.insertions,
+            updates=self.updates,
+            evictions=self.evictions,
+            gc_reclaimed=self.gc_reclaimed,
+            rejected=self.rejected,
+            slots=slots.astype(np.int64),
+            keys=self._keys[slots].copy(),
+            packets=self._packets[slots].copy(),
+            bytes=self._bytes[slots].copy(),
+            timestamps=self._timestamps[slots].copy(),
+            chance=self._chance[slots].copy(),
+            tuple_lo=lo,
+            tuple_hi=hi,
+            tuple_present=present,
+        )

@@ -11,6 +11,13 @@ a trace (or a trace file) into those chunks, and the
 any source, firing epoch callbacks at time-window boundaries and
 collecting per-chunk throughput stats.
 
+On top of the single-measurer loop, :class:`~repro.pipeline.sharded.
+ShardedPipeline` routes a trace across N worker pipelines by flow-key
+shard and merges their serializable snapshots into one state whose
+estimates exactly equal a single-process run, and
+:class:`~repro.pipeline.prefetch.PrefetchChunkSource` stages upcoming
+chunks from a background thread.
+
 See ``docs/STREAMING.md`` for the protocol contract, including which
 measurers are bit-identical between chunked and whole-trace ingestion.
 """
@@ -22,6 +29,7 @@ from repro.pipeline.driver import (
     PipelineResult,
     run_pipeline,
 )
+from repro.pipeline.prefetch import PrefetchChunkSource
 from repro.pipeline.protocol import (
     StreamingMeasurer,
     chunk_total,
@@ -29,6 +37,7 @@ from repro.pipeline.protocol import (
     supports_merge,
     supports_rotate,
 )
+from repro.pipeline.sharded import ShardedPipeline, ShardedResult, run_sharded
 from repro.pipeline.source import (
     Chunk,
     ChunkSource,
@@ -45,12 +54,16 @@ __all__ = [
     "FileChunkSource",
     "Pipeline",
     "PipelineResult",
+    "PrefetchChunkSource",
+    "ShardedPipeline",
+    "ShardedResult",
     "StreamingMeasurer",
     "TraceChunkSource",
     "as_chunk_source",
     "chunk_total",
     "chunk_trace",
     "run_pipeline",
+    "run_sharded",
     "supports_merge",
     "supports_rotate",
 ]

@@ -1,0 +1,77 @@
+"""Background chunk prefetching — overlap slicing/IO with ingestion.
+
+:class:`PrefetchChunkSource` wraps any
+:class:`~repro.pipeline.source.ChunkSource` and iterates it on a
+background thread, keeping up to ``depth`` chunks staged in a bounded
+queue while the pipeline ingests the current one.  For
+:class:`~repro.pipeline.source.FileChunkSource`-backed runs this hides
+the NPZ slicing/materialization latency behind the measurer's compute;
+for eager in-memory sources it is a cheap no-op-like passthrough.
+
+The wrapper changes *when* chunks are produced, never *what*: the chunk
+sequence, metadata, and the wrapped source's ``total_packets`` /
+``epoch_seconds`` / ``start_time`` attributes are identical, so every
+bit-identity guarantee of the chunked pipeline carries over.  Producer
+exceptions propagate to the consuming iterator; each ``__iter__`` call
+starts a fresh producer thread, so the source stays re-iterable.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.errors import ConfigurationError
+from repro.pipeline.source import ChunkSource
+
+#: Queue sentinel marking normal end-of-stream.
+_DONE = object()
+
+
+class PrefetchChunkSource(ChunkSource):
+    """Stage upcoming chunks of ``source`` from a background thread.
+
+    Args:
+        source: the chunk source to wrap.
+        depth: maximum chunks staged ahead of the consumer, >= 1.  Each
+            staged chunk holds views into the backing trace, so memory
+            cost is ``depth`` chunk *descriptors*, not packet copies.
+    """
+
+    def __init__(self, source: ChunkSource, depth: int = 2) -> None:
+        if not isinstance(source, ChunkSource):
+            raise ConfigurationError(
+                f"expected a ChunkSource, got {type(source).__name__}"
+            )
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        self.source = source
+        self.depth = depth
+        self.total_packets = source.total_packets
+        self.epoch_seconds = source.epoch_seconds
+        self.start_time = source.start_time
+
+    def __iter__(self):
+        staged: "queue.Queue" = queue.Queue(maxsize=self.depth)
+
+        def produce() -> None:
+            try:
+                for chunk in self.source:
+                    staged.put(chunk)
+            except BaseException as error:  # propagate to the consumer
+                staged.put(error)
+            else:
+                staged.put(_DONE)
+
+        worker = threading.Thread(
+            target=produce, name="chunk-prefetch", daemon=True
+        )
+        worker.start()
+        while True:
+            item = staged.get()
+            if item is _DONE:
+                break
+            if isinstance(item, BaseException):
+                raise item
+            yield item
+        worker.join()

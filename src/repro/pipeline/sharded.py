@@ -1,0 +1,275 @@
+"""Process-sharded ingestion — N workers, one exact merged state.
+
+A :class:`ShardedPipeline` routes a trace's packets to ``num_shards``
+workers by flow-key shard (:class:`repro.state.ShardRouter` partitions
+the regulator's L1 word-index space into contiguous ranges), runs each
+worker's :class:`~repro.pipeline.driver.Pipeline` independently over its
+own packet subsequence, and folds the workers' serializable snapshots
+into one :class:`~repro.state.snapshot.MeasurementSnapshot` with
+:func:`repro.state.merge.merge`.
+
+The merged state's ``estimates()`` are **exactly equal** to a
+single-process run of the same trace, because the sharding is exact on
+every axis:
+
+* *Regulator*: flows sharing an L1 word land in the same shard, so each
+  shard's full-size, same-seed regulator evolves its words precisely as
+  the single run; disjoint word ranges OR together losslessly.
+* *Randomness*: each worker opens a positioned bit stream over the
+  global draw (``InstaMeasure.begin_stream(total, positions)``), so its
+  packets consume exactly the bits the single run would hand them.
+* *WSAF*: per-flow accumulation order is preserved (each worker sees its
+  flows' packets in global time order), and disjoint key sets
+  concatenate.  The equality holds while the WSAF experiences no
+  evictions or GC — with the paper's 2^20-entry table and ~1 %
+  regulation rate, the working set of realistic traces fits (the
+  equivalence tests assert zero evictions).
+
+With ``parallel=True`` workers run as forked OS processes and ship their
+snapshots back through the versioned wire codec
+(:func:`repro.state.codec.to_bytes`); in-process execution is
+bit-identical and the fallback wherever fork is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pipeline.driver import Pipeline
+from repro.pipeline.source import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkSource,
+    TraceChunkSource,
+)
+from repro.state import MeasurementSnapshot, ShardRouter, from_bytes, merge, to_bytes
+from repro.traffic.packet import Trace
+
+
+@dataclass
+class ShardedResult:
+    """Outcome of a sharded run: the merged state plus per-shard stats."""
+
+    num_shards: int
+    snapshot: MeasurementSnapshot
+    shard_packets: "list[int]" = field(default_factory=list)
+    shard_insertions: "list[int]" = field(default_factory=list)
+    shard_elapsed: "list[float]" = field(default_factory=list)
+
+    @property
+    def packets(self) -> int:
+        return sum(self.shard_packets)
+
+    @property
+    def insertions(self) -> int:
+        return sum(self.shard_insertions)
+
+    @property
+    def load_shares(self) -> "list[float]":
+        """Fraction of packets each shard received."""
+        total = self.packets
+        if total == 0:
+            return [0.0] * self.num_shards
+        return [count / total for count in self.shard_packets]
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Merged per-flow ``{key64: (packets, bytes)}`` estimates."""
+        return self.snapshot.estimates(flow_keys=flow_keys)
+
+    def restore(self, accountant=None):
+        """Materialize the merged state as a live engine."""
+        return self.snapshot.restore(accountant=accountant)
+
+    def estimates_for(self, trace: Trace) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-flow (packets, bytes) arrays aligned with ``trace.flows``."""
+        table = self.snapshot.estimates()
+        est_packets = np.zeros(trace.num_flows)
+        est_bytes = np.zeros(trace.num_flows)
+        for flow_index, key in enumerate(trace.flows.key64.tolist()):
+            record = table.get(key)
+            if record is not None:
+                est_packets[flow_index] = record[0]
+                est_bytes[flow_index] = record[1]
+        return est_packets, est_bytes
+
+
+def _shard_trace(trace: Trace, positions: np.ndarray) -> Trace:
+    """The subsequence of ``trace`` at ``positions`` (global time order)."""
+    return Trace(
+        timestamps=trace.timestamps[positions],
+        flow_ids=trace.flow_ids[positions],
+        sizes=trace.sizes[positions],
+        flows=trace.flows,
+    )
+
+
+def _run_shard(
+    config,
+    trace: Trace,
+    positions: np.ndarray,
+    key_range: "tuple[int, int]",
+    chunk_size: int,
+) -> "tuple[bytes, int, int, float]":
+    """Run one shard's pipeline; return its wire-format snapshot + stats."""
+    from repro.core.instameasure import InstaMeasure
+
+    engine = InstaMeasure(config)
+    engine.begin_stream(total=trace.num_packets, positions=positions)
+    sub = _shard_trace(trace, positions)
+    outcome = Pipeline(engine).run(
+        TraceChunkSource(sub, chunk_size=chunk_size)
+    )
+    result = outcome.result
+    payload = to_bytes(engine.snapshot(key_range=key_range))
+    return payload, outcome.packets, result.insertions, result.elapsed_seconds
+
+
+#: Fork-inherited state for parallel shard workers; set only for the
+#: duration of a parallel run (same pattern as the multi-core manager).
+_SHARD_STATE = None
+
+
+def _parallel_shard(shard: int) -> "tuple[int, bytes, int, int, float]":
+    """Child-process entry: run one shard and ship its snapshot back."""
+    config, trace, positions_by_shard, key_ranges, chunk_size = _SHARD_STATE
+    payload, packets, insertions, elapsed = _run_shard(
+        config, trace, positions_by_shard[shard], key_ranges[shard], chunk_size
+    )
+    return shard, payload, packets, insertions, elapsed
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ShardedPipeline:
+    """Shard a trace across N independent pipelines and merge exactly.
+
+    Args:
+        config: per-worker engine configuration.  Unlike the multi-core
+            manager, every shard uses the *same* seed — word-range
+            disjointness is what keeps their regulators from interfering.
+        num_shards: worker count, >= 1.
+        parallel: run workers as forked OS processes (falls back to
+            in-process execution when the platform cannot fork or there
+            is a single shard; both modes are bit-identical).
+        chunk_size: per-worker ingest chunk budget (defaults to the
+            config's ``chunk_size``).
+    """
+
+    def __init__(
+        self,
+        config=None,
+        num_shards: int = 1,
+        parallel: bool = False,
+        chunk_size: "int | None" = None,
+    ) -> None:
+        from repro.core.instameasure import InstaMeasureConfig
+
+        if num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        self.config = config or InstaMeasureConfig()
+        self.num_shards = num_shards
+        self.parallel = parallel
+        self.chunk_size = (
+            chunk_size
+            if chunk_size is not None
+            else getattr(self.config, "chunk_size", DEFAULT_CHUNK_SIZE)
+        )
+        self.router = ShardRouter.for_config(self.config, num_shards)
+
+    @staticmethod
+    def _coerce_trace(source) -> Trace:
+        """Sharding needs the whole trace to route; unwrap the source."""
+        if isinstance(source, Trace):
+            return source
+        trace = getattr(source, "trace", None)
+        if isinstance(source, ChunkSource) and isinstance(trace, Trace):
+            return trace
+        raise ConfigurationError(
+            "sharded ingestion needs a Trace or a trace-backed chunk "
+            f"source, got {type(source).__name__}"
+        )
+
+    def positions_by_shard(self, trace: Trace) -> "list[np.ndarray]":
+        """Each shard's global packet positions, in stream order."""
+        assignment = self.router.assignments(trace)
+        return [
+            np.flatnonzero(assignment == shard)
+            for shard in range(self.num_shards)
+        ]
+
+    def run(self, source, parallel: "bool | None" = None) -> ShardedResult:
+        """Route, run every shard's pipeline, and merge the snapshots."""
+        trace = self._coerce_trace(source)
+        positions_by_shard = self.positions_by_shard(trace)
+        key_ranges = [
+            self.router.key_range(shard) for shard in range(self.num_shards)
+        ]
+        if parallel is None:
+            parallel = self.parallel
+        use_fork = parallel and self.num_shards > 1 and _fork_available()
+        if use_fork:
+            payloads = self._run_parallel(trace, positions_by_shard, key_ranges)
+        else:
+            payloads = [
+                _run_shard(
+                    self.config,
+                    trace,
+                    positions_by_shard[shard],
+                    key_ranges[shard],
+                    self.chunk_size,
+                )
+                for shard in range(self.num_shards)
+            ]
+        snapshots = [from_bytes(payload) for payload, _, _, _ in payloads]
+        return ShardedResult(
+            num_shards=self.num_shards,
+            snapshot=merge(snapshots, mode="disjoint"),
+            shard_packets=[packets for _, packets, _, _ in payloads],
+            shard_insertions=[insertions for _, _, insertions, _ in payloads],
+            shard_elapsed=[elapsed for _, _, _, elapsed in payloads],
+        )
+
+    def _run_parallel(self, trace, positions_by_shard, key_ranges):
+        """Fork one process per shard; collect wire-format snapshots."""
+        global _SHARD_STATE
+        context = multiprocessing.get_context("fork")
+        _SHARD_STATE = (
+            self.config,
+            trace,
+            positions_by_shard,
+            key_ranges,
+            self.chunk_size,
+        )
+        try:
+            with context.Pool(processes=self.num_shards) as pool:
+                results = pool.map(_parallel_shard, range(self.num_shards))
+        finally:
+            _SHARD_STATE = None
+        results.sort(key=lambda item: item[0])
+        return [
+            (payload, packets, insertions, elapsed)
+            for _, payload, packets, insertions, elapsed in results
+        ]
+
+
+def run_sharded(
+    config,
+    source,
+    num_shards: int,
+    parallel: bool = False,
+    chunk_size: "int | None" = None,
+) -> ShardedResult:
+    """One-shot convenience: build a :class:`ShardedPipeline` and run it."""
+    return ShardedPipeline(
+        config,
+        num_shards=num_shards,
+        parallel=parallel,
+        chunk_size=chunk_size,
+    ).run(source)

@@ -1,0 +1,75 @@
+"""The serializable measurement-state layer.
+
+One description of everything an engine accumulates — regulator words,
+WSAF records, RNG cursors, eviction/GC bookkeeping — as
+:class:`MeasurementSnapshot`, plus the operations the rest of the stack
+builds on:
+
+* :func:`capture_engine` / :func:`restore_engine` — exact state transfer
+  for both scalar and batched engines, including mid-stream cursors.
+* :func:`to_bytes` / :func:`from_bytes` / :func:`save` / :func:`load` —
+  a versioned, self-describing wire format.
+* :func:`merge` — fold worker snapshots (disjoint concatenation or
+  overlapping counter-sum).
+* :class:`ShardRouter` — word-range partitioning for exact process
+  sharding (:mod:`repro.pipeline.sharded`).
+* :class:`InsertionLog` + :func:`tag_events` / :func:`release_ordered` /
+  :func:`apply_events` — the deterministic event merge the multi-core
+  manager runs on.
+
+No module here imports :mod:`repro.core` at import time; live-object
+construction happens lazily inside the capture/restore helpers, so the
+core engines can depend on this package without a cycle.
+"""
+
+from repro.state.codec import (
+    SNAPSHOT_VERSION,
+    from_bytes,
+    load,
+    save,
+    to_bytes,
+)
+from repro.state.merge import (
+    InsertionLog,
+    apply_events,
+    merge,
+    release_ordered,
+    tag_events,
+)
+from repro.state.shard import ShardRouter
+from repro.state.snapshot import (
+    MeasurementSnapshot,
+    RegulatorState,
+    SketchState,
+    StreamCursor,
+    WSAFState,
+    capture_engine,
+    capture_regulator,
+    regulator_sketches,
+    restore_engine,
+    restore_regulator,
+)
+
+__all__ = [
+    "InsertionLog",
+    "MeasurementSnapshot",
+    "RegulatorState",
+    "SNAPSHOT_VERSION",
+    "ShardRouter",
+    "SketchState",
+    "StreamCursor",
+    "WSAFState",
+    "apply_events",
+    "capture_engine",
+    "capture_regulator",
+    "from_bytes",
+    "load",
+    "merge",
+    "regulator_sketches",
+    "release_ordered",
+    "restore_engine",
+    "restore_regulator",
+    "save",
+    "tag_events",
+    "to_bytes",
+]

@@ -1,0 +1,266 @@
+"""Bytes/file codec for :class:`~repro.state.snapshot.MeasurementSnapshot`.
+
+Wire layout (little-endian)::
+
+    8 bytes   magic  b"IMSNAP\\x00\\x01"
+    8 bytes   header length H (uint64)
+    H bytes   JSON header (UTF-8)
+    ...       raw column payloads, concatenated in manifest order
+
+The JSON header is self-describing: a format ``version``, the snapshot's
+``kind``/``config``/scalar counters, and a column ``manifest`` listing
+every NumPy payload's name, dtype, and element count.  Decoders reject
+unknown versions and truncated payloads outright — a snapshot is either
+read back exactly or not at all.  All column dtypes are fixed-width and
+endian-pinned (``<u8``/``<f8``/``|b1``), so files transfer across hosts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import SnapshotError
+from repro.state.snapshot import (
+    MeasurementSnapshot,
+    RegulatorState,
+    SketchState,
+    StreamCursor,
+    WSAFState,
+)
+
+#: File magic; the trailing byte pair doubles as a container revision.
+MAGIC = b"IMSNAP\x00\x01"
+
+#: Header schema version; bump on any incompatible layout change.
+SNAPSHOT_VERSION = 1
+
+
+def _wire_dtype(array: np.ndarray) -> str:
+    """The endian-pinned, fixed-width wire dtype for ``array``."""
+    kind = array.dtype.kind
+    if kind == "u":
+        return "<u8"
+    if kind == "i":
+        return "<i8"
+    if kind == "f":
+        return "<f8"
+    if kind == "b":
+        return "|b1"
+    raise SnapshotError(f"cannot serialize column dtype {array.dtype}")
+
+
+def _columns_of(snapshot: MeasurementSnapshot) -> "list[tuple[str, np.ndarray]]":
+    """Every NumPy payload of ``snapshot``, in canonical manifest order."""
+    columns: "list[tuple[str, np.ndarray]]" = []
+    for index, sketch in enumerate(snapshot.regulator.sketches):
+        columns.append((f"regulator.{index}.words", sketch.words))
+    wsaf = snapshot.wsaf
+    columns.extend(
+        [
+            ("wsaf.slots", wsaf.slots),
+            ("wsaf.keys", wsaf.keys),
+            ("wsaf.packets", wsaf.packets),
+            ("wsaf.bytes", wsaf.bytes),
+            ("wsaf.timestamps", wsaf.timestamps),
+            ("wsaf.chance", wsaf.chance),
+            ("wsaf.tuple_lo", wsaf.tuple_lo),
+            ("wsaf.tuple_hi", wsaf.tuple_hi),
+            ("wsaf.tuple_present", wsaf.tuple_present),
+        ]
+    )
+    if snapshot.stream is not None and snapshot.stream.positions is not None:
+        columns.append(("stream.positions", snapshot.stream.positions))
+    return columns
+
+
+def to_bytes(snapshot: MeasurementSnapshot) -> bytes:
+    """Serialize ``snapshot`` to a self-describing byte string."""
+    columns = _columns_of(snapshot)
+    manifest = []
+    payloads = []
+    for name, array in columns:
+        wire = _wire_dtype(array)
+        manifest.append({"name": name, "dtype": wire, "count": int(len(array))})
+        payloads.append(np.ascontiguousarray(array, dtype=wire).tobytes())
+
+    wsaf = snapshot.wsaf
+    stream = snapshot.stream
+    header = {
+        "version": SNAPSHOT_VERSION,
+        "kind": snapshot.kind,
+        "config": snapshot.config,
+        "regulator": {
+            "packets": snapshot.regulator.packets,
+            "l1_saturations": snapshot.regulator.l1_saturations,
+            "insertions": snapshot.regulator.insertions,
+            "sketches": [
+                {
+                    "packets_encoded": sketch.packets_encoded,
+                    "saturations": sketch.saturations,
+                }
+                for sketch in snapshot.regulator.sketches
+            ],
+        },
+        "wsaf": {
+            "num_entries": wsaf.num_entries,
+            "probe_limit": wsaf.probe_limit,
+            "eviction_policy": wsaf.eviction_policy,
+            "size": wsaf.size,
+            "insertions": wsaf.insertions,
+            "updates": wsaf.updates,
+            "evictions": wsaf.evictions,
+            "gc_reclaimed": wsaf.gc_reclaimed,
+            "rejected": wsaf.rejected,
+        },
+        "stream": (
+            None
+            if stream is None
+            else {
+                "offset": stream.offset,
+                "total": stream.total,
+                "has_positions": stream.positions is not None,
+                "packets": stream.packets,
+                "insertions": stream.insertions,
+                "l1_saturations": stream.l1_saturations,
+                "elapsed": stream.elapsed,
+            }
+        ),
+        "key_range": (
+            None if snapshot.key_range is None else list(snapshot.key_range)
+        ),
+        "shards_merged": snapshot.shards_merged,
+        "extra": snapshot.extra,
+        "manifest": manifest,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [MAGIC, len(header_bytes).to_bytes(8, "little"), header_bytes]
+    parts.extend(payloads)
+    return b"".join(parts)
+
+
+def from_bytes(data: bytes) -> MeasurementSnapshot:
+    """Decode :func:`to_bytes` output; reject foreign or damaged input."""
+    if len(data) < len(MAGIC) + 8 or data[: len(MAGIC)] != MAGIC:
+        raise SnapshotError("not a measurement snapshot (bad magic)")
+    header_len = int.from_bytes(data[len(MAGIC) : len(MAGIC) + 8], "little")
+    header_begin = len(MAGIC) + 8
+    header_end = header_begin + header_len
+    if header_end > len(data):
+        raise SnapshotError("truncated snapshot header")
+    try:
+        header = json.loads(data[header_begin:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"corrupt snapshot header: {exc}") from exc
+    version = header.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {version!r} is not supported "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+
+    columns: "dict[str, np.ndarray]" = {}
+    offset = header_end
+    for entry in header["manifest"]:
+        dtype = np.dtype(entry["dtype"])
+        nbytes = dtype.itemsize * entry["count"]
+        if offset + nbytes > len(data):
+            raise SnapshotError(
+                f"truncated snapshot payload at column {entry['name']!r}"
+            )
+        columns[entry["name"]] = np.frombuffer(
+            data, dtype=dtype, count=entry["count"], offset=offset
+        ).copy()
+        offset += nbytes
+    if offset != len(data):
+        raise SnapshotError(
+            f"{len(data) - offset} trailing bytes after the last column"
+        )
+
+    sketch_meta = header["regulator"]["sketches"]
+    sketches = []
+    for index, meta in enumerate(sketch_meta):
+        name = f"regulator.{index}.words"
+        if name not in columns:
+            raise SnapshotError(f"snapshot is missing column {name!r}")
+        sketches.append(
+            SketchState(
+                words=columns[name],
+                packets_encoded=meta["packets_encoded"],
+                saturations=meta["saturations"],
+            )
+        )
+    regulator = RegulatorState(
+        sketches=sketches,
+        packets=header["regulator"]["packets"],
+        l1_saturations=header["regulator"]["l1_saturations"],
+        insertions=header["regulator"]["insertions"],
+    )
+
+    wsaf_meta = header["wsaf"]
+    try:
+        wsaf = WSAFState(
+            num_entries=wsaf_meta["num_entries"],
+            probe_limit=wsaf_meta["probe_limit"],
+            eviction_policy=wsaf_meta["eviction_policy"],
+            size=wsaf_meta["size"],
+            insertions=wsaf_meta["insertions"],
+            updates=wsaf_meta["updates"],
+            evictions=wsaf_meta["evictions"],
+            gc_reclaimed=wsaf_meta["gc_reclaimed"],
+            rejected=wsaf_meta["rejected"],
+            slots=columns["wsaf.slots"].astype(np.int64),
+            keys=columns["wsaf.keys"],
+            packets=columns["wsaf.packets"],
+            bytes=columns["wsaf.bytes"],
+            timestamps=columns["wsaf.timestamps"],
+            chance=columns["wsaf.chance"],
+            tuple_lo=columns["wsaf.tuple_lo"],
+            tuple_hi=columns["wsaf.tuple_hi"],
+            tuple_present=columns["wsaf.tuple_present"],
+        )
+    except KeyError as exc:
+        raise SnapshotError(f"snapshot is missing WSAF column {exc}") from exc
+
+    stream_meta = header["stream"]
+    stream = None
+    if stream_meta is not None:
+        positions = None
+        if stream_meta["has_positions"]:
+            if "stream.positions" not in columns:
+                raise SnapshotError("snapshot is missing column 'stream.positions'")
+            positions = columns["stream.positions"].astype(np.int64)
+        stream = StreamCursor(
+            offset=stream_meta["offset"],
+            total=stream_meta["total"],
+            positions=positions,
+            packets=stream_meta["packets"],
+            insertions=stream_meta["insertions"],
+            l1_saturations=stream_meta["l1_saturations"],
+            elapsed=stream_meta["elapsed"],
+        )
+
+    key_range = header.get("key_range")
+    return MeasurementSnapshot(
+        kind=header["kind"],
+        config=header["config"],
+        regulator=regulator,
+        wsaf=wsaf,
+        stream=stream,
+        key_range=None if key_range is None else (key_range[0], key_range[1]),
+        shards_merged=header.get("shards_merged", 1),
+        extra=header.get("extra", {}),
+    )
+
+
+def save(snapshot: MeasurementSnapshot, path) -> None:
+    """Write ``snapshot`` to ``path`` (see :func:`to_bytes`)."""
+    with open(path, "wb") as handle:
+        handle.write(to_bytes(snapshot))
+
+
+def load(path) -> MeasurementSnapshot:
+    """Read a snapshot written by :func:`save`."""
+    with open(path, "rb") as handle:
+        return from_bytes(handle.read())

@@ -1,0 +1,352 @@
+"""Merging measurement state — snapshots and insertion-event logs.
+
+Two merge planes live here:
+
+* **Snapshot merge** (:func:`merge`): fold N finalized
+  :class:`~repro.state.snapshot.MeasurementSnapshot` objects into one.
+  *Disjoint* key ranges (no flow key appears in two snapshots — the
+  sharded pipeline's case) concatenate records and OR the regulator word
+  arrays; because every input evolved its own words under the same seed
+  over a disjoint word range, the OR is exact.  *Overlapping* ranges
+  counter-sum per key: packet/byte totals add, ``last_update`` takes the
+  max, the second-chance bit ORs, and insertion counters are reconciled
+  (a key inserted in two inputs is one insertion plus one update in the
+  merged view).
+* **Event-log merge** (:class:`InsertionLog`, :func:`tag_events`,
+  :func:`release_ordered`, :func:`apply_events`): the multi-core
+  manager's deterministic in-process merge.  Workers record WSAF
+  insertion events instead of applying them; the manager tags each event
+  ``(timestamp, worker, sequence)``, releases the globally ordered prefix,
+  and applies it through ``accumulate_batch`` — so results never depend
+  on worker scheduling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SnapshotError
+from repro.state.snapshot import (
+    MeasurementSnapshot,
+    RegulatorState,
+    SketchState,
+    WSAFState,
+)
+
+#: Config fields that must match across merged snapshots: everything that
+#: determines sketch geometry, placement, or WSAF policy.  Fields that only
+#: affect execution strategy (engine/chunk_size/replay knobs) may differ.
+_GEOMETRY_FIELDS = (
+    "l1_memory_bytes",
+    "num_layers",
+    "vector_bits",
+    "word_bits",
+    "saturation_fill",
+    "wsaf_entries",
+    "probe_limit",
+    "gc_timeout",
+    "eviction_policy",
+)
+
+
+def _check_compatible(snapshots, require_seed: bool) -> None:
+    first = snapshots[0]
+    for other in snapshots[1:]:
+        if other.kind != first.kind:
+            raise SnapshotError(
+                f"cannot merge snapshot kinds {first.kind!r} and {other.kind!r}"
+            )
+        for name in _GEOMETRY_FIELDS:
+            if other.config.get(name) != first.config.get(name):
+                raise SnapshotError(
+                    f"cannot merge snapshots with different {name}: "
+                    f"{first.config.get(name)!r} vs {other.config.get(name)!r}"
+                )
+        if require_seed and other.config.get("seed") != first.config.get("seed"):
+            raise SnapshotError(
+                "disjoint-range merge requires a shared placement seed: "
+                f"{first.config.get('seed')!r} vs {other.config.get('seed')!r}"
+            )
+        if len(other.regulator.sketches) != len(first.regulator.sketches):
+            raise SnapshotError("snapshots disagree on regulator sketch count")
+        if other.stream is not None or first.stream is not None:
+            raise SnapshotError(
+                "cannot merge snapshots with in-progress streams; "
+                "finalize before merging"
+            )
+
+
+def _merge_regulators(snapshots) -> RegulatorState:
+    """OR the word arrays, sum the counters.
+
+    Exact for disjoint word ranges under a shared seed (each word has at
+    most one writer); an approximation when inputs overlap — the counters
+    stay exact, the word *contents* are a superset of any single run's.
+    """
+    first = snapshots[0].regulator
+    sketches = []
+    for index in range(len(first.sketches)):
+        words = first.sketches[index].words.copy()
+        encoded = first.sketches[index].packets_encoded
+        saturations = first.sketches[index].saturations
+        for other in snapshots[1:]:
+            saved = other.regulator.sketches[index]
+            if len(saved.words) != len(words):
+                raise SnapshotError(
+                    f"sketch {index} word counts differ: "
+                    f"{len(words)} vs {len(saved.words)}"
+                )
+            words |= saved.words
+            encoded += saved.packets_encoded
+            saturations += saved.saturations
+        sketches.append(
+            SketchState(
+                words=words, packets_encoded=encoded, saturations=saturations
+            )
+        )
+    return RegulatorState(
+        sketches=sketches,
+        packets=sum(snap.regulator.packets for snap in snapshots),
+        l1_saturations=sum(
+            snap.regulator.l1_saturations for snap in snapshots
+        ),
+        insertions=sum(snap.regulator.insertions for snap in snapshots),
+    )
+
+
+def _concat_wsaf(snapshots) -> WSAFState:
+    """Disjoint merge: concatenate records, sum counters, keep slots."""
+    states = [snap.wsaf for snap in snapshots]
+    slots = np.concatenate([state.slots for state in states])
+    # Two shards can legitimately claim one slot (their keys hash apart
+    # but probe together); such records lose their exact placement and
+    # re-probe at restore time.
+    values, counts = np.unique(slots[slots >= 0], return_counts=True)
+    contested = values[counts > 1]
+    if contested.size:
+        slots = np.where(np.isin(slots, contested), -1, slots)
+    return WSAFState(
+        num_entries=states[0].num_entries,
+        probe_limit=states[0].probe_limit,
+        eviction_policy=states[0].eviction_policy,
+        size=sum(state.size for state in states),
+        insertions=sum(state.insertions for state in states),
+        updates=sum(state.updates for state in states),
+        evictions=sum(state.evictions for state in states),
+        gc_reclaimed=sum(state.gc_reclaimed for state in states),
+        rejected=sum(state.rejected for state in states),
+        slots=slots,
+        keys=np.concatenate([state.keys for state in states]),
+        packets=np.concatenate([state.packets for state in states]),
+        bytes=np.concatenate([state.bytes for state in states]),
+        timestamps=np.concatenate([state.timestamps for state in states]),
+        chance=np.concatenate([state.chance for state in states]),
+        tuple_lo=np.concatenate([state.tuple_lo for state in states]),
+        tuple_hi=np.concatenate([state.tuple_hi for state in states]),
+        tuple_present=np.concatenate([state.tuple_present for state in states]),
+    )
+
+
+def _sum_wsaf(snapshots) -> WSAFState:
+    """Overlap merge: per-key counter sums with insertion reconciliation.
+
+    Each key keeps one record: packets/bytes sum, ``last_update`` takes
+    the max, the chance bit ORs, and the 5-tuple comes from the first
+    input that recorded one.  Every duplicate beyond a key's first record
+    was counted as an insertion by its own shard but is an *update* of
+    the merged record, so ``insertions``/``updates``/``size`` shift by
+    the duplicate count; eviction and GC counters sum as observed events.
+    """
+    states = [snap.wsaf for snap in snapshots]
+    keys = np.concatenate([state.keys for state in states])
+    packets = np.concatenate([state.packets for state in states])
+    bytes_ = np.concatenate([state.bytes for state in states])
+    timestamps = np.concatenate([state.timestamps for state in states])
+    chance = np.concatenate([state.chance for state in states])
+    tuple_lo = np.concatenate([state.tuple_lo for state in states])
+    tuple_hi = np.concatenate([state.tuple_hi for state in states])
+    tuple_present = np.concatenate([state.tuple_present for state in states])
+
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    n = len(unique_keys)
+    sum_packets = np.zeros(n)
+    sum_bytes = np.zeros(n)
+    max_ts = np.full(n, -np.inf)
+    any_chance = np.zeros(n, dtype=bool)
+    np.add.at(sum_packets, inverse, packets)
+    np.add.at(sum_bytes, inverse, bytes_)
+    np.maximum.at(max_ts, inverse, timestamps)
+    np.logical_or.at(any_chance, inverse, chance)
+    max_ts[np.isneginf(max_ts)] = 0.0
+
+    merged_lo = np.zeros(n, dtype=np.uint64)
+    merged_hi = np.zeros(n, dtype=np.uint64)
+    merged_present = np.zeros(n, dtype=bool)
+    # First-wins tuple selection, walking records in input order.
+    for record in np.flatnonzero(tuple_present).tolist():
+        group = inverse[record]
+        if not merged_present[group]:
+            merged_present[group] = True
+            merged_lo[group] = tuple_lo[record]
+            merged_hi[group] = tuple_hi[record]
+
+    duplicates = len(keys) - n
+    return WSAFState(
+        num_entries=states[0].num_entries,
+        probe_limit=states[0].probe_limit,
+        eviction_policy=states[0].eviction_policy,
+        size=n,
+        insertions=sum(state.insertions for state in states) - duplicates,
+        updates=sum(state.updates for state in states) + duplicates,
+        evictions=sum(state.evictions for state in states),
+        gc_reclaimed=sum(state.gc_reclaimed for state in states),
+        rejected=sum(state.rejected for state in states),
+        slots=np.full(n, -1, dtype=np.int64),
+        keys=unique_keys,
+        packets=sum_packets,
+        bytes=sum_bytes,
+        timestamps=max_ts,
+        chance=any_chance,
+        tuple_lo=merged_lo,
+        tuple_hi=merged_hi,
+        tuple_present=merged_present,
+    )
+
+
+def _merged_key_range(snapshots) -> "tuple[int, int] | None":
+    ranges = [snap.key_range for snap in snapshots]
+    if any(r is None for r in ranges):
+        return None
+    return (min(r[0] for r in ranges), max(r[1] for r in ranges))
+
+
+def merge(snapshots, mode: str = "auto") -> MeasurementSnapshot:
+    """Fold finalized snapshots into one.
+
+    Args:
+        snapshots: a non-empty sequence of compatible snapshots (same
+            kind, same sketch/WSAF geometry, no in-progress streams).
+        mode: ``"disjoint"`` demands that no flow key appears twice
+            (raises otherwise) and concatenates; ``"overlap"``
+            counter-sums per key; ``"auto"`` picks disjoint when the key
+            sets do not intersect, overlap otherwise.
+
+    The merged snapshot's ``estimates()`` are exactly the union (disjoint)
+    or per-key sum (overlap) of the inputs'.  Its ``restore()`` places
+    slot-exact records directly and re-probes the rest.
+    """
+    snapshots = list(snapshots)
+    if not snapshots:
+        raise SnapshotError("cannot merge zero snapshots")
+    if mode not in ("auto", "disjoint", "overlap"):
+        raise SnapshotError(f"unknown merge mode {mode!r}")
+    _check_compatible(snapshots, require_seed=mode != "overlap")
+
+    all_keys = np.concatenate([snap.wsaf.keys for snap in snapshots])
+    disjoint = len(np.unique(all_keys)) == len(all_keys)
+    if mode == "disjoint" and not disjoint:
+        raise SnapshotError(
+            "disjoint merge requested but the snapshots share flow keys; "
+            "use mode='overlap' (or 'auto')"
+        )
+    use_disjoint = disjoint if mode == "auto" else mode == "disjoint"
+
+    return MeasurementSnapshot(
+        kind=snapshots[0].kind,
+        config=dict(snapshots[0].config),
+        regulator=_merge_regulators(snapshots),
+        wsaf=_concat_wsaf(snapshots) if use_disjoint else _sum_wsaf(snapshots),
+        stream=None,
+        key_range=_merged_key_range(snapshots),
+        shards_merged=sum(snap.shards_merged for snap in snapshots),
+    )
+
+
+# -- insertion-event logs (the multi-core in-process merge) -----------------
+
+
+class InsertionLog:
+    """Stands in for a shared WSAF during a worker run.
+
+    Records ``(timestamp, key, est_packets, est_bytes, packed_tuple)``
+    insertion events instead of applying them, so a manager can merge
+    worker output deterministically — and ship it cheaply across process
+    boundaries in parallel mode.
+    """
+
+    def __init__(self) -> None:
+        self.events: "list[tuple]" = []
+
+    def accumulate(
+        self,
+        key: int,
+        est_packets: float,
+        est_bytes: float,
+        timestamp: float,
+        five_tuple_packed: "int | None" = None,
+    ) -> "tuple[float, float]":
+        """Record one insertion event; totals resolve at merge time."""
+        self.events.append(
+            (timestamp, key, est_packets, est_bytes, five_tuple_packed)
+        )
+        return est_packets, est_bytes
+
+    def accumulate_batch(
+        self, events, on_accumulate=None
+    ) -> "list[tuple[float, float]]":
+        """Record a batch of events (the batched kernel's apply call)."""
+        totals: "list[tuple[float, float]]" = []
+        for key, est_packets, est_bytes, timestamp, five_tuple_packed in events:
+            self.events.append(
+                (timestamp, key, est_packets, est_bytes, five_tuple_packed)
+            )
+            if on_accumulate is not None:
+                on_accumulate(key, est_packets, est_bytes, timestamp)
+            totals.append((est_packets, est_bytes))
+        return totals
+
+
+def tag_events(events, worker_index: int, start_seq: int = 0) -> "list[tuple]":
+    """Stamp raw log events with their ``(worker, sequence)`` merge key.
+
+    Returns ``(timestamp, worker, sequence, key, est_pkt, est_byte,
+    packed)`` tuples whose first three fields define the global apply
+    order; ``start_seq`` continues a worker's sequence across chunks.
+    """
+    return [
+        (timestamp, worker_index, sequence, key, est_pkt, est_byte, packed)
+        for sequence, (timestamp, key, est_pkt, est_byte, packed) in enumerate(
+            events, start=start_seq
+        )
+    ]
+
+
+def release_ordered(
+    pending: "list[tuple]", horizon: "float | None" = None
+) -> "tuple[list[tuple], list[tuple]]":
+    """Sort tagged events into global order and split at ``horizon``.
+
+    Returns ``(released, held)``: events stamped strictly before
+    ``horizon`` are safe to apply (no later packet can precede them);
+    the rest wait for time to advance.  ``horizon=None`` releases all.
+    """
+    pending.sort(key=lambda event: event[:3])
+    if horizon is None:
+        return pending, []
+    split = 0
+    while split < len(pending) and pending[split][0] < horizon:
+        split += 1
+    return pending[:split], pending[split:]
+
+
+def apply_events(wsaf, tagged, on_accumulate=None) -> None:
+    """Apply released tagged events to ``wsaf`` in their merged order."""
+    if not tagged:
+        return
+    wsaf.accumulate_batch(
+        (
+            (key, est_pkt, est_byte, timestamp, packed)
+            for timestamp, _, _, key, est_pkt, est_byte, packed in tagged
+        ),
+        on_accumulate=on_accumulate,
+    )

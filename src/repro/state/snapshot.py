@@ -1,0 +1,345 @@
+"""Serializable measurement state — the one description of engine state.
+
+Everything an InstaMeasure engine accumulates while measuring — regulator
+word arrays and counters, WSAF records and eviction/GC bookkeeping, and
+the RNG cursor of an in-progress ingest stream — is captured here as a
+:class:`MeasurementSnapshot`: a plain dataclass tree whose bulk payloads
+are NumPy columns.  Snapshots are the unit of state transfer across the
+stack: process-sharded ingestion ships them between workers and the
+manager (:mod:`repro.pipeline.sharded`), :func:`repro.state.merge.merge`
+folds many of them into one, and :mod:`repro.state.codec` round-trips
+them to bytes/files with a versioned, self-describing header.
+
+Capture/restore is exact for both WSAF backing stores: a snapshot taken
+from a scalar :class:`~repro.core.wsaf.WSAFTable` restores bit-identically
+into a batched one and vice versa (the stores are state-identical by
+contract).  An engine with an in-progress *known-length* ingest stream is
+also exact: the stream's randomness is a deterministic function of
+``(seed, total)`` and the cursor offset, so restore re-draws and seeks.
+Unknown-length streams draw per chunk (history-dependent) and cannot be
+reproduced from a cursor — capturing one raises :class:`SnapshotError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SnapshotError
+
+#: Mask extracting the low 64 bits of a packed 104-bit 5-tuple.
+_LOW64 = (1 << 64) - 1
+
+#: ``MeasurementSnapshot.kind`` for single-engine captures.
+KIND_INSTAMEASURE = "instameasure"
+
+
+def pack_tuple_columns(tuples) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Split packed 104-bit 5-tuples into (lo, hi, present) columns.
+
+    ``tuples`` is a sequence of ``int | None``; the 104-bit values exceed
+    any fixed-width dtype, so they ship as two ``uint64`` halves plus a
+    presence mask (``None`` entries are real — mice inserted through the
+    scalar per-packet API may carry no tuple).
+    """
+    n = len(tuples)
+    lo = np.zeros(n, dtype=np.uint64)
+    hi = np.zeros(n, dtype=np.uint64)
+    present = np.zeros(n, dtype=bool)
+    for i, value in enumerate(tuples):
+        if value is None:
+            continue
+        present[i] = True
+        lo[i] = value & _LOW64
+        hi[i] = value >> 64
+    return lo, hi, present
+
+
+def unpack_tuple_columns(lo, hi, present) -> "list[int | None]":
+    """Inverse of :func:`pack_tuple_columns`."""
+    values: "list[int | None]" = []
+    for low, high, here in zip(lo.tolist(), hi.tolist(), present.tolist()):
+        values.append((high << 64) | low if here else None)
+    return values
+
+
+@dataclass
+class SketchState:
+    """One RCC sketch's transferable state."""
+
+    words: np.ndarray  # uint64, one per sketch word
+    packets_encoded: int
+    saturations: int
+
+    def copy(self) -> "SketchState":
+        return SketchState(
+            words=self.words.copy(),
+            packets_encoded=self.packets_encoded,
+            saturations=self.saturations,
+        )
+
+
+@dataclass
+class RegulatorState:
+    """A regulator's sketches (deterministic order) plus its statistics."""
+
+    sketches: "list[SketchState]"
+    packets: int
+    l1_saturations: int
+    insertions: int
+
+    def copy(self) -> "RegulatorState":
+        return RegulatorState(
+            sketches=[sketch.copy() for sketch in self.sketches],
+            packets=self.packets,
+            l1_saturations=self.l1_saturations,
+            insertions=self.insertions,
+        )
+
+
+@dataclass
+class WSAFState:
+    """A WSAF table's records and bookkeeping, as parallel columns.
+
+    ``slots`` holds each record's table slot, or ``-1`` when the slot is
+    unknown (merged snapshots with colliding placements); restore places
+    slot-exact records directly and probe-places the rest.
+    """
+
+    num_entries: int
+    probe_limit: int
+    eviction_policy: str
+    size: int
+    insertions: int
+    updates: int
+    evictions: int
+    gc_reclaimed: int
+    rejected: int
+    slots: np.ndarray  # int64; -1 = placement unknown
+    keys: np.ndarray  # uint64
+    packets: np.ndarray  # float64
+    bytes: np.ndarray  # float64
+    timestamps: np.ndarray  # float64
+    chance: np.ndarray  # bool
+    tuple_lo: np.ndarray  # uint64
+    tuple_hi: np.ndarray  # uint64
+    tuple_present: np.ndarray  # bool
+
+    @property
+    def num_records(self) -> int:
+        return len(self.keys)
+
+    def tuples(self) -> "list[int | None]":
+        """The packed 5-tuples, re-widened to Python ints."""
+        return unpack_tuple_columns(
+            self.tuple_lo, self.tuple_hi, self.tuple_present
+        )
+
+
+@dataclass
+class StreamCursor:
+    """RNG/bookkeeping cursor of an in-progress known-length ingest stream.
+
+    ``total`` is the *global* stream length the randomness was drawn for;
+    ``positions`` (optional) are the global packet positions this stream
+    consumes, in order — the sharded pipeline's workers index the global
+    draw through them, which is what makes per-shard streams bit-identical
+    to their slice of a single-process run.  ``offset`` counts packets
+    already consumed (an index into ``positions`` when present).
+    """
+
+    offset: int
+    total: int
+    positions: "np.ndarray | None"
+    packets: int
+    insertions: int
+    l1_saturations: int
+    elapsed: float
+
+
+@dataclass
+class MeasurementSnapshot:
+    """The complete serializable state of one measurement engine.
+
+    Attributes:
+        kind: snapshot flavor (:data:`KIND_INSTAMEASURE`).
+        config: the engine's :class:`~repro.core.instameasure.
+            InstaMeasureConfig` as a plain dict (restore rebuilds from it).
+        regulator: regulator word arrays and counters.
+        wsaf: WSAF records and bookkeeping.
+        stream: cursor of an in-progress ingest stream, or ``None`` when
+            the engine is between streams.
+        key_range: the L1 word-index range ``[lo, hi)`` this snapshot
+            covers under sharded ingestion, or ``None`` for a full run.
+        shards_merged: how many worker snapshots were folded in (1 for a
+            direct capture).
+    """
+
+    kind: str
+    config: "dict"
+    regulator: RegulatorState
+    wsaf: WSAFState
+    stream: "StreamCursor | None" = None
+    key_range: "tuple[int, int] | None" = None
+    shards_merged: int = 1
+    extra: "dict" = field(default_factory=dict)
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Per-flow ``{key64: (packets, bytes)}`` straight off the columns.
+
+        Same mapping a live table restored from this snapshot would
+        report, without materializing the table.  Record order follows
+        the capture (slot order for direct captures).
+        """
+        table = {
+            key: (packets, bytes_)
+            for key, packets, bytes_ in zip(
+                self.wsaf.keys.tolist(),
+                self.wsaf.packets.tolist(),
+                self.wsaf.bytes.tolist(),
+            )
+        }
+        if flow_keys is None:
+            return table
+        found: "dict[int, tuple[float, float]]" = {}
+        for key in flow_keys:
+            key = int(key)
+            if key in table:
+                found[key] = table[key]
+        return found
+
+    def restore(self, accountant=None):
+        """Materialize a live :class:`~repro.core.instameasure.InstaMeasure`."""
+        return restore_engine(self, accountant=accountant)
+
+
+# -- regulator capture/restore ---------------------------------------------
+
+
+def regulator_sketches(regulator) -> "list":
+    """Every RCC sketch of ``regulator``, in a deterministic order.
+
+    ``FlowRegulator`` contributes ``[l1, *l2]``; the generic multilayer
+    regulator contributes L1 followed by each bank's sketches in noise-path
+    construction order (dict insertion order, fixed at build time).
+    Duck-typed on the ``banks`` attribute so this module never imports
+    :mod:`repro.core` at import time.
+    """
+    banks = getattr(regulator, "banks", None)
+    if banks is None:
+        return [regulator.l1, *regulator.l2]
+    return [
+        regulator.l1,
+        *(sketch for bank in banks for sketch in bank.values()),
+    ]
+
+
+def capture_regulator(regulator) -> RegulatorState:
+    """Snapshot ``regulator``'s words and cumulative counters."""
+    stats = regulator.stats
+    return RegulatorState(
+        sketches=[
+            SketchState(
+                words=sketch.words_array(),
+                packets_encoded=sketch.packets_encoded,
+                saturations=sketch.saturations,
+            )
+            for sketch in regulator_sketches(regulator)
+        ],
+        packets=stats.packets,
+        l1_saturations=stats.l1_saturations,
+        insertions=stats.insertions,
+    )
+
+
+def restore_regulator(regulator, state: RegulatorState) -> None:
+    """Install ``state`` into a live regulator of matching geometry."""
+    sketches = regulator_sketches(regulator)
+    if len(sketches) != len(state.sketches):
+        raise SnapshotError(
+            f"regulator has {len(sketches)} sketches; snapshot carries "
+            f"{len(state.sketches)}"
+        )
+    for sketch, saved in zip(sketches, state.sketches):
+        sketch.set_words_array(saved.words)
+        sketch.packets_encoded = saved.packets_encoded
+        sketch.saturations = saved.saturations
+    stats = regulator.stats
+    stats.packets = state.packets
+    stats.l1_saturations = state.l1_saturations
+    stats.insertions = state.insertions
+
+
+# -- engine capture/restore -------------------------------------------------
+
+
+def capture_engine(engine, key_range=None) -> MeasurementSnapshot:
+    """Snapshot a live :class:`~repro.core.instameasure.InstaMeasure`.
+
+    Raises :class:`SnapshotError` when the engine has an in-progress
+    *unknown-length* ingest stream: its randomness was drawn chunk by
+    chunk (history-dependent) and cannot be reproduced from a cursor.
+    Finalize the stream first, or feed the engine from a source that
+    knows its total.
+    """
+    from dataclasses import asdict
+
+    stream_state = getattr(engine, "_stream", None)
+    cursor = None
+    if stream_state is not None:
+        bits = stream_state.bits
+        if bits._total is None:
+            raise SnapshotError(
+                "cannot snapshot an in-progress stream of unknown length: "
+                "its randomness was drawn per chunk and is not reproducible "
+                "from a cursor; finalize() first"
+            )
+        cursor = StreamCursor(
+            offset=bits.offset,
+            total=bits._total,
+            positions=(
+                None if bits.positions is None else bits.positions.copy()
+            ),
+            packets=stream_state.packets,
+            insertions=stream_state.insertions,
+            l1_saturations=stream_state.l1_saturations,
+            elapsed=stream_state.elapsed,
+        )
+    return MeasurementSnapshot(
+        kind=KIND_INSTAMEASURE,
+        config=asdict(engine.config),
+        regulator=capture_regulator(engine.regulator),
+        wsaf=engine.wsaf.export_state(),
+        stream=cursor,
+        key_range=None if key_range is None else (key_range[0], key_range[1]),
+    )
+
+
+def restore_engine(snapshot: MeasurementSnapshot, accountant=None):
+    """Rebuild a live engine from ``snapshot``, bit-identical to capture.
+
+    The engine is constructed from the snapshot's embedded config, then
+    regulator words/counters, WSAF records, and (when present) the ingest
+    stream's RNG cursor are installed.  A restored mid-stream engine
+    continues ingesting exactly where the captured one stopped.
+    """
+    from repro.core.instameasure import InstaMeasure, InstaMeasureConfig
+
+    if snapshot.kind != KIND_INSTAMEASURE:
+        raise SnapshotError(
+            f"cannot restore snapshot kind {snapshot.kind!r} into an engine"
+        )
+    engine = InstaMeasure(InstaMeasureConfig(**snapshot.config), accountant)
+    restore_regulator(engine.regulator, snapshot.regulator)
+    engine.wsaf.load_state(snapshot.wsaf)
+    cursor = snapshot.stream
+    if cursor is not None:
+        engine.begin_stream(total=cursor.total, positions=cursor.positions)
+        stream = engine._stream
+        stream.bits.offset = cursor.offset
+        stream.packets = cursor.packets
+        stream.insertions = cursor.insertions
+        stream.l1_saturations = cursor.l1_saturations
+        stream.elapsed = cursor.elapsed
+    return engine

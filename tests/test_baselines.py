@@ -137,6 +137,33 @@ class TestNetFlow:
             NetFlowTable(max_entries=0)
         with pytest.raises(ConfigurationError):
             NetFlowTable(max_entries=10, sampling_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            NetFlowTable(max_entries=10, active_timeout=0.0)
+
+    def test_rotate_flushes_timed_out_entries(self, trace):
+        table = NetFlowTable(max_entries=10**6, active_timeout=1.0)
+        table.process_trace(trace)
+        before = len(table)
+        # The snapshot is taken before the flush: it sees the full table.
+        snapshot = table.rotate(float(trace.timestamps[-1]) + 10.0)
+        assert len(snapshot) == before
+        assert len(table) == 0  # everything idled past the timeout
+        assert table.stats.timeout_flushes == before
+
+    def test_rotate_keeps_recent_entries(self, trace):
+        table = NetFlowTable(max_entries=10**6, active_timeout=10**9)
+        table.process_trace(trace)
+        before = len(table)
+        table.rotate(float(trace.timestamps[-1]))
+        assert len(table) == before
+        assert table.stats.timeout_flushes == 0
+
+    def test_rotate_without_timeout_is_a_snapshot(self, trace):
+        table = NetFlowTable(max_entries=10**6)
+        table.process_trace(trace)
+        snapshot = table.rotate(float(trace.timestamps[-1]) + 10**6)
+        assert snapshot == table.estimates()
+        assert len(table) == len(snapshot)
 
 
 class TestCountMin:

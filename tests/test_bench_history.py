@@ -1,0 +1,83 @@
+"""The throughput harness's report-file handling.
+
+A bench run appends to ``BENCH_throughput.json`` and reads baselines out
+of it; a missing, unparseable, or wrong-shaped file must never crash a
+run mid-bench — it is moved aside to ``.corrupt`` (preserved for
+inspection) and the run starts a fresh history.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _load_bench_module
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return _load_bench_module()
+
+
+@pytest.fixture()
+def history_path(bench, tmp_path, monkeypatch):
+    path = tmp_path / "BENCH_throughput.json"
+    monkeypatch.setattr(bench, "OUTPUT_PATH", path)
+    return path
+
+
+def _row(bench, timestamp: float = 1.0) -> dict:
+    return {
+        "git_sha": "abc123",
+        "engine": "batched",
+        "wsaf_engine": "batched",
+        "regulator_replay": "scan",
+        "timestamp": timestamp,
+    }
+
+
+class TestLoadHistory:
+    def test_missing_file_is_empty_history(self, bench, history_path):
+        assert bench._load_history() == []
+        assert not history_path.exists()
+
+    def test_valid_history_passes_through(self, bench, history_path):
+        rows = [_row(bench)]
+        history_path.write_text(json.dumps(rows))
+        assert bench._load_history() == rows
+
+    def test_unparseable_json_backed_up(self, bench, history_path, capsys):
+        history_path.write_text("{not json at all")
+        assert bench._load_history() == []
+        backup = history_path.with_suffix(".json.corrupt")
+        assert backup.read_text() == "{not json at all"
+        assert not history_path.exists()
+        assert "corrupt" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "payload", ['{"rows": []}', '["just", "strings"]', "42"]
+    )
+    def test_wrong_shape_backed_up(self, bench, history_path, payload):
+        history_path.write_text(payload)
+        assert bench._load_history() == []
+        assert history_path.with_suffix(".json.corrupt").exists()
+
+    def test_append_after_corruption_starts_fresh(self, bench, history_path):
+        history_path.write_text("corrupt!")
+        bench._append_report([_row(bench)])
+        history = json.loads(history_path.read_text())
+        assert [r["git_sha"] for r in history] == ["abc123"]
+        assert history_path.with_suffix(".json.corrupt").exists()
+
+    def test_baseline_row_survives_corruption(self, bench, history_path):
+        history_path.write_text('["oops"]')
+        assert bench._baseline_row("scan") is None
+
+    def test_append_extends_valid_history(self, bench, history_path):
+        history_path.write_text(json.dumps([_row(bench, timestamp=1.0)]))
+        later = _row(bench, timestamp=2.0)
+        later["git_sha"] = "def456"
+        bench._append_report([later])
+        history = json.loads(history_path.read_text())
+        assert {r["git_sha"] for r in history} == {"abc123", "def456"}

@@ -57,6 +57,72 @@ class TestRun:
         code = main(["run", str(tmp_path / "absent.npz")])
         assert code == 1
 
+    def test_sharded_run_matches_single(self, trace_path, capsys):
+        code = main(
+            ["run", str(trace_path), "--l1-kb", "4", "--wsaf-bits", "12"]
+        )
+        assert code == 0
+        single_out = capsys.readouterr().out
+        code = main(
+            ["run", str(trace_path), "--l1-kb", "4", "--wsaf-bits", "12",
+             "--shards", "4"]
+        )
+        assert code == 0
+        sharded_out = capsys.readouterr().out
+        assert "shard load shares" in sharded_out
+
+        def metric(out: str, name: str) -> str:
+            for line in out.splitlines():
+                if line.startswith(name):
+                    return line[len(name):].strip()
+            raise AssertionError(f"{name!r} not in output")
+
+        # The sharded run reports the same measurement, exactly.
+        for name in ("packets", "WSAF flows", "std error"):
+            assert metric(sharded_out, name) == metric(single_out, name)
+
+
+class TestSnapshot:
+    def test_save_load_round_trip(self, trace_path, tmp_path, capsys):
+        snap_path = tmp_path / "state.snap"
+        code = main(
+            ["snapshot", "save", str(trace_path), "--out", str(snap_path),
+             "--l1-kb", "4", "--wsaf-bits", "12"]
+        )
+        assert code == 0
+        assert snap_path.exists()
+        assert "WSAF records" in capsys.readouterr().out
+
+        code = main(
+            ["snapshot", "load", str(snap_path), "--trace", str(trace_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "instameasure" in out
+        assert "std error" in out
+
+    def test_sharded_save_equals_single_save(self, trace_path, tmp_path):
+        single = tmp_path / "single.snap"
+        sharded = tmp_path / "sharded.snap"
+        assert main(
+            ["snapshot", "save", str(trace_path), "--out", str(single),
+             "--l1-kb", "4", "--wsaf-bits", "12"]
+        ) == 0
+        assert main(
+            ["snapshot", "save", str(trace_path), "--out", str(sharded),
+             "--l1-kb", "4", "--wsaf-bits", "12", "--shards", "3"]
+        ) == 0
+        from repro.state import load
+
+        assert load(sharded).estimates() == load(single).estimates()
+
+    def test_corrupt_snapshot_is_handled(self, tmp_path, capsys):
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(b"not a snapshot")
+        code = main(["snapshot", "load", str(bad)])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
 
 class TestHeavyHitter:
     def test_packet_threshold(self, trace_path, capsys):

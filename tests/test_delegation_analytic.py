@@ -79,6 +79,37 @@ class TestDelegatingMeasurer:
         with pytest.raises(ConfigurationError):
             DelegatingMeasurer(1024, epoch_seconds=1.0, network_delay_seconds=-1.0)
 
+    def test_rotate_ships_completed_epochs(self, trace):
+        measurer = DelegatingMeasurer(
+            256 * 1024, epoch_seconds=1.0, network_delay_seconds=0.0
+        )
+        first_epoch = trace.time_slice(0.0, 1.0)
+        measurer.ingest(first_epoch)
+        start = float(first_epoch.timestamps[0])
+        # Before the epoch's window elapses the collector has nothing.
+        assert measurer.rotate(start + 0.5) == {}
+        # Once the window elapses, rotation ships it: the collector sees
+        # the epoch's flows without waiting for the next packet.
+        shipped = measurer.rotate(start + 1.0)
+        assert len(shipped) > 0
+        stats = measurer.finalize()
+        assert stats.epochs == 1  # the tail ship found nothing new
+
+    def test_rotate_aligns_with_packet_driven_shipping(self, trace):
+        """A rotated run reports the same collector totals at the end."""
+        plain = DelegatingMeasurer(256 * 1024, 1.0, 0.0)
+        plain.ingest(trace)
+        plain.finalize()
+        rotated = DelegatingMeasurer(256 * 1024, 1.0, 0.0)
+        rotated.ingest(trace)
+        rotated.rotate(float(trace.timestamps[-1]) + 5.0)
+        rotated.finalize()
+        assert rotated.estimates() == plain.estimates()
+
+    def test_rotate_before_any_packet(self):
+        measurer = DelegatingMeasurer(64 * 1024, 1.0, 0.0)
+        assert measurer.rotate(123.0) == {}
+
 
 class TestSaturationTimeDistribution:
     def test_pmf_mass_and_mean_match_coupon_sum(self):

@@ -1,0 +1,246 @@
+"""Process-sharded ingestion and chunk prefetching.
+
+The headline contract: a :class:`ShardedPipeline` run at any shard count
+produces estimates **exactly equal** to a single-process pipeline over
+the same trace — for both WSAF backing stores, in-process and forked —
+because word-range sharding keeps regulator words, positioned random
+bits, and per-flow accumulation order all identical to the single run
+(valid while the WSAF sees no evictions, which these workloads satisfy
+and the tests assert).
+
+:class:`PrefetchChunkSource` is the opposite kind of wrapper: it changes
+*when* chunks are produced, never *what* — the tests pin the identical
+chunk sequence, error propagation, and re-iterability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InstaMeasure, InstaMeasureConfig
+from repro.errors import ConfigurationError
+from repro.pipeline import (
+    ChunkSource,
+    PrefetchChunkSource,
+    ShardedPipeline,
+    TraceChunkSource,
+    run_sharded,
+)
+from repro.pipeline.sharded import _fork_available
+from repro.state import ShardRouter
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=2_000, duration=8.0, seed=11)
+    )
+
+
+def _config(wsaf_engine: str = "auto", **overrides) -> InstaMeasureConfig:
+    base = dict(
+        l1_memory_bytes=4 * 1024,
+        wsaf_entries=1 << 12,
+        seed=3,
+        wsaf_engine=wsaf_engine,
+    )
+    base.update(overrides)
+    return InstaMeasureConfig(**base)
+
+
+def _single_run(config, trace) -> InstaMeasure:
+    engine = InstaMeasure(config)
+    engine.process_trace(trace)
+    return engine
+
+
+class TestShardRouter:
+    def test_bounds_partition_the_word_space(self):
+        router = ShardRouter.for_config(_config(), 4)
+        assert router.bounds[0] == 0
+        assert router.bounds[-1] == router.num_words
+        assert (np.diff(router.bounds) > 0).all()
+
+    def test_every_key_lands_in_exactly_one_shard(self, trace):
+        router = ShardRouter.for_config(_config(), 4)
+        shards = router.shard_of_keys(trace.flows.key64)
+        assert shards.min() >= 0 and shards.max() < 4
+        # The ranges tile: each key's placement word is inside its
+        # shard's [lo, hi) range.
+        for shard in range(4):
+            lo, hi = router.key_range(shard)
+            words = router._place(trace.flows.key64[shards == shard])
+            assert (words >= lo).all() and (words < hi).all()
+
+    def test_assignments_follow_flow_ids(self, trace):
+        router = ShardRouter.for_config(_config(), 3)
+        per_packet = router.assignments(trace)
+        per_flow = router.shard_of_keys(trace.flows.key64)
+        assert np.array_equal(per_packet, per_flow[trace.flow_ids])
+
+    def test_invalid_shard_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter.for_config(_config(), 0)
+        with pytest.raises(ConfigurationError):
+            ShardRouter(10, 5, lambda keys: keys)
+        router = ShardRouter.for_config(_config(), 2)
+        with pytest.raises(ConfigurationError):
+            router.key_range(2)
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("wsaf_engine", ["scalar", "batched"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+    def test_sharded_equals_single_process(self, trace, wsaf_engine, num_shards):
+        config = _config(wsaf_engine)
+        single = _single_run(config, trace)
+        # The exactness argument requires an eviction-free single run.
+        assert single.wsaf.evictions == 0 and single.wsaf.gc_reclaimed == 0
+
+        result = ShardedPipeline(config, num_shards=num_shards).run(trace)
+
+        assert result.estimates() == single.estimates()
+        assert result.packets == trace.num_packets
+        assert result.snapshot.wsaf.evictions == 0
+        assert result.snapshot.shards_merged == num_shards
+        # Regulator word arrays are bit-identical, not just estimates.
+        from repro.state import capture_engine
+
+        reference = capture_engine(single)
+        for ours, theirs in zip(
+            result.snapshot.regulator.sketches, reference.regulator.sketches
+        ):
+            assert np.array_equal(ours.words, theirs.words)
+        assert (
+            result.snapshot.regulator.insertions
+            == reference.regulator.insertions
+        )
+
+    def test_sharded_counters_match_single_run(self, trace):
+        config = _config("scalar")
+        single = _single_run(config, trace)
+        result = ShardedPipeline(config, num_shards=4).run(trace)
+        assert result.snapshot.wsaf.insertions == single.wsaf.insertions
+        assert result.snapshot.wsaf.updates == single.wsaf.updates
+        assert result.snapshot.regulator.packets == trace.num_packets
+
+    @pytest.mark.skipif(not _fork_available(), reason="platform cannot fork")
+    def test_fork_parallel_equals_in_process(self, trace):
+        config = _config("batched")
+        in_process = ShardedPipeline(config, num_shards=4).run(trace)
+        forked = ShardedPipeline(config, num_shards=4, parallel=True).run(trace)
+        assert forked.estimates() == in_process.estimates()
+        assert forked.shard_packets == in_process.shard_packets
+
+    def test_restored_merged_state_is_live(self, trace):
+        config = _config("scalar")
+        result = ShardedPipeline(config, num_shards=4).run(trace)
+        engine = result.restore()
+        assert engine.estimates() == result.estimates()
+        # and it keeps measuring:
+        engine.process_trace(trace)
+        assert engine.regulator.stats.packets == 2 * trace.num_packets
+
+    def test_empty_shards_merge_cleanly(self):
+        # 3 flows across 8 shards: most shards receive nothing.
+        tiny = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=3, duration=1.0, seed=2)
+        )
+        config = _config("scalar")
+        single = _single_run(config, tiny)
+        result = ShardedPipeline(config, num_shards=8).run(tiny)
+        assert result.estimates() == single.estimates()
+        assert sum(result.shard_packets) == tiny.num_packets
+
+    def test_chunked_workers_preserve_equivalence(self, trace):
+        """Tiny per-worker chunks exercise positioned multi-chunk streams."""
+        config = _config("scalar")
+        single = _single_run(config, trace)
+        result = ShardedPipeline(config, num_shards=3, chunk_size=700).run(trace)
+        assert result.estimates() == single.estimates()
+
+
+class TestShardedPipelineAPI:
+    def test_accepts_trace_backed_sources(self, trace):
+        config = _config("scalar")
+        from_trace = ShardedPipeline(config, num_shards=2).run(trace)
+        from_source = ShardedPipeline(config, num_shards=2).run(
+            TraceChunkSource(trace, chunk_size=4_000)
+        )
+        assert from_trace.estimates() == from_source.estimates()
+
+    def test_rejects_traceless_sources(self, trace):
+        class Opaque(ChunkSource):
+            def __iter__(self):
+                return iter(())
+
+        with pytest.raises(ConfigurationError, match="trace-backed"):
+            ShardedPipeline(_config(), num_shards=2).run(Opaque())
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            ShardedPipeline(_config(), num_shards=0)
+
+    def test_run_sharded_convenience(self, trace):
+        config = _config("scalar")
+        result = run_sharded(config, trace, num_shards=2)
+        assert result.estimates() == _single_run(config, trace).estimates()
+
+    def test_load_shares_sum_to_one(self, trace):
+        result = ShardedPipeline(_config(), num_shards=4).run(trace)
+        assert result.packets == trace.num_packets
+        assert sum(result.load_shares) == pytest.approx(1.0)
+
+    def test_estimates_for_alignment(self, trace):
+        config = _config("scalar")
+        result = ShardedPipeline(config, num_shards=2).run(trace)
+        single = _single_run(config, trace)
+        got_packets, got_bytes = result.estimates_for(trace)
+        want_packets, want_bytes = single.estimates_for(trace)
+        assert np.array_equal(got_packets, want_packets)
+        assert np.array_equal(got_bytes, want_bytes)
+
+
+class TestPrefetchChunkSource:
+    def test_identical_chunk_sequence(self, trace):
+        inner = TraceChunkSource(trace, chunk_size=1_000)
+        prefetched = PrefetchChunkSource(inner, depth=3)
+        assert list(prefetched) == list(inner)
+        assert prefetched.total_packets == inner.total_packets
+        assert prefetched.start_time == inner.start_time
+
+    def test_pipeline_results_are_bit_identical(self, trace):
+        config = _config("scalar")
+        direct = InstaMeasure(config)
+        from repro.pipeline import Pipeline
+
+        Pipeline(direct).run(TraceChunkSource(trace, chunk_size=1_000))
+        staged = InstaMeasure(config)
+        Pipeline(staged).run(
+            PrefetchChunkSource(TraceChunkSource(trace, chunk_size=1_000))
+        )
+        assert staged.estimates() == direct.estimates()
+
+    def test_reiterable(self, trace):
+        prefetched = PrefetchChunkSource(
+            TraceChunkSource(trace, chunk_size=2_000)
+        )
+        assert list(prefetched) == list(prefetched)
+
+    def test_producer_errors_propagate(self):
+        class Exploding(ChunkSource):
+            def __iter__(self):
+                raise RuntimeError("disk on fire")
+                yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            list(PrefetchChunkSource(Exploding()))
+
+    def test_validation(self, trace):
+        inner = TraceChunkSource(trace, chunk_size=1_000)
+        with pytest.raises(ConfigurationError):
+            PrefetchChunkSource(inner, depth=0)
+        with pytest.raises(ConfigurationError):
+            PrefetchChunkSource(object())
