@@ -144,6 +144,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip writing BENCH_throughput.json (quick implies this)",
     )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the sharded scaling benchmark instead (with --quick: "
+        "a smoke pass at 1 and N shards)",
+    )
     return parser
 
 
@@ -183,8 +191,8 @@ def _engine_from_args(args: argparse.Namespace) -> InstaMeasure:
 
 
 def _run_sharded(args: argparse.Namespace, source) -> int:
-    """``run --shards N``: shard, merge exactly, report off the snapshot."""
-    from repro.pipeline import ShardedPipeline
+    """``run --shards N``: stream chunks through shards, merge exactly."""
+    from repro.pipeline import PrefetchChunkSource, ShardedPipeline
     from repro.state import save as save_snapshot
 
     config = InstaMeasureConfig(
@@ -192,9 +200,11 @@ def _run_sharded(args: argparse.Namespace, source) -> int:
         wsaf_entries=1 << args.wsaf_bits,
         seed=getattr(args, "seed", 0),
     )
+    # Chunks stream straight off the file source into per-shard routing;
+    # prefetch stages the next chunk while the current one is routed.
     sharded = ShardedPipeline(
         config, num_shards=args.shards, parallel=args.parallel
-    ).run(source)
+    ).run(PrefetchChunkSource(source))
     snapshot = sharded.snapshot
     trace = source.trace
     est_packets, _est_bytes = sharded.estimates_for(trace)
@@ -210,6 +220,13 @@ def _run_sharded(args: argparse.Namespace, source) -> int:
         ["WSAF flows", f"{snapshot.wsaf.num_records:,}"],
         ["WSAF evictions", f"{snapshot.wsaf.evictions:,}"],
     ]
+    stages = sharded.stage_seconds
+    if stages:
+        rows.append(
+            ["stage seconds (route/ipc/ingest/merge)",
+             f"{stages['route_s']:.3f}/{stages['ipc_s']:.3f}/"
+             f"{stages['ingest_s']:.3f}/{stages['merge_s']:.3f}"]
+        )
     big = truth >= 1000
     if big.any():
         rows.append(
@@ -250,6 +267,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["WSAF load factor", f"{engine.wsaf.load_factor:.2%}"],
         ["WSAF evictions", f"{engine.wsaf.evictions:,}"],
     ]
+    staging = pipeline_result.prefetch_stats
+    if staging is not None:
+        rows.append(
+            ["prefetch (depth peak / producer / consumer wait)",
+             f"{staging.max_depth} / {staging.producer_wait_s:.3f}s / "
+             f"{staging.consumer_wait_s:.3f}s"]
+        )
     big = truth >= 1000
     if big.any():
         rows.append(
@@ -445,6 +469,38 @@ def _load_bench_module():
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     bench = _load_bench_module()
+    if args.shards is not None:
+        if args.quick:
+            trace = build_caida_like_trace(
+                CaidaLikeConfig(num_flows=4_000, duration=10.0, seed=1)
+            )
+            result = bench.run_sharded_benchmark(
+                trace,
+                rounds=args.rounds or 1,
+                shard_counts=(1, args.shards),
+                record=False,
+            )
+            print(result["report"])
+            smoke = result["scaling"][args.shards]
+            if smoke < bench.MIN_SHARD_SMOKE_FLOOR:
+                print(
+                    f"error: {args.shards}-shard run collapsed to "
+                    f"{smoke:.2f}x 1-shard",
+                    file=sys.stderr,
+                )
+                return 1
+            return 0
+        trace = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=30_000, duration=60.0, seed=1)
+        )
+        result = bench.run_sharded_benchmark(
+            trace,
+            rounds=args.rounds or bench.SHARD_ROUNDS,
+            record=not args.no_record,
+        )
+        print(result["report"])
+        bench._assert_sharded_bars(result)
+        return 0
     if args.quick:
         trace = build_caida_like_trace(
             CaidaLikeConfig(num_flows=4_000, duration=10.0, seed=1)

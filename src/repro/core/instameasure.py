@@ -269,6 +269,10 @@ class _BitStream:
         self._total = total
         self.positions = positions
         self.offset = 0
+        #: Set once :meth:`take_at` hands out a non-contiguous gather; the
+        #: cursor then no longer describes the consumed prefix, so the
+        #: stream cannot be captured mid-flight (see ``capture_engine``).
+        self.positional = False
         if positions is not None:
             if total is None:
                 raise ConfigurationError(
@@ -340,11 +344,62 @@ class _BitStream:
             return (self._bits1[begin:end], self._bits2[begin:end])
         return self._matrix[begin:end]
 
+    def take_at(self, positions: np.ndarray):
+        """Bit choices for the packets at global ``positions`` (ascending).
+
+        The streaming-sharded gather: a routed sub-chunk's packets sit at
+        arbitrary global stream positions, so their bits are fancy-indexed
+        out of the one global draw rather than sliced.  Requires a
+        known-length stream (the draw must already cover every position)
+        that was *not* opened with its own position list — the two
+        position mechanisms compose with themselves, not each other.
+        """
+        if self._total is None:
+            raise ConfigurationError(
+                "positional bit gathers need a known-length stream "
+                "(the global draw must exist up front)"
+            )
+        if self.positions is not None:
+            raise ConfigurationError(
+                "stream already has fixed positions; take_at cannot re-route it"
+            )
+        positions = np.ascontiguousarray(positions, dtype=np.int64)
+        if positions.size and (
+            int(positions[0]) < 0 or int(positions[-1]) >= self._total
+        ):
+            raise ConfigurationError(
+                f"chunk positions must lie in [0, {self._total})"
+            )
+        self.positional = True
+        self.offset += positions.size
+        if self._flow_regulator:
+            return (self._bits1[positions], self._bits2[positions])
+        return self._matrix[positions]
+
     def tag(self, count: int) -> "tuple":
         """Kernel-cache stream tag for the next ``count``-packet slice."""
         if self._nonce is not None:
             return (self.offset, self._nonce)
         return (self.offset, self._total)
+
+    def tag_at(self, positions: np.ndarray) -> "tuple":
+        """Kernel-cache stream tag for a :meth:`take_at` gather.
+
+        Deterministic across runs (routing is a pure function of the
+        chunk and the router), so repeated sharded runs over the same
+        chunk source share warm kernel caches.  The (first, last, count)
+        triple pins the gather: a given routed sub-trace object always
+        carries the same position vector.
+        """
+        if positions.size == 0:
+            return ("pos", self._total, -1, -1, 0)
+        return (
+            "pos",
+            self._total,
+            int(positions[0]),
+            int(positions[-1]),
+            int(positions.size),
+        )
 
 
 @dataclass
@@ -776,7 +831,10 @@ class InstaMeasure:
         return restore_engine(snapshot, accountant=accountant)
 
     def ingest(
-        self, chunk, on_accumulate: "AccumulateCallback | None" = None
+        self,
+        chunk,
+        on_accumulate: "AccumulateCallback | None" = None,
+        positions: "np.ndarray | None" = None,
     ) -> MeasurementResult:
         """Process one chunk of a stream, bit-identical to the whole trace.
 
@@ -787,11 +845,22 @@ class InstaMeasure:
         the concatenated trace — and consumed in slices, so regulator,
         WSAF, and kernel-cache state cross chunk boundaries with the same
         counters, records, and event order as the whole-trace path.
+
+        ``positions`` is the streaming-sharded entry point: the chunk's
+        packets sit at those global stream positions (ascending), and
+        their bits are gathered out of the global draw rather than taken
+        from the cursor — exactly the bits a single-process run would
+        hand those packets.  Requires an explicitly opened known-length
+        stream (:meth:`begin_stream` with ``total``).
         """
         from repro.pipeline.protocol import chunk_total, chunk_trace
 
         trace = chunk_trace(chunk)
         if self._stream is None:
+            if positions is not None:
+                raise ConfigurationError(
+                    "positional ingest needs an explicit begin_stream(total=...)"
+                )
             self._stream = _StreamState(
                 bits=_BitStream(
                     self.config,
@@ -801,15 +870,24 @@ class InstaMeasure:
             )
         stream = self._stream
         count = trace.num_packets
-        if stream.bits._total is not None and (
+        if positions is not None:
+            positions = np.ascontiguousarray(positions, dtype=np.int64)
+            if positions.size != count:
+                raise ConfigurationError(
+                    f"chunk has {count} packets but {positions.size} positions"
+                )
+            tag = stream.bits.tag_at(positions)
+            bits = stream.bits.take_at(positions)
+        elif stream.bits._total is not None and (
             stream.bits.offset == 0 and count == stream.bits._total
         ):
             # Single-chunk stream: same bits as a direct process_trace
             # call, so share its kernel-cache entries.
             tag = None
+            bits = stream.bits.take(count)
         else:
             tag = stream.bits.tag(count)
-        bits = stream.bits.take(count)
+            bits = stream.bits.take(count)
         result = self.process_trace(
             trace, on_accumulate=on_accumulate, bits=bits, stream_tag=tag
         )

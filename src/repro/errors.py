@@ -30,3 +30,7 @@ class DecodeError(ReproError):
 
 class SnapshotError(ReproError):
     """A measurement snapshot could not be encoded, decoded, or merged."""
+
+
+class ShardWorkerError(ReproError):
+    """A sharded ingest worker process failed or died mid-stream."""

@@ -29,7 +29,7 @@ from repro.pipeline.driver import (
     PipelineResult,
     run_pipeline,
 )
-from repro.pipeline.prefetch import PrefetchChunkSource
+from repro.pipeline.prefetch import PrefetchChunkSource, PrefetchStats
 from repro.pipeline.protocol import (
     StreamingMeasurer,
     chunk_total,
@@ -37,7 +37,12 @@ from repro.pipeline.protocol import (
     supports_merge,
     supports_rotate,
 )
-from repro.pipeline.sharded import ShardedPipeline, ShardedResult, run_sharded
+from repro.pipeline.sharded import (
+    ShardedPipeline,
+    ShardedResult,
+    ShardWorkerPool,
+    run_sharded,
+)
 from repro.pipeline.source import (
     Chunk,
     ChunkSource,
@@ -55,6 +60,8 @@ __all__ = [
     "Pipeline",
     "PipelineResult",
     "PrefetchChunkSource",
+    "PrefetchStats",
+    "ShardWorkerPool",
     "ShardedPipeline",
     "ShardedResult",
     "StreamingMeasurer",

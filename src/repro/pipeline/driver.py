@@ -47,13 +47,20 @@ class EpochRecord:
 
 @dataclass
 class PipelineResult:
-    """Outcome of one pipeline run."""
+    """Outcome of one pipeline run.
+
+    ``prefetch_stats`` carries the staging-queue counters
+    (:class:`~repro.pipeline.prefetch.PrefetchStats`) when the run's
+    source was a :class:`~repro.pipeline.prefetch.PrefetchChunkSource`,
+    else ``None``.
+    """
 
     result: object
     measurer: object
     packets: int
     chunks: "list[ChunkStats]" = field(default_factory=list)
     epochs: "list[EpochRecord]" = field(default_factory=list)
+    prefetch_stats: "object | None" = None
 
     @property
     def elapsed_seconds(self) -> float:
@@ -182,6 +189,7 @@ class Pipeline:
             packets=packets,
             chunks=chunks,
             epochs=epochs,
+            prefetch_stats=getattr(source, "prefetch_stats", None),
         )
 
 

@@ -14,18 +14,48 @@ sequence, metadata, and the wrapped source's ``total_packets`` /
 bit-identity guarantee of the chunked pipeline carries over.  Producer
 exceptions propagate to the consuming iterator; each ``__iter__`` call
 starts a fresh producer thread, so the source stays re-iterable.
+
+Each pass also records a :class:`PrefetchStats` on the source
+(``prefetch_stats``): how many chunks flowed through, the deepest the
+queue got, and how long producer and consumer each spent blocked on it.
+High ``producer_wait_s`` means ingestion is the bottleneck (prefetch is
+keeping up); high ``consumer_wait_s`` means slicing/IO is — raise
+``depth`` or speed up the backing source.  The
+:class:`~repro.pipeline.driver.Pipeline` driver surfaces the stats on
+:class:`~repro.pipeline.driver.PipelineResult` after a run.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.pipeline.source import ChunkSource
 
 #: Queue sentinel marking normal end-of-stream.
 _DONE = object()
+
+
+@dataclass
+class PrefetchStats:
+    """One iteration pass's queue behavior.
+
+    Attributes:
+        chunks: chunks that flowed through the queue.
+        max_depth: deepest the staging queue got (<= the configured depth).
+        producer_wait_s: time the producer thread spent blocked putting
+            into a full queue — ingestion-bound when high.
+        consumer_wait_s: time the consumer spent blocked waiting for the
+            producer — slicing/IO-bound when high.
+    """
+
+    chunks: int = 0
+    max_depth: int = 0
+    producer_wait_s: float = 0.0
+    consumer_wait_s: float = 0.0
 
 
 class PrefetchChunkSource(ChunkSource):
@@ -50,14 +80,23 @@ class PrefetchChunkSource(ChunkSource):
         self.total_packets = source.total_packets
         self.epoch_seconds = source.epoch_seconds
         self.start_time = source.start_time
+        #: Stats of the most recent (possibly in-progress) iteration pass.
+        self.prefetch_stats: "PrefetchStats | None" = None
 
     def __iter__(self):
         staged: "queue.Queue" = queue.Queue(maxsize=self.depth)
+        stats = PrefetchStats()
+        self.prefetch_stats = stats
 
         def produce() -> None:
             try:
                 for chunk in self.source:
+                    begin = time.perf_counter()
                     staged.put(chunk)
+                    stats.producer_wait_s += time.perf_counter() - begin
+                    # qsize() is advisory, which is fine for a high-water
+                    # mark that only informs tuning.
+                    stats.max_depth = max(stats.max_depth, staged.qsize())
             except BaseException as error:  # propagate to the consumer
                 staged.put(error)
             else:
@@ -68,10 +107,13 @@ class PrefetchChunkSource(ChunkSource):
         )
         worker.start()
         while True:
+            begin = time.perf_counter()
             item = staged.get()
+            stats.consumer_wait_s += time.perf_counter() - begin
             if item is _DONE:
                 break
             if isinstance(item, BaseException):
                 raise item
+            stats.chunks += 1
             yield item
         worker.join()

@@ -1,63 +1,87 @@
-"""Process-sharded ingestion — N workers, one exact merged state.
+"""Process-sharded ingestion — N streaming workers, one exact merged state.
 
-A :class:`ShardedPipeline` routes a trace's packets to ``num_shards``
-workers by flow-key shard (:class:`repro.state.ShardRouter` partitions
-the regulator's L1 word-index space into contiguous ranges), runs each
-worker's :class:`~repro.pipeline.driver.Pipeline` independently over its
-own packet subsequence, and folds the workers' serializable snapshots
-into one :class:`~repro.state.snapshot.MeasurementSnapshot` with
-:func:`repro.state.merge.merge`.
+A :class:`ShardedPipeline` consumes any known-length
+:class:`~repro.pipeline.source.ChunkSource` and routes each chunk as it
+arrives: :meth:`repro.state.ShardRouter.split_chunk` partitions the
+chunk's packets into per-shard sub-traces plus their *global* bit-stream
+positions, so memory stays bounded by the chunk size — a
+:class:`~repro.pipeline.source.FileChunkSource` (optionally behind a
+:class:`~repro.pipeline.prefetch.PrefetchChunkSource`) streams straight
+into sharded workers without the whole trace ever being routed at once.
 
 The merged state's ``estimates()`` are **exactly equal** to a
-single-process run of the same trace, because the sharding is exact on
+single-process run of the same stream, because the sharding is exact on
 every axis:
 
 * *Regulator*: flows sharing an L1 word land in the same shard, so each
   shard's full-size, same-seed regulator evolves its words precisely as
   the single run; disjoint word ranges OR together losslessly.
-* *Randomness*: each worker opens a positioned bit stream over the
-  global draw (``InstaMeasure.begin_stream(total, positions)``), so its
-  packets consume exactly the bits the single run would hand them.
-* *WSAF*: per-flow accumulation order is preserved (each worker sees its
-  flows' packets in global time order), and disjoint key sets
-  concatenate.  The equality holds while the WSAF experiences no
-  evictions or GC — with the paper's 2^20-entry table and ~1 %
+* *Randomness*: each worker opens the same global draw
+  (``InstaMeasure.begin_stream(total)``) and gathers each sub-chunk's
+  bits at its packets' global positions (``ingest(chunk, positions=...)``),
+  so its packets consume exactly the bits the single run would hand them.
+* *WSAF*: per-flow accumulation order is preserved (chunks arrive in
+  stream order and routing is order-stable within a shard), and disjoint
+  key sets concatenate.  The equality holds while the WSAF experiences
+  no evictions or GC — with the paper's 2^20-entry table and ~1 %
   regulation rate, the working set of realistic traces fits (the
   equivalence tests assert zero evictions).
 
-With ``parallel=True`` workers run as forked OS processes and ship their
-snapshots back through the versioned wire codec
-(:func:`repro.state.codec.to_bytes`); in-process execution is
-bit-identical and the fallback wherever fork is unavailable.
+With ``parallel=True`` a :class:`ShardWorkerPool` of long-lived forked
+workers receives routed sub-chunks incrementally over pipes as packed
+NumPy frames (:func:`repro.state.codec.pack_frame`), keeps engine state
+resident between chunks, and ships one IMSNAP payload back at finalize —
+fork and import cost is paid once per run, not once per shard-chunk.
+In-process execution is bit-identical and the fallback wherever fork is
+unavailable (with a :class:`RuntimeWarning`, since the caller asked for
+parallelism it will not get).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
+import traceback
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError
-from repro.pipeline.driver import Pipeline
+from repro.errors import ConfigurationError, ShardWorkerError, SnapshotError
 from repro.pipeline.source import (
     DEFAULT_CHUNK_SIZE,
     ChunkSource,
     TraceChunkSource,
 )
 from repro.state import MeasurementSnapshot, ShardRouter, from_bytes, merge, to_bytes
+from repro.state.codec import pack_frame, unpack_frame
 from repro.traffic.packet import Trace
+
+#: Mask extracting the low 64 bits of a packed 104-bit 5-tuple.
+_LOW64 = (1 << 64) - 1
 
 
 @dataclass
 class ShardedResult:
-    """Outcome of a sharded run: the merged state plus per-shard stats."""
+    """Outcome of a sharded run: the merged state plus per-shard stats.
+
+    ``stage_seconds`` breaks the run into its serial and parallel parts:
+    ``route_s`` (parent-side chunk routing), ``ipc_s`` (frame packing +
+    pipe writes + final snapshot collection; 0 for in-process runs),
+    ``ingest_s`` (the slowest shard's engine time — the parallelizable
+    part), and ``merge_s`` (snapshot decode + fold).  The stages overlap
+    with each other in a fork-parallel run, so they need not sum to
+    ``elapsed_seconds`` (end-to-end wall clock).
+    """
 
     num_shards: int
     snapshot: MeasurementSnapshot
     shard_packets: "list[int]" = field(default_factory=list)
     shard_insertions: "list[int]" = field(default_factory=list)
     shard_elapsed: "list[float]" = field(default_factory=list)
+    stage_seconds: "dict[str, float]" = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    parallel: bool = False
 
     @property
     def packets(self) -> int:
@@ -96,68 +120,306 @@ class ShardedResult:
         return est_packets, est_bytes
 
 
-def _shard_trace(trace: Trace, positions: np.ndarray) -> Trace:
-    """The subsequence of ``trace`` at ``positions`` (global time order)."""
-    return Trace(
-        timestamps=trace.timestamps[positions],
-        flow_ids=trace.flow_ids[positions],
-        sizes=trace.sizes[positions],
-        flows=trace.flows,
-    )
-
-
-def _run_shard(
-    config,
-    trace: Trace,
-    positions: np.ndarray,
-    key_range: "tuple[int, int]",
-    chunk_size: int,
-) -> "tuple[bytes, int, int, float]":
-    """Run one shard's pipeline; return its wire-format snapshot + stats."""
-    from repro.core.instameasure import InstaMeasure
-
-    engine = InstaMeasure(config)
-    engine.begin_stream(total=trace.num_packets, positions=positions)
-    sub = _shard_trace(trace, positions)
-    outcome = Pipeline(engine).run(
-        TraceChunkSource(sub, chunk_size=chunk_size)
-    )
-    result = outcome.result
-    payload = to_bytes(engine.snapshot(key_range=key_range))
-    return payload, outcome.packets, result.insertions, result.elapsed_seconds
-
-
-#: Fork-inherited state for parallel shard workers; set only for the
-#: duration of a parallel run (same pattern as the multi-core manager).
-_SHARD_STATE = None
-
-
-def _parallel_shard(shard: int) -> "tuple[int, bytes, int, int, float]":
-    """Child-process entry: run one shard and ship its snapshot back."""
-    config, trace, positions_by_shard, key_ranges, chunk_size = _SHARD_STATE
-    payload, packets, insertions, elapsed = _run_shard(
-        config, trace, positions_by_shard[shard], key_ranges[shard], chunk_size
-    )
-    return shard, payload, packets, insertions, elapsed
-
-
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+# -- worker-side flow directory ----------------------------------------------
+
+
+class _ShardFlowDirectory:
+    """A worker's growing flow table, fed incrementally by the parent.
+
+    Duck-types the slice of :class:`~repro.traffic.packet.FlowTable` the
+    engines consume — ``key64``, ``packed_tuples()``, ``len()`` — so a
+    worker-side :class:`Trace` can reference it directly.  The parent
+    ships each flow's precomputed ``key64`` and packed-5-tuple halves
+    exactly once (on the first chunk where the flow appears), so the
+    per-chunk frames carry only the *new* flows' identity.
+    """
+
+    def __init__(self) -> None:
+        self.key64 = np.empty(0, dtype=np.uint64)
+        self._packed: "list[int]" = []
+
+    def extend(
+        self, key64: np.ndarray, tuple_lo: np.ndarray, tuple_hi: np.ndarray
+    ) -> None:
+        if key64.size == 0:
+            return
+        self.key64 = np.concatenate([self.key64, key64.astype(np.uint64)])
+        self._packed.extend(
+            (high << 64) | low
+            for high, low in zip(tuple_hi.tolist(), tuple_lo.tolist())
+        )
+
+    def __len__(self) -> int:
+        return int(self.key64.size)
+
+    def packed_tuples(self) -> "list[int]":
+        return self._packed
+
+
+class _ShardFlowSync:
+    """Parent-side record of which flows a worker has already been sent.
+
+    Maps each flow table's global flow ids to the worker's dense local
+    ids, handing back the chunk's localized ``flow_ids`` plus the indices
+    of flows the worker has not seen yet (to be shipped in this frame).
+    Keyed per flow-table object so multi-table streams stay correct.
+    """
+
+    def __init__(self) -> None:
+        self._maps: "dict[int, tuple[object, np.ndarray]]" = {}
+        self.count = 0
+
+    def localize(self, flows, flow_ids: np.ndarray):
+        entry = self._maps.get(id(flows))
+        if entry is None:
+            mapping = np.full(len(flows), -1, dtype=np.int64)
+            self._maps[id(flows)] = (flows, mapping)
+        else:
+            mapping = entry[1]
+        unique = np.unique(flow_ids)
+        fresh = unique[mapping[unique] < 0]
+        if fresh.size:
+            mapping[fresh] = np.arange(
+                self.count, self.count + fresh.size, dtype=np.int64
+            )
+            self.count += int(fresh.size)
+        return mapping[flow_ids], fresh
+
+
+def _fresh_flow_columns(flows, index: np.ndarray):
+    """``(key64, tuple_lo, tuple_hi)`` for the flows at ``index``."""
+    key64 = flows.key64[index]
+    try:
+        src = flows.src_ip[index].astype(np.uint64)
+        dst = flows.dst_ip[index].astype(np.uint64)
+        lo = (
+            ((dst & np.uint64(0xFFFFFF)) << np.uint64(40))
+            | (flows.src_port[index].astype(np.uint64) << np.uint64(24))
+            | (flows.dst_port[index].astype(np.uint64) << np.uint64(8))
+            | flows.protocol[index].astype(np.uint64)
+        )
+        hi = (src << np.uint64(8)) | (dst >> np.uint64(24))
+    except AttributeError:
+        packed = flows.packed_tuples()
+        values = [packed[i] for i in index.tolist()]
+        lo = np.array([v & _LOW64 for v in values], dtype=np.uint64)
+        hi = np.array([v >> 64 for v in values], dtype=np.uint64)
+    return key64, lo, hi
+
+
+# -- the persistent worker pool ----------------------------------------------
+
+
+def _worker_main(conn, parent_conn, config, key_range, total) -> None:
+    """Child-process loop: ingest framed sub-chunks until finalize.
+
+    Protocol (all messages are :func:`repro.state.codec.pack_frame`
+    payloads over ``conn``):
+
+    * ``{"type": "chunk"}`` with columns ``timestamps`` / ``flow_ids``
+      (worker-local) / ``sizes`` / ``positions`` (global) plus the
+      not-yet-seen flows' ``new_key64`` / ``new_tuple_lo`` /
+      ``new_tuple_hi`` — ingested immediately, engine state kept live.
+    * ``{"type": "finalize"}`` — finalize the stream and reply with one
+      ``{"type": "done"}`` frame carrying per-shard counters and the
+      shard's IMSNAP snapshot payload, then exit.
+
+    Any failure is reported back as a ``{"type": "error"}`` frame with
+    the full traceback; the parent raises it as a
+    :class:`~repro.errors.ShardWorkerError`.
+    """
+    if parent_conn is not None:
+        parent_conn.close()
+    try:
+        from repro.core.instameasure import InstaMeasure
+
+        engine = InstaMeasure(config)
+        engine.begin_stream(total=total)
+        directory = _ShardFlowDirectory()
+        ingest_s = 0.0
+        while True:
+            meta, columns = unpack_frame(conn.recv_bytes())
+            kind = meta.get("type")
+            if kind == "chunk":
+                directory.extend(
+                    columns["new_key64"],
+                    columns["new_tuple_lo"],
+                    columns["new_tuple_hi"],
+                )
+                sub = Trace(
+                    timestamps=columns["timestamps"],
+                    flow_ids=columns["flow_ids"],
+                    sizes=columns["sizes"],
+                    flows=directory,
+                )
+                begin = time.perf_counter()
+                engine.ingest(sub, positions=columns["positions"])
+                ingest_s += time.perf_counter() - begin
+            elif kind == "finalize":
+                result = engine.finalize()
+                payload = to_bytes(engine.snapshot(key_range=key_range))
+                conn.send_bytes(
+                    pack_frame(
+                        {
+                            "type": "done",
+                            "packets": result.packets,
+                            "insertions": result.insertions,
+                            "elapsed": result.elapsed_seconds,
+                            "ingest_s": ingest_s,
+                        },
+                        {"snapshot": np.frombuffer(payload, dtype=np.uint8)},
+                    )
+                )
+                return
+            else:
+                raise ShardWorkerError(f"unknown frame type {kind!r}")
+    except BaseException as exc:
+        try:
+            conn.send_bytes(
+                pack_frame(
+                    {
+                        "type": "error",
+                        "message": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                    },
+                    {},
+                )
+            )
+        except Exception:
+            pass  # parent will see EOF and raise ShardWorkerError
+    finally:
+        conn.close()
+
+
+class ShardWorkerPool:
+    """Long-lived forked shard workers fed incrementally over pipes.
+
+    One worker process per shard, forked once at construction; each
+    holds a live engine with the global randomness draw and accumulates
+    state across every sub-chunk it receives, so per-run cost is one
+    fork + one snapshot ship per worker no matter how many chunks
+    stream through.  Worker failures surface promptly as
+    :class:`~repro.errors.ShardWorkerError` (never a hang): a worker
+    that raises ships its traceback back as an error frame, and a
+    worker that dies outright breaks the pipe, which the next
+    :meth:`send` or :meth:`finalize` turns into the same error.
+    """
+
+    def __init__(self, config, key_ranges, total: int, context=None) -> None:
+        if context is None:
+            context = multiprocessing.get_context("fork")
+        self.num_shards = len(key_ranges)
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        for shard, key_range in enumerate(key_ranges):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, parent_conn, config, key_range, total),
+                name=f"shard-worker-{shard}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+
+    def _raise_worker_failure(self, shard: int, cause=None):
+        """Turn a dead or failed worker into a ShardWorkerError."""
+        detail = ""
+        try:
+            if self._conns[shard].poll(1.0):
+                meta, _columns = unpack_frame(self._conns[shard].recv_bytes())
+                if meta.get("type") == "error":
+                    detail = meta.get("traceback") or meta.get("message", "")
+        except (EOFError, OSError, SnapshotError):
+            pass
+        if detail:
+            message = f"shard worker {shard} failed:\n{detail}"
+        else:
+            message = f"shard worker {shard} died without reporting an error"
+        raise ShardWorkerError(message) from cause
+
+    def send(self, shard: int, frame: bytes) -> None:
+        """Ship one packed frame to ``shard``'s worker."""
+        conn = self._conns[shard]
+        # An unsolicited message waiting here can only be an error frame:
+        # surface it instead of writing into a pipe nobody reads.
+        if conn.poll(0):
+            self._raise_worker_failure(shard)
+        try:
+            conn.send_bytes(frame)
+        except (BrokenPipeError, OSError) as exc:
+            self._raise_worker_failure(shard, exc)
+
+    def finalize(self) -> "list[tuple[dict, bytes]]":
+        """Ask every worker to finalize; collect ``(stats, snapshot_bytes)``."""
+        frame = pack_frame({"type": "finalize"}, {})
+        for shard in range(self.num_shards):
+            try:
+                self._conns[shard].send_bytes(frame)
+            except (BrokenPipeError, OSError) as exc:
+                self._raise_worker_failure(shard, exc)
+        replies: "list[tuple[dict, bytes]]" = []
+        for shard in range(self.num_shards):
+            try:
+                meta, columns = unpack_frame(self._conns[shard].recv_bytes())
+            except (EOFError, OSError) as exc:
+                self._raise_worker_failure(shard, exc)
+            if meta.get("type") == "error":
+                detail = meta.get("traceback") or meta.get("message", "")
+                raise ShardWorkerError(
+                    f"shard worker {shard} failed:\n{detail}"
+                )
+            replies.append((meta, columns["snapshot"].tobytes()))
+        return replies
+
+    def close(self) -> None:
+        """Close every pipe and reap the worker processes."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for process in self._procs:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- the sharded pipeline ----------------------------------------------------
+
+
 class ShardedPipeline:
-    """Shard a trace across N independent pipelines and merge exactly.
+    """Stream any known-length chunk source across N shards, merge exactly.
 
     Args:
         config: per-worker engine configuration.  Unlike the multi-core
             manager, every shard uses the *same* seed — word-range
             disjointness is what keeps their regulators from interfering.
         num_shards: worker count, >= 1.
-        parallel: run workers as forked OS processes (falls back to
-            in-process execution when the platform cannot fork or there
-            is a single shard; both modes are bit-identical).
-        chunk_size: per-worker ingest chunk budget (defaults to the
-            config's ``chunk_size``).
+        parallel: run workers as a forked :class:`ShardWorkerPool`
+            (falls back to in-process execution, with a
+            :class:`RuntimeWarning`, where the platform cannot fork;
+            both modes are bit-identical).
+        chunk_size: slicing budget when :meth:`run` receives a bare
+            trace (defaults to the config's ``chunk_size``); an explicit
+            chunk source keeps its own slicing.
     """
 
     def __init__(
@@ -183,18 +445,27 @@ class ShardedPipeline:
         )
         self.router = ShardRouter.for_config(self.config, num_shards)
 
-    @staticmethod
-    def _coerce_trace(source) -> Trace:
-        """Sharding needs the whole trace to route; unwrap the source."""
+    def _coerce_source(self, source) -> ChunkSource:
+        """Any trace or chunk source, as long as the total is known.
+
+        The global randomness draw is positioned against the stream
+        total, so sharding needs ``total_packets`` up front — but *not*
+        the trace itself: routing is per-chunk.
+        """
         if isinstance(source, Trace):
-            return source
-        trace = getattr(source, "trace", None)
-        if isinstance(source, ChunkSource) and isinstance(trace, Trace):
-            return trace
-        raise ConfigurationError(
-            "sharded ingestion needs a Trace or a trace-backed chunk "
-            f"source, got {type(source).__name__}"
-        )
+            source = TraceChunkSource(source, chunk_size=self.chunk_size)
+        if not isinstance(source, ChunkSource):
+            raise ConfigurationError(
+                "sharded ingestion needs a Trace or a ChunkSource, "
+                f"got {type(source).__name__}"
+            )
+        if source.total_packets is None:
+            raise ConfigurationError(
+                "sharded ingestion needs a chunk source with a known "
+                "total_packets (the global randomness draw is positioned "
+                f"against it); {type(source).__name__} reports None"
+            )
+        return source
 
     def positions_by_shard(self, trace: Trace) -> "list[np.ndarray]":
         """Each shard's global packet positions, in stream order."""
@@ -205,58 +476,134 @@ class ShardedPipeline:
         ]
 
     def run(self, source, parallel: "bool | None" = None) -> ShardedResult:
-        """Route, run every shard's pipeline, and merge the snapshots."""
-        trace = self._coerce_trace(source)
-        positions_by_shard = self.positions_by_shard(trace)
+        """Stream every chunk through routed shard pipelines and merge."""
+        source = self._coerce_source(source)
+        total = int(source.total_packets)
+        if parallel is None:
+            parallel = self.parallel
+        use_fork = parallel and _fork_available()
+        if parallel and not use_fork:
+            warnings.warn(
+                "fork start method is unavailable on this platform; "
+                "running shards in-process instead of in parallel",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         key_ranges = [
             self.router.key_range(shard) for shard in range(self.num_shards)
         ]
-        if parallel is None:
-            parallel = self.parallel
-        use_fork = parallel and self.num_shards > 1 and _fork_available()
+        begin = time.perf_counter()
         if use_fork:
-            payloads = self._run_parallel(trace, positions_by_shard, key_ranges)
+            result = self._run_forked(source, total, key_ranges)
         else:
-            payloads = [
-                _run_shard(
-                    self.config,
-                    trace,
-                    positions_by_shard[shard],
-                    key_ranges[shard],
-                    self.chunk_size,
-                )
-                for shard in range(self.num_shards)
-            ]
-        snapshots = [from_bytes(payload) for payload, _, _, _ in payloads]
+            result = self._run_in_process(source, total, key_ranges)
+        result.elapsed_seconds = time.perf_counter() - begin
+        return result
+
+    def _run_in_process(self, source, total, key_ranges) -> ShardedResult:
+        """Route chunks into per-shard engines living in this process."""
+        from repro.core.instameasure import InstaMeasure
+
+        engines = [InstaMeasure(self.config) for _ in range(self.num_shards)]
+        for engine in engines:
+            engine.begin_stream(total=total)
+        route_s = 0.0
+        for chunk in source:
+            begin = time.perf_counter()
+            parts = self.router.split_chunk(chunk)
+            route_s += time.perf_counter() - begin
+            for shard, (sub, positions) in enumerate(parts):
+                if sub.num_packets:
+                    engines[shard].ingest(sub, positions=positions)
+        results = [engine.finalize() for engine in engines]
+
+        begin = time.perf_counter()
+        snapshots = [
+            engine.snapshot(key_range=key_range)
+            for engine, key_range in zip(engines, key_ranges)
+        ]
+        merged = merge(snapshots, mode="disjoint")
+        merge_s = time.perf_counter() - begin
+        ingest_s = max(
+            (result.elapsed_seconds for result in results), default=0.0
+        )
         return ShardedResult(
             num_shards=self.num_shards,
-            snapshot=merge(snapshots, mode="disjoint"),
-            shard_packets=[packets for _, packets, _, _ in payloads],
-            shard_insertions=[insertions for _, _, insertions, _ in payloads],
-            shard_elapsed=[elapsed for _, _, _, elapsed in payloads],
+            snapshot=merged,
+            shard_packets=[result.packets for result in results],
+            shard_insertions=[result.insertions for result in results],
+            shard_elapsed=[result.elapsed_seconds for result in results],
+            stage_seconds={
+                "route_s": route_s,
+                "ipc_s": 0.0,
+                "ingest_s": ingest_s,
+                "merge_s": merge_s,
+            },
+            parallel=False,
         )
 
-    def _run_parallel(self, trace, positions_by_shard, key_ranges):
-        """Fork one process per shard; collect wire-format snapshots."""
-        global _SHARD_STATE
-        context = multiprocessing.get_context("fork")
-        _SHARD_STATE = (
-            self.config,
-            trace,
-            positions_by_shard,
-            key_ranges,
-            self.chunk_size,
-        )
+    def _run_forked(self, source, total, key_ranges) -> ShardedResult:
+        """Stream routed sub-chunks into a persistent forked worker pool."""
+        route_s = ipc_s = 0.0
+        syncs = [_ShardFlowSync() for _ in range(self.num_shards)]
+        pool = ShardWorkerPool(self.config, key_ranges, total)
         try:
-            with context.Pool(processes=self.num_shards) as pool:
-                results = pool.map(_parallel_shard, range(self.num_shards))
+            for chunk in source:
+                begin = time.perf_counter()
+                parts = self.router.split_chunk(chunk)
+                route_s += time.perf_counter() - begin
+                for shard, (sub, positions) in enumerate(parts):
+                    if not sub.num_packets:
+                        continue
+                    begin = time.perf_counter()
+                    local_ids, fresh = syncs[shard].localize(
+                        sub.flows, sub.flow_ids
+                    )
+                    key64, tuple_lo, tuple_hi = _fresh_flow_columns(
+                        sub.flows, fresh
+                    )
+                    frame = pack_frame(
+                        {"type": "chunk"},
+                        {
+                            "timestamps": sub.timestamps,
+                            "flow_ids": local_ids,
+                            "sizes": sub.sizes,
+                            "positions": positions,
+                            "new_key64": key64,
+                            "new_tuple_lo": tuple_lo,
+                            "new_tuple_hi": tuple_hi,
+                        },
+                    )
+                    pool.send(shard, frame)
+                    ipc_s += time.perf_counter() - begin
+            begin = time.perf_counter()
+            replies = pool.finalize()
+            ipc_s += time.perf_counter() - begin
         finally:
-            _SHARD_STATE = None
-        results.sort(key=lambda item: item[0])
-        return [
-            (payload, packets, insertions, elapsed)
-            for _, payload, packets, insertions, elapsed in results
-        ]
+            pool.close()
+
+        begin = time.perf_counter()
+        snapshots = [from_bytes(payload) for _meta, payload in replies]
+        merged = merge(snapshots, mode="disjoint")
+        merge_s = time.perf_counter() - begin
+        ingest_s = max(
+            (meta.get("ingest_s", 0.0) for meta, _payload in replies),
+            default=0.0,
+        )
+        return ShardedResult(
+            num_shards=self.num_shards,
+            snapshot=merged,
+            shard_packets=[meta["packets"] for meta, _ in replies],
+            shard_insertions=[meta["insertions"] for meta, _ in replies],
+            shard_elapsed=[meta["elapsed"] for meta, _ in replies],
+            stage_seconds={
+                "route_s": route_s,
+                "ipc_s": ipc_s,
+                "ingest_s": ingest_s,
+                "merge_s": merge_s,
+            },
+            parallel=True,
+        )
 
 
 def run_sharded(

@@ -23,11 +23,14 @@ core engines can depend on this package without a cycle.
 """
 
 from repro.state.codec import (
+    FRAME_MAGIC,
     SNAPSHOT_VERSION,
     from_bytes,
     load,
+    pack_frame,
     save,
     to_bytes,
+    unpack_frame,
 )
 from repro.state.merge import (
     InsertionLog,
@@ -51,6 +54,7 @@ from repro.state.snapshot import (
 )
 
 __all__ = [
+    "FRAME_MAGIC",
     "InsertionLog",
     "MeasurementSnapshot",
     "RegulatorState",
@@ -65,6 +69,7 @@ __all__ = [
     "from_bytes",
     "load",
     "merge",
+    "pack_frame",
     "regulator_sketches",
     "release_ordered",
     "restore_engine",
@@ -72,4 +77,5 @@ __all__ = [
     "save",
     "tag_events",
     "to_bytes",
+    "unpack_frame",
 ]

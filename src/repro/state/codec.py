@@ -254,6 +254,77 @@ def from_bytes(data: bytes) -> MeasurementSnapshot:
     )
 
 
+# -- incremental payload framing ---------------------------------------------
+#
+# The sharded worker pool streams routed sub-chunks to long-lived workers
+# over pipes.  Those messages are not snapshots — they are small, frequent,
+# and latency-sensitive — so they get their own framing: the same
+# magic + JSON-header + raw-columns layout as IMSNAP, but columns keep
+# their *native* dtypes (a chunk's uint8 bits or float64 timestamps ship
+# as-is instead of being widened to the archival 8-byte wire types).
+
+#: Frame magic; distinct from :data:`MAGIC` so a frame can never be
+#: mistaken for a persisted snapshot (or vice versa).
+FRAME_MAGIC = b"IMFRM\x00\x01"
+
+
+def _frame_dtype(array: np.ndarray) -> "tuple[str, np.ndarray]":
+    """``array``'s little-endian wire dtype string and wire-ready data."""
+    dtype = array.dtype
+    if dtype.kind not in "uifb":
+        raise SnapshotError(f"cannot frame column dtype {dtype}")
+    wire = dtype.newbyteorder("<") if dtype.byteorder == ">" else dtype
+    return wire.str, np.ascontiguousarray(array, dtype=wire)
+
+
+def pack_frame(meta: "dict", columns: "dict[str, np.ndarray]") -> bytes:
+    """Serialize one IPC frame: JSON ``meta`` plus named NumPy columns."""
+    manifest = []
+    payloads = []
+    for name, array in columns.items():
+        wire, data = _frame_dtype(np.asarray(array))
+        manifest.append({"name": name, "dtype": wire, "count": int(data.size)})
+        payloads.append(data.tobytes())
+    header = {"meta": meta, "manifest": manifest}
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [FRAME_MAGIC, len(header_bytes).to_bytes(8, "little"), header_bytes]
+    parts.extend(payloads)
+    return b"".join(parts)
+
+
+def unpack_frame(data: bytes) -> "tuple[dict, dict[str, np.ndarray]]":
+    """Decode :func:`pack_frame` output into ``(meta, columns)``."""
+    if len(data) < len(FRAME_MAGIC) + 8 or data[: len(FRAME_MAGIC)] != FRAME_MAGIC:
+        raise SnapshotError("not an IPC frame (bad magic)")
+    header_begin = len(FRAME_MAGIC) + 8
+    header_len = int.from_bytes(data[len(FRAME_MAGIC) : header_begin], "little")
+    header_end = header_begin + header_len
+    if header_end > len(data):
+        raise SnapshotError("truncated frame header")
+    try:
+        header = json.loads(data[header_begin:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"corrupt frame header: {exc}") from exc
+    columns: "dict[str, np.ndarray]" = {}
+    offset = header_end
+    for entry in header["manifest"]:
+        dtype = np.dtype(entry["dtype"])
+        nbytes = dtype.itemsize * entry["count"]
+        if offset + nbytes > len(data):
+            raise SnapshotError(
+                f"truncated frame payload at column {entry['name']!r}"
+            )
+        columns[entry["name"]] = np.frombuffer(
+            data, dtype=dtype, count=entry["count"], offset=offset
+        ).copy()
+        offset += nbytes
+    if offset != len(data):
+        raise SnapshotError(
+            f"{len(data) - offset} trailing bytes after the last frame column"
+        )
+    return header["meta"], columns
+
+
 def save(snapshot: MeasurementSnapshot, path) -> None:
     """Write ``snapshot`` to ``path`` (see :func:`to_bytes`)."""
     with open(path, "wb") as handle:

@@ -295,6 +295,12 @@ def capture_engine(engine, key_range=None) -> MeasurementSnapshot:
                 "its randomness was drawn per chunk and is not reproducible "
                 "from a cursor; finalize() first"
             )
+        if getattr(bits, "positional", False):
+            raise SnapshotError(
+                "cannot snapshot a stream mid-flight after positional "
+                "(take_at) gathers: the cursor no longer describes the "
+                "consumed prefix; finalize() first"
+            )
         cursor = StreamCursor(
             offset=bits.offset,
             total=bits._total,

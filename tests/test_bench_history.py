@@ -81,3 +81,38 @@ class TestLoadHistory:
         bench._append_report([later])
         history = json.loads(history_path.read_text())
         assert {r["git_sha"] for r in history} == {"abc123", "def456"}
+
+
+class TestShardsNormalization:
+    def test_legacy_rows_backfilled_with_one_shard(self, bench, history_path):
+        legacy = _row(bench, timestamp=1.0)
+        assert "shards" not in legacy
+        history_path.write_text(json.dumps([legacy]))
+        bench._append_report([])
+        history = json.loads(history_path.read_text())
+        assert [r["shards"] for r in history] == [1]
+
+    def test_shards_joins_the_row_key(self, bench, history_path):
+        # Same (sha, variant) at different shard counts are distinct
+        # rows; a re-measurement at the same count supersedes.
+        rows = []
+        for shards, timestamp in ((1, 1.0), (4, 1.0), (4, 2.0)):
+            row = _row(bench, timestamp=timestamp)
+            row["shards"] = shards
+            rows.append(row)
+        history_path.write_text(json.dumps(rows))
+        bench._append_report([])
+        history = json.loads(history_path.read_text())
+        assert sorted(
+            (r["shards"], r["timestamp"]) for r in history
+        ) == [(1, 1.0), (4, 2.0)]
+
+    def test_legacy_and_explicit_one_shard_dedupe(self, bench, history_path):
+        legacy = _row(bench, timestamp=1.0)
+        explicit = _row(bench, timestamp=2.0)
+        explicit["shards"] = 1
+        history_path.write_text(json.dumps([legacy, explicit]))
+        bench._append_report([])
+        history = json.loads(history_path.read_text())
+        assert len(history) == 1
+        assert history[0]["timestamp"] == 2.0

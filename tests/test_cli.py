@@ -74,7 +74,9 @@ class TestRun:
         def metric(out: str, name: str) -> str:
             for line in out.splitlines():
                 if line.startswith(name):
-                    return line[len(name):].strip()
+                    # Column padding varies with the widest row label,
+                    # so compare whitespace-normalized values.
+                    return " ".join(line[len(name):].split())
             raise AssertionError(f"{name!r} not in output")
 
         # The sharded run reports the same measurement, exactly.

@@ -171,13 +171,76 @@ class TestShardedPipelineAPI:
         )
         assert from_trace.estimates() == from_source.estimates()
 
-    def test_rejects_traceless_sources(self, trace):
+    def test_rejects_unknown_length_sources(self, trace):
+        # Streaming routing accepts any ChunkSource — but the global
+        # randomness draw is positioned against the stream total, so a
+        # source that cannot report one is rejected up front.
         class Opaque(ChunkSource):
             def __iter__(self):
                 return iter(())
 
-        with pytest.raises(ConfigurationError, match="trace-backed"):
+        with pytest.raises(ConfigurationError, match="total_packets"):
             ShardedPipeline(_config(), num_shards=2).run(Opaque())
+
+    def test_accepts_opaque_sources_with_known_total(self, trace):
+        # A chunk source that is NOT a TraceChunkSource (so nothing can
+        # peek at a whole backing trace) still shard-streams exactly, as
+        # long as it reports its total.
+        inner = TraceChunkSource(trace, chunk_size=3_000)
+
+        class Relay(ChunkSource):
+            total_packets = trace.num_packets
+            epoch_seconds = None
+            start_time = None
+
+            def __iter__(self):
+                return iter(inner)
+
+        config = _config("scalar")
+        result = ShardedPipeline(config, num_shards=3).run(Relay())
+        assert result.estimates() == _single_run(config, trace).estimates()
+
+    def test_streams_from_file_source(self, trace, tmp_path):
+        """Sharded runs consume FileChunkSource chunk by chunk."""
+        from repro.pipeline import FileChunkSource
+        from repro.traffic import save_trace
+
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        config = _config("batched")
+        single = _single_run(config, trace)
+        result = ShardedPipeline(config, num_shards=4).run(
+            FileChunkSource(path, chunk_size=4_000)
+        )
+        assert result.estimates() == single.estimates()
+        if _fork_available():
+            forked = ShardedPipeline(config, num_shards=4, parallel=True).run(
+                FileChunkSource(path, chunk_size=4_000)
+            )
+            assert forked.estimates() == single.estimates()
+
+    def test_stage_seconds_breakdown(self, trace):
+        result = ShardedPipeline(_config(), num_shards=2).run(trace)
+        assert set(result.stage_seconds) == {
+            "route_s",
+            "ipc_s",
+            "ingest_s",
+            "merge_s",
+        }
+        assert result.elapsed_seconds > 0
+        assert result.stage_seconds["ipc_s"] == 0.0  # in-process run
+
+    def test_fork_unavailable_falls_back_with_warning(self, trace, monkeypatch):
+        import repro.pipeline.sharded as sharded_module
+
+        monkeypatch.setattr(sharded_module, "_fork_available", lambda: False)
+        config = _config("scalar")
+        with pytest.warns(RuntimeWarning, match="fork start method"):
+            result = ShardedPipeline(config, num_shards=2, parallel=True).run(
+                trace
+            )
+        assert not result.parallel
+        assert result.estimates() == _single_run(config, trace).estimates()
 
     def test_rejects_bad_shard_count(self):
         with pytest.raises(ConfigurationError):
@@ -201,6 +264,113 @@ class TestShardedPipelineAPI:
         want_packets, want_bytes = single.estimates_for(trace)
         assert np.array_equal(got_packets, want_packets)
         assert np.array_equal(got_bytes, want_bytes)
+
+
+class TestStreamingEdges:
+    def test_one_packet_chunks(self):
+        """chunk_size=1 — every routed sub-chunk is one packet or empty."""
+        tiny = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=20, duration=0.3, seed=7)
+        )
+        config = _config("scalar")
+        single = _single_run(config, tiny)
+        result = ShardedPipeline(config, num_shards=3, chunk_size=1).run(tiny)
+        assert result.estimates() == single.estimates()
+        assert result.packets == tiny.num_packets
+
+    def test_positional_midstream_capture_rejected(self, trace):
+        """After take_at gathers, the cursor is meaningless — capture raises."""
+        from repro.errors import SnapshotError
+        from repro.state import capture_engine
+        from repro.traffic.packet import Trace
+
+        engine = InstaMeasure(_config("scalar"))
+        engine.begin_stream(total=trace.num_packets)
+        sub = Trace(
+            timestamps=trace.timestamps[:10],
+            flow_ids=trace.flow_ids[:10],
+            sizes=trace.sizes[:10],
+            flows=trace.flows,
+        )
+        engine.ingest(sub, positions=np.arange(10, dtype=np.int64))
+        with pytest.raises(SnapshotError, match="positional"):
+            capture_engine(engine)
+        engine.finalize()  # and finalizing afterwards is fine
+
+
+@pytest.mark.skipif(not _fork_available(), reason="platform cannot fork")
+class TestShardWorkerPool:
+    """Failure handling of the persistent worker pool: raise, never hang."""
+
+    def _pool(self, total=100):
+        from repro.pipeline import ShardWorkerPool
+
+        config = _config("scalar")
+        router = ShardRouter.for_config(config, 1)
+        return ShardWorkerPool(config, [router.key_range(0)], total)
+
+    def _chunk_frame(self, positions):
+        from repro.state import pack_frame
+
+        count = len(positions)
+        return pack_frame(
+            {"type": "chunk"},
+            {
+                "timestamps": np.linspace(0.0, 1.0, count),
+                "flow_ids": np.zeros(count, dtype=np.int64),
+                "sizes": np.full(count, 100, dtype=np.int64),
+                "positions": np.asarray(positions, dtype=np.int64),
+                "new_key64": np.array([12345], dtype=np.uint64),
+                "new_tuple_lo": np.array([1], dtype=np.uint64),
+                "new_tuple_hi": np.array([2], dtype=np.uint64),
+            },
+        )
+
+    def test_worker_exception_propagates(self):
+        from repro.errors import ShardWorkerError
+
+        pool = self._pool(total=100)
+        try:
+            # Positions beyond the declared total make the worker's
+            # engine raise mid-chunk; the error frame must surface as a
+            # ShardWorkerError (carrying the worker traceback), not hang.
+            pool.send(0, self._chunk_frame([999]))
+            with pytest.raises(ShardWorkerError, match="shard worker 0"):
+                pool.finalize()
+        finally:
+            pool.close()
+
+    def test_worker_death_propagates(self):
+        import os
+        import signal
+
+        from repro.errors import ShardWorkerError
+
+        pool = self._pool(total=100)
+        try:
+            victim = pool._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5.0)
+            with pytest.raises(ShardWorkerError):
+                pool.send(0, self._chunk_frame([0, 1, 2]))
+                pool.finalize()
+        finally:
+            pool.close()
+
+    def test_healthy_pool_round_trips(self):
+        pool = self._pool(total=3)
+        try:
+            pool.send(0, self._chunk_frame([0, 1, 2]))
+            replies = pool.finalize()
+        finally:
+            pool.close()
+        assert len(replies) == 1
+        meta, payload = replies[0]
+        assert meta["packets"] == 3
+        from repro.state import from_bytes
+
+        snapshot = from_bytes(payload)
+        assert snapshot.regulator.packets == 3
 
 
 class TestPrefetchChunkSource:
@@ -244,3 +414,34 @@ class TestPrefetchChunkSource:
             PrefetchChunkSource(inner, depth=0)
         with pytest.raises(ConfigurationError):
             PrefetchChunkSource(object())
+
+    def test_records_queue_stats(self, trace):
+        inner = TraceChunkSource(trace, chunk_size=1_000)
+        prefetched = PrefetchChunkSource(inner, depth=3)
+        assert prefetched.prefetch_stats is None
+        chunks = list(prefetched)
+        stats = prefetched.prefetch_stats
+        assert stats is not None
+        assert stats.chunks == len(chunks)
+        assert 0 <= stats.max_depth <= 3
+        assert stats.producer_wait_s >= 0.0
+        assert stats.consumer_wait_s >= 0.0
+        # Each pass gets a fresh stats object.
+        list(prefetched)
+        assert prefetched.prefetch_stats is not stats
+
+    def test_pipeline_surfaces_prefetch_stats(self, trace):
+        from repro.pipeline import Pipeline
+
+        config = _config("scalar")
+        prefetched = PrefetchChunkSource(
+            TraceChunkSource(trace, chunk_size=1_000)
+        )
+        outcome = Pipeline(InstaMeasure(config)).run(prefetched)
+        assert outcome.prefetch_stats is not None
+        assert outcome.prefetch_stats.chunks == len(outcome.chunks)
+        # A direct source reports no prefetch stats.
+        plain = Pipeline(InstaMeasure(config)).run(
+            TraceChunkSource(trace, chunk_size=1_000)
+        )
+        assert plain.prefetch_stats is None
