@@ -84,6 +84,7 @@ import gc
 import json
 import os
 import pathlib
+import platform
 import subprocess
 import time
 
@@ -161,6 +162,23 @@ def _variant_label(engine: str, wsaf_engine: str, replay: str) -> str:
     if wsaf_engine == "scalar":
         return "batched/wsaf-scalar"
     return f"delegated/{replay}"
+
+
+def _environment() -> "dict":
+    """Hardware/software context stamped onto every recorded row.
+
+    Throughput history spans machines and library versions; without the
+    context a row's pps number cannot be compared honestly against
+    another commit's.  Legacy rows predating this stamp are backfilled
+    with ``null`` values during normalization so consumers can filter.
+    """
+    import numpy
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "numpy_version": numpy.__version__,
+    }
 
 
 def _git_sha() -> str:
@@ -298,6 +316,10 @@ def _normalize_history(history: "list[dict]") -> "list[dict]":
       so every row carries the full key.
     * Rows without ``shards`` predate the sharded scaling benchmark and
       all ran a single unsharded pipeline — backfill ``shards: 1``.
+    * Rows without the environment stamp (``cpu_count`` / ``platform`` /
+      ``numpy_version``) predate it and their machine context is
+      unknowable — backfill ``null`` so every row carries the fields and
+      consumers can filter on them.
     * One row per ``(git_sha, engine, wsaf_engine, regulator_replay,
       shards)``, latest ``timestamp`` wins; output sorted by timestamp
       so the file reads as a history.
@@ -309,6 +331,9 @@ def _normalize_history(history: "list[dict]") -> "list[dict]":
         row.setdefault("wsaf_engine", "scalar")
         row.setdefault("regulator_replay", "loop")
         row.setdefault("shards", 1)
+        row.setdefault("cpu_count", None)
+        row.setdefault("platform", None)
+        row.setdefault("numpy_version", None)
         key = _row_key(row)
         kept = best.get(key)
         if kept is None or row.get("timestamp", 0) >= kept.get("timestamp", 0):
@@ -421,6 +446,7 @@ def run_benchmark(
 
     sha = _git_sha()
     now = time.time()
+    environment = _environment()
     rows = []
     for variant in VARIANTS:
         engine, wsaf_engine, replay = variant
@@ -434,6 +460,7 @@ def run_benchmark(
             "packets": packets[variant],
             "chunk_size": CHUNK_SIZE,
             "timestamp": now,
+            **environment,
         }
         if variant in stages:
             row["stages"] = stages[variant]
@@ -552,6 +579,7 @@ def run_sharded_benchmark(
 
     sha = _git_sha()
     now = time.time()
+    environment = _environment()
     rows = []
     for num_shards in shard_counts:
         # One pipeline per count, reused across rounds: the router's
@@ -601,10 +629,10 @@ def run_sharded_benchmark(
                 "seconds": headline_s,
                 "inproc_seconds": inproc_s,
                 "unsharded_seconds": unsharded_s,
-                "cpu_count": os.cpu_count(),
                 "packets": trace.num_packets,
                 "chunk_size": CHUNK_SIZE,
                 "timestamp": now,
+                **environment,
                 "stages": dict(best.stage_seconds),
             }
         )

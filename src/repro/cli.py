@@ -84,6 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final measurement state snapshot to this path",
     )
+    run.add_argument(
+        "--wsaf-backend",
+        choices=["flat", "tiered", "icebuckets"],
+        default="flat",
+        help="WSAF storage backend (tiered: hot SRAM cache; icebuckets: "
+        "compressed counters)",
+    )
 
     snap = commands.add_parser(
         "snapshot", help="save/load serializable measurement state"
@@ -186,6 +193,7 @@ def _engine_from_args(args: argparse.Namespace) -> InstaMeasure:
             l1_memory_bytes=int(args.l1_kb * 1024),
             wsaf_entries=1 << args.wsaf_bits,
             seed=getattr(args, "seed", 0),
+            wsaf_backend=getattr(args, "wsaf_backend", "flat"),
         )
     )
 
@@ -199,6 +207,7 @@ def _run_sharded(args: argparse.Namespace, source) -> int:
         l1_memory_bytes=int(args.l1_kb * 1024),
         wsaf_entries=1 << args.wsaf_bits,
         seed=getattr(args, "seed", 0),
+        wsaf_backend=getattr(args, "wsaf_backend", "flat"),
     )
     # Chunks stream straight off the file source into per-shard routing;
     # prefetch stages the next chunk while the current one is routed.
@@ -467,6 +476,26 @@ def _load_bench_module():
     return module
 
 
+def _print_shard_stage_table(rows: "list[dict]") -> None:
+    """Route/ipc/ingest/merge breakdown per shard count (best round)."""
+    table_rows = [
+        [
+            f"{row['shards']:,}",
+            f"{row['seconds'] * 1e3:.1f}",
+            f"{row['stages']['route_s'] * 1e3:.1f}",
+            f"{row['stages']['ipc_s'] * 1e3:.1f}",
+            f"{row['stages']['ingest_s'] * 1e3:.1f}",
+            f"{row['stages']['merge_s'] * 1e3:.1f}",
+        ]
+        for row in rows
+    ]
+    print_table(
+        ["shards", "total ms", "route ms", "ipc ms", "ingest ms", "merge ms"],
+        table_rows,
+        "Sharded stage breakdown (best round)",
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     bench = _load_bench_module()
     if args.shards is not None:
@@ -481,6 +510,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 record=False,
             )
             print(result["report"])
+            _print_shard_stage_table(result["rows"])
             smoke = result["scaling"][args.shards]
             if smoke < bench.MIN_SHARD_SMOKE_FLOOR:
                 print(
@@ -493,12 +523,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         trace = build_caida_like_trace(
             CaidaLikeConfig(num_flows=30_000, duration=60.0, seed=1)
         )
+        # Forward the requested count: measure the 1-shard baseline plus
+        # every default count up to N (previously --shards N was parsed
+        # and then ignored here, always running the default ladder).
+        shard_counts = tuple(
+            sorted(
+                {1, args.shards}
+                | {n for n in bench.SHARD_COUNTS if n <= args.shards}
+            )
+        )
         result = bench.run_sharded_benchmark(
             trace,
             rounds=args.rounds or bench.SHARD_ROUNDS,
+            shard_counts=shard_counts,
             record=not args.no_record,
         )
         print(result["report"])
+        _print_shard_stage_table(result["rows"])
         bench._assert_sharded_bars(result)
         return 0
     if args.quick:

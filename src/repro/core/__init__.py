@@ -27,6 +27,14 @@ from repro.core.analytic import (
 from repro.core.rcc import RCCSketch, coupon_partial_sum
 from repro.core.regulator import FlowRegulator, RegulatorStats
 from repro.core.wsaf import WSAFEntry, WSAFTable
+from repro.core.wsaf_icebuckets import IceBucketsWSAFTable
+from repro.core.wsaf_storage import (
+    WSAF_BACKEND_CHOICES,
+    WSAFStorage,
+    build_wsaf_storage,
+    default_technologies,
+)
+from repro.core.wsaf_tiered import TieredWSAFTable
 from repro.core.instameasure import (
     InstaMeasure,
     InstaMeasureConfig,
@@ -37,6 +45,7 @@ from repro.core.multilayer import MultiLayerRegulator, required_layers_for_margi
 
 __all__ = [
     "FlowRegulator",
+    "IceBucketsWSAFTable",
     "InstaMeasure",
     "InstaMeasureConfig",
     "MeasurementResult",
@@ -49,7 +58,12 @@ __all__ = [
     "saturation_time_pmf",
     "saturation_time_variance",
     "RegulatorStats",
+    "TieredWSAFTable",
     "WSAFEntry",
+    "WSAFStorage",
     "WSAFTable",
+    "WSAF_BACKEND_CHOICES",
+    "build_wsaf_storage",
     "coupon_partial_sum",
+    "default_technologies",
 ]

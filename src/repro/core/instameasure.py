@@ -80,14 +80,19 @@ def resolved_regulator_replay(config: "InstaMeasureConfig") -> str:
 
 
 def resolved_wsaf_engine(config: "InstaMeasureConfig") -> str:
-    """Which WSAF backing store ``config`` gets: "batched" or "scalar".
+    """Which WSAF column layout ``config`` gets: "batched" or "scalar".
 
     ``"auto"`` picks the array-backed :class:`~repro.kernels.wsaf_batched.
     BatchedWSAFTable` whenever the trace path itself batches (the batched
     regulator kernel delegates whole update batches, which is where cohort
     probing pays); a scalar trace path keeps the scalar table, whose
-    per-event ``accumulate`` is faster on plain Python lists.
+    per-event ``accumulate`` is faster on plain Python lists.  Tiered and
+    compressed backends store scalar columns, so any non-flat
+    ``wsaf_backend`` resolves to ``"scalar"`` (forcing ``"batched"``
+    alongside one is a configuration error).
     """
+    if getattr(config, "wsaf_backend", "flat") != "flat":
+        return "scalar"
     if config.wsaf_engine in ("batched", "scalar"):
         return config.wsaf_engine
     if config.engine == "scalar":
@@ -101,20 +106,16 @@ def build_wsaf_table(
     config: "InstaMeasureConfig",
     accountant: "AccessAccountant | None" = None,
 ) -> WSAFTable:
-    """The WSAF instance ``config`` asks for (scalar or batch-probed)."""
-    if resolved_wsaf_engine(config) == "batched":
-        from repro.kernels.wsaf_batched import BatchedWSAFTable
+    """The WSAF storage ``config`` asks for.
 
-        table_class: "type[WSAFTable]" = BatchedWSAFTable
-    else:
-        table_class = WSAFTable
-    return table_class(
-        num_entries=config.wsaf_entries,
-        probe_limit=config.probe_limit,
-        gc_timeout=config.gc_timeout,
-        accountant=accountant,
-        eviction_policy=config.eviction_policy,
-    )
+    Delegates to :func:`repro.core.wsaf_storage.build_wsaf_storage` — the
+    backend seam: ``wsaf_backend`` picks flat/tiered/icebuckets storage,
+    and for flat the ``wsaf_engine`` knob still picks scalar vs
+    batch-probed columns.
+    """
+    from repro.core.wsaf_storage import build_wsaf_storage
+
+    return build_wsaf_storage(config, accountant)
 
 
 @dataclass
@@ -150,6 +151,19 @@ class InstaMeasureConfig:
             the fully batched pipeline runs and the per-stretch FSM loop
             otherwise; ``"scan"`` / ``"loop"`` force one (A/B knob).  Both
             replays are bit-identical; ignored by ``engine="scalar"``.
+        wsaf_backend: working-set storage algorithm — ``"flat"`` (the
+            paper's table, bit-identical to pre-backend behaviour),
+            ``"tiered"`` (hot top-K SRAM cache in front of the DRAM
+            table; see :mod:`repro.core.wsaf_tiered`), or
+            ``"icebuckets"`` (bucket-scaled compressed counters; see
+            :mod:`repro.core.wsaf_icebuckets`).  Non-flat backends store
+            scalar columns, so they exclude ``wsaf_engine="batched"``.
+        tier_cache_entries / tier_interval: tiered backend geometry —
+            hot-cache capacity and accumulates between promote/demote
+            maintenance ticks.
+        ice_bucket_slots / ice_counter_bits: compressed backend geometry
+            — table slots sharing one scale exponent, and stored bits
+            per counter.
     """
 
     l1_memory_bytes: int = 32 * 1024
@@ -166,6 +180,11 @@ class InstaMeasureConfig:
     chunk_size: int = 1 << 20
     wsaf_engine: str = "auto"
     regulator_replay: str = "auto"
+    wsaf_backend: str = "flat"
+    tier_cache_entries: int = 256
+    tier_interval: int = 1024
+    ice_bucket_slots: int = 64
+    ice_counter_bits: int = 16
 
     def __post_init__(self) -> None:
         """Validate every enumerated/bounded knob in one place.
@@ -196,6 +215,35 @@ class InstaMeasureConfig:
         if self.chunk_size < 1:
             raise ConfigurationError(
                 f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        from repro.core.wsaf_storage import WSAF_BACKEND_CHOICES
+
+        if self.wsaf_backend not in WSAF_BACKEND_CHOICES:
+            raise ConfigurationError(
+                f"unknown wsaf_backend {self.wsaf_backend!r}; "
+                f"known: {WSAF_BACKEND_CHOICES}"
+            )
+        if self.wsaf_backend != "flat" and self.wsaf_engine == "batched":
+            raise ConfigurationError(
+                f"wsaf_backend={self.wsaf_backend!r} stores scalar columns "
+                "and cannot pair with wsaf_engine='batched'; leave "
+                "wsaf_engine='auto'"
+            )
+        if self.tier_cache_entries < 1:
+            raise ConfigurationError(
+                f"tier_cache_entries must be >= 1, got {self.tier_cache_entries}"
+            )
+        if self.tier_interval < 1:
+            raise ConfigurationError(
+                f"tier_interval must be >= 1, got {self.tier_interval}"
+            )
+        if self.ice_bucket_slots < 1:
+            raise ConfigurationError(
+                f"ice_bucket_slots must be >= 1, got {self.ice_bucket_slots}"
+            )
+        if not 2 <= self.ice_counter_bits <= 32:
+            raise ConfigurationError(
+                f"ice_counter_bits must be in [2, 32], got {self.ice_counter_bits}"
             )
 
 

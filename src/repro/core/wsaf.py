@@ -274,6 +274,86 @@ class WSAFTable:
                 )
         return None
 
+    def remove(self, key: int) -> "WSAFEntry | None":
+        """Take ``key``'s record out of the table, returning it (or ``None``).
+
+        The tiered backend's promotion primitive: a flow moving into the
+        hot cache must leave the backing table so the two tiers stay
+        disjoint.  The removal is *not* an eviction — no counter moves —
+        and costs one probe walk plus one write when the key is found.
+        """
+        probes = 0
+        for slot in self.probe_sequence(key):
+            probes += 1
+            if self._occupied[slot] and self._keys[slot] == key:
+                entry = WSAFEntry(
+                    key=key,
+                    packets=self._packets[slot],
+                    bytes=self._bytes[slot],
+                    last_update=self._timestamps[slot],
+                    five_tuple_packed=self._tuples[slot],
+                )
+                self._clear(slot)
+                if self.accountant is not None:
+                    self.accountant.record("wsaf", reads=probes, writes=1)
+                return entry
+        if self.accountant is not None:
+            self.accountant.record("wsaf", reads=probes)
+        return None
+
+    def place_record(
+        self,
+        key: int,
+        packets: float,
+        bytes_: float,
+        timestamp: float,
+        chance: bool,
+        five_tuple_packed: "int | None",
+        now: float,
+    ) -> bool:
+        """Insert a fully-formed record without event counters.
+
+        The inverse of :meth:`remove` — the tiered backend's demotion
+        primitive (and a building block for restores): the record already
+        exists logically, so ``insertions``/``updates`` must not move.
+        Probes the normal window (reclaiming expired entries on the way);
+        a full window falls back to the eviction policy, which *does*
+        count — evicting a resident mouse for a demoted flow is a real
+        eviction.  Returns ``False`` (counted in ``rejected``) when the
+        policy yields no slot and the record is dropped.
+        """
+        probes = 0
+        free = -1
+        for slot in self.probe_sequence(key):
+            probes += 1
+            if not self._occupied[slot]:
+                free = slot
+                break
+            if self._expired(slot, now):
+                self._clear(slot)
+                self.gc_reclaimed += 1
+                free = slot
+                break
+        if free < 0:
+            free = self._find_victim(key, now)
+        if self.accountant is not None:
+            self.accountant.record(
+                "wsaf", reads=probes, writes=1 if free >= 0 else 0
+            )
+        if free < 0:
+            self.rejected += 1
+            return False
+        self._occupied[free] = True
+        self._occupied_slots.add(free)
+        self._keys[free] = key
+        self._packets[free] = packets
+        self._bytes[free] = bytes_
+        self._timestamps[free] = timestamp
+        self._chance[free] = chance
+        self._tuples[free] = five_tuple_packed
+        self.size += 1
+        return True
+
     def entries(self) -> Iterator[WSAFEntry]:
         """All occupied records, in table order (O(size), not O(capacity))."""
         for slot in sorted(self._occupied_slots):
@@ -354,6 +434,20 @@ class WSAFTable:
             tuple_present=present,
         )
 
+    def _probe_place(self, key: int) -> int:
+        """First free slot of ``key``'s full-length probe sequence.
+
+        Restore-time placement for records whose exact slot is unknown
+        (merged snapshots, capacity changes, flushed cache tiers); raises
+        when the table is completely full along the sequence.
+        """
+        from repro.errors import SnapshotError
+
+        for probe in self.probe_sequence(key, length=self.num_entries):
+            if not self._occupied[probe]:
+                return probe
+        raise SnapshotError(f"no free slot for restored key {key:#x}")
+
     def load_state(self, state) -> None:
         """Replace the table's contents from an :meth:`export_state` snapshot.
 
@@ -362,6 +456,11 @@ class WSAFTable:
         it is valid and free, and re-probe into the first free slot of
         their full-length probe sequence otherwise (merged snapshots mark
         contested placements slot ``-1``).  Counters restore wholesale.
+
+        A snapshot taken from a tiered backend carries its hot-cache
+        records in a ``tier`` section; loading one here flushes those
+        records into the table (probe-placed — they never had slots), so
+        a flat restore of a tiered capture loses no counts.
         """
         from repro.errors import SnapshotError
 
@@ -375,10 +474,12 @@ class WSAFTable:
                 f"snapshot eviction_policy {state.eviction_policy!r} != "
                 f"table eviction_policy {self.eviction_policy!r}"
             )
-        if state.num_records > self.num_entries:
+        tier = getattr(state, "tier", None)
+        tier_records = 0 if tier is None else tier.num_records
+        if state.num_records + tier_records > self.num_entries:
             raise SnapshotError(
-                f"snapshot holds {state.num_records} records; table "
-                f"capacity is {self.num_entries}"
+                f"snapshot holds {state.num_records + tier_records} records; "
+                f"table capacity is {self.num_entries}"
             )
         for slot in sorted(self._occupied_slots):
             self._clear(slot)
@@ -388,15 +489,7 @@ class WSAFTable:
             zip(state.slots.tolist(), state.keys.tolist())
         ):
             if not (exact and 0 <= slot < self.num_entries) or self._occupied[slot]:
-                slot = -1
-                for probe in self.probe_sequence(key, length=self.num_entries):
-                    if not self._occupied[probe]:
-                        slot = probe
-                        break
-                if slot < 0:
-                    raise SnapshotError(
-                        f"no free slot for restored key {key:#x}"
-                    )
+                slot = self._probe_place(key)
             self._occupied[slot] = True
             self._occupied_slots.add(slot)
             self._keys[slot] = key
@@ -405,7 +498,19 @@ class WSAFTable:
             self._timestamps[slot] = float(state.timestamps[i])
             self._chance[slot] = bool(state.chance[i])
             self._tuples[slot] = tuples[i]
-        self.size = state.num_records
+        if tier_records:
+            tier_tuples = tier.tuples()
+            for i, key in enumerate(tier.keys.tolist()):
+                slot = self._probe_place(key)
+                self._occupied[slot] = True
+                self._occupied_slots.add(slot)
+                self._keys[slot] = key
+                self._packets[slot] = float(tier.packets[i])
+                self._bytes[slot] = float(tier.bytes[i])
+                self._timestamps[slot] = float(tier.timestamps[i])
+                self._chance[slot] = bool(tier.chance[i])
+                self._tuples[slot] = tier_tuples[i]
+        self.size = state.num_records + tier_records
         self.insertions = state.insertions
         self.updates = state.updates
         self.evictions = state.evictions
@@ -453,3 +558,8 @@ class WSAFTable:
     def memory_bytes(self) -> int:
         """DRAM footprint under the paper's 33-byte entry layout."""
         return self.num_entries * ENTRY_BYTES
+
+    def counter_memory_bytes(self) -> int:
+        """Bytes the per-entry packet+byte counters occupy (two 64-bit
+        counters of the 33-byte layout; compressed backends shrink this)."""
+        return self.num_entries * 16

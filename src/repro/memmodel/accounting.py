@@ -58,9 +58,17 @@ class AccessAccountant:
     :meth:`record` on every random access; experiments then read total
     modelled time.  Keeping the accountant separate from the structures
     keeps the hot path allocation-free when accounting is off.
+
+    ``technologies`` maps access labels (or label prefixes, longest match
+    wins) to the technology that structure lives in; unmapped labels price
+    at the default ``technology``.  This is how a tiered WSAF is costed:
+    the hot-cache tier records under ``"wsaf.cache"`` (SRAM) while the
+    backing table records under ``"wsaf"`` (DRAM), and
+    :meth:`modelled_seconds` prices each at its own latency.
     """
 
     technology: MemoryTechnology
+    technologies: "dict[str, MemoryTechnology]" = field(default_factory=dict)
     reads: int = 0
     writes: int = 0
     _label_counts: "dict[str, int]" = field(default_factory=dict)
@@ -78,9 +86,47 @@ class AccessAccountant:
     def total_accesses(self) -> int:
         return self.reads + self.writes
 
-    def modelled_seconds(self) -> float:
-        """Total time the recorded accesses take on the technology."""
-        return self.total_accesses * self.technology.access_ns * 1e-9
+    def technology_for(self, label: str) -> MemoryTechnology:
+        """The technology pricing ``label``'s accesses.
+
+        Exact label match first, then the longest mapped prefix ending at
+        a ``.`` boundary (``"wsaf"`` prices ``"wsaf.cache"`` unless the
+        cache has its own entry), then the accountant-wide default.
+        """
+        if label in self.technologies:
+            return self.technologies[label]
+        best: "MemoryTechnology | None" = None
+        best_len = -1
+        for prefix, technology in self.technologies.items():
+            if label.startswith(prefix + ".") and len(prefix) > best_len:
+                best = technology
+                best_len = len(prefix)
+        return best if best is not None else self.technology
+
+    def modelled_seconds(self, labels=None) -> float:
+        """Total time the recorded accesses take, per-label priced.
+
+        With ``labels`` (an iterable of label names), only those labels'
+        accesses are summed — experiments use this to isolate one stage
+        (e.g. the WSAF path) from the rest of the pipeline.  Accesses
+        counted on ``reads``/``writes`` without label attribution price
+        at the accountant-wide default technology.
+        """
+        if labels is not None:
+            wanted = set(labels)
+            return sum(
+                count * self.technology_for(label).access_ns * 1e-9
+                for label, count in self._label_counts.items()
+                if label in wanted
+            )
+        total = sum(
+            count * self.technology_for(label).access_ns * 1e-9
+            for label, count in self._label_counts.items()
+        )
+        unlabelled = self.total_accesses - sum(self._label_counts.values())
+        if unlabelled > 0:
+            total += unlabelled * self.technology.access_ns * 1e-9
+        return total
 
     def by_label(self) -> "dict[str, int]":
         """Access counts per structure label (copy)."""

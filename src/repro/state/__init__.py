@@ -41,10 +41,12 @@ from repro.state.merge import (
 )
 from repro.state.shard import ShardRouter
 from repro.state.snapshot import (
+    IceState,
     MeasurementSnapshot,
     RegulatorState,
     SketchState,
     StreamCursor,
+    TierState,
     WSAFState,
     capture_engine,
     capture_regulator,
@@ -55,6 +57,7 @@ from repro.state.snapshot import (
 
 __all__ = [
     "FRAME_MAGIC",
+    "IceState",
     "InsertionLog",
     "MeasurementSnapshot",
     "RegulatorState",
@@ -62,6 +65,7 @@ __all__ = [
     "ShardRouter",
     "SketchState",
     "StreamCursor",
+    "TierState",
     "WSAFState",
     "apply_events",
     "capture_engine",

@@ -23,10 +23,12 @@ import numpy as np
 
 from repro.errors import SnapshotError
 from repro.state.snapshot import (
+    IceState,
     MeasurementSnapshot,
     RegulatorState,
     SketchState,
     StreamCursor,
+    TierState,
     WSAFState,
 )
 
@@ -34,7 +36,15 @@ from repro.state.snapshot import (
 MAGIC = b"IMSNAP\x00\x01"
 
 #: Header schema version; bump on any incompatible layout change.
+#: Optional WSAF backend sections (``tier``/``ice``) are an *additive*
+#: extension of version 1: their absence is a plain flat snapshot, their
+#: names are declared in the header's ``wsaf.sections`` list, and a
+#: decoder that meets a section name it does not know refuses the file
+#: rather than silently dropping state.
 SNAPSHOT_VERSION = 1
+
+#: WSAF backend sections this decoder understands.
+_KNOWN_WSAF_SECTIONS = ("tier", "ice")
 
 
 def _wire_dtype(array: np.ndarray) -> str:
@@ -70,6 +80,29 @@ def _columns_of(snapshot: MeasurementSnapshot) -> "list[tuple[str, np.ndarray]]"
             ("wsaf.tuple_present", wsaf.tuple_present),
         ]
     )
+    if wsaf.tier is not None:
+        tier = wsaf.tier
+        columns.extend(
+            [
+                ("wsaf.tier.keys", tier.keys),
+                ("wsaf.tier.packets", tier.packets),
+                ("wsaf.tier.bytes", tier.bytes),
+                ("wsaf.tier.timestamps", tier.timestamps),
+                ("wsaf.tier.chance", tier.chance),
+                ("wsaf.tier.tuple_lo", tier.tuple_lo),
+                ("wsaf.tier.tuple_hi", tier.tuple_hi),
+                ("wsaf.tier.tuple_present", tier.tuple_present),
+                ("wsaf.tier.heat_keys", tier.heat_keys),
+                ("wsaf.tier.heat_counts", tier.heat_counts),
+            ]
+        )
+    if wsaf.ice is not None:
+        columns.extend(
+            [
+                ("wsaf.ice.scale_packets", wsaf.ice.scale_packets),
+                ("wsaf.ice.scale_bytes", wsaf.ice.scale_bytes),
+            ]
+        )
     if snapshot.stream is not None and snapshot.stream.positions is not None:
         columns.append(("stream.positions", snapshot.stream.positions))
     return columns
@@ -134,6 +167,28 @@ def to_bytes(snapshot: MeasurementSnapshot) -> bytes:
         "extra": snapshot.extra,
         "manifest": manifest,
     }
+    # Backend sections are declared only when present, so a flat snapshot's
+    # header (and the files of every pre-backend build) stays section-free.
+    sections = []
+    if wsaf.tier is not None:
+        sections.append("tier")
+        header["wsaf"]["tier"] = {
+            "cache_entries": wsaf.tier.cache_entries,
+            "tier_interval": wsaf.tier.tier_interval,
+            "op_count": wsaf.tier.op_count,
+            "cache_updates": wsaf.tier.cache_updates,
+            "promotions": wsaf.tier.promotions,
+            "demotions": wsaf.tier.demotions,
+        }
+    if wsaf.ice is not None:
+        sections.append("ice")
+        header["wsaf"]["ice"] = {
+            "bucket_slots": wsaf.ice.bucket_slots,
+            "counter_bits": wsaf.ice.counter_bits,
+            "upscales": wsaf.ice.upscales,
+        }
+    if sections:
+        header["wsaf"]["sections"] = sections
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     parts = [MAGIC, len(header_bytes).to_bytes(8, "little"), header_bytes]
     parts.extend(payloads)
@@ -199,6 +254,62 @@ def from_bytes(data: bytes) -> MeasurementSnapshot:
     )
 
     wsaf_meta = header["wsaf"]
+    sections = wsaf_meta.get("sections", [])
+    unknown = [name for name in sections if name not in _KNOWN_WSAF_SECTIONS]
+    if unknown:
+        raise SnapshotError(
+            f"snapshot carries unknown WSAF section(s) {unknown!r}; "
+            f"this build reads {list(_KNOWN_WSAF_SECTIONS)!r}"
+        )
+    tier = None
+    if "tier" in sections:
+        tier_meta = wsaf_meta.get("tier")
+        if tier_meta is None:
+            raise SnapshotError(
+                "snapshot declares a 'tier' section but carries no tier header"
+            )
+        try:
+            tier = TierState(
+                cache_entries=tier_meta["cache_entries"],
+                tier_interval=tier_meta["tier_interval"],
+                op_count=tier_meta["op_count"],
+                cache_updates=tier_meta["cache_updates"],
+                promotions=tier_meta["promotions"],
+                demotions=tier_meta["demotions"],
+                keys=columns["wsaf.tier.keys"],
+                packets=columns["wsaf.tier.packets"],
+                bytes=columns["wsaf.tier.bytes"],
+                timestamps=columns["wsaf.tier.timestamps"],
+                chance=columns["wsaf.tier.chance"],
+                tuple_lo=columns["wsaf.tier.tuple_lo"],
+                tuple_hi=columns["wsaf.tier.tuple_hi"],
+                tuple_present=columns["wsaf.tier.tuple_present"],
+                heat_keys=columns["wsaf.tier.heat_keys"],
+                heat_counts=columns["wsaf.tier.heat_counts"],
+            )
+        except KeyError as exc:
+            raise SnapshotError(
+                f"snapshot is missing tier column/field {exc}"
+            ) from exc
+    ice = None
+    if "ice" in sections:
+        ice_meta = wsaf_meta.get("ice")
+        if ice_meta is None:
+            raise SnapshotError(
+                "snapshot declares an 'ice' section but carries no ice header"
+            )
+        try:
+            ice = IceState(
+                bucket_slots=ice_meta["bucket_slots"],
+                counter_bits=ice_meta["counter_bits"],
+                upscales=ice_meta["upscales"],
+                scale_packets=columns["wsaf.ice.scale_packets"],
+                scale_bytes=columns["wsaf.ice.scale_bytes"],
+            )
+        except KeyError as exc:
+            raise SnapshotError(
+                f"snapshot is missing ice column/field {exc}"
+            ) from exc
     try:
         wsaf = WSAFState(
             num_entries=wsaf_meta["num_entries"],
@@ -219,6 +330,8 @@ def from_bytes(data: bytes) -> MeasurementSnapshot:
             tuple_lo=columns["wsaf.tuple_lo"],
             tuple_hi=columns["wsaf.tuple_hi"],
             tuple_present=columns["wsaf.tuple_present"],
+            tier=tier,
+            ice=ice,
         )
     except KeyError as exc:
         raise SnapshotError(f"snapshot is missing WSAF column {exc}") from exc

@@ -23,6 +23,8 @@ Two merge planes live here:
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.errors import SnapshotError
@@ -36,17 +38,25 @@ from repro.state.snapshot import (
 #: Config fields that must match across merged snapshots: everything that
 #: determines sketch geometry, placement, or WSAF policy.  Fields that only
 #: affect execution strategy (engine/chunk_size/replay knobs) may differ.
-_GEOMETRY_FIELDS = (
-    "l1_memory_bytes",
-    "num_layers",
-    "vector_bits",
-    "word_bits",
-    "saturation_fill",
-    "wsaf_entries",
-    "probe_limit",
-    "gc_timeout",
-    "eviction_policy",
-)
+#: Each field carries the default it takes when absent from a snapshot's
+#: config dict, so snapshots written before a knob existed merge cleanly
+#: with current ones (absent compares equal to the default).
+_GEOMETRY_FIELDS = {
+    "l1_memory_bytes": None,
+    "num_layers": None,
+    "vector_bits": None,
+    "word_bits": None,
+    "saturation_fill": None,
+    "wsaf_entries": None,
+    "probe_limit": None,
+    "gc_timeout": None,
+    "eviction_policy": None,
+    "wsaf_backend": "flat",
+    "tier_cache_entries": 256,
+    "tier_interval": 1024,
+    "ice_bucket_slots": 64,
+    "ice_counter_bits": 16,
+}
 
 
 def _check_compatible(snapshots, require_seed: bool) -> None:
@@ -56,11 +66,14 @@ def _check_compatible(snapshots, require_seed: bool) -> None:
             raise SnapshotError(
                 f"cannot merge snapshot kinds {first.kind!r} and {other.kind!r}"
             )
-        for name in _GEOMETRY_FIELDS:
-            if other.config.get(name) != first.config.get(name):
+        for name, default in _GEOMETRY_FIELDS.items():
+            if other.config.get(name, default) != first.config.get(
+                name, default
+            ):
                 raise SnapshotError(
                     f"cannot merge snapshots with different {name}: "
-                    f"{first.config.get(name)!r} vs {other.config.get(name)!r}"
+                    f"{first.config.get(name, default)!r} vs "
+                    f"{other.config.get(name, default)!r}"
                 )
         if require_seed and other.config.get("seed") != first.config.get("seed"):
             raise SnapshotError(
@@ -114,9 +127,45 @@ def _merge_regulators(snapshots) -> RegulatorState:
     )
 
 
+def _flatten_wsaf(state: WSAFState) -> WSAFState:
+    """Fold a backend's sections into plain flat columns.
+
+    A tiered shard's hot-cache records concatenate after its table
+    records with slot ``-1`` (they never had table slots); tiers are
+    exclusive, so no key duplicates.  A compressed shard's scale section
+    simply drops — the main columns already hold the dequantized values,
+    and a restore into a compressed backend re-quantizes them
+    (estimate-equivalent within one quantization step).  Merged snapshots
+    therefore never carry sections.
+    """
+    if state.tier is None and state.ice is None:
+        return state
+    tier = state.tier
+    if tier is None or tier.num_records == 0:
+        return replace(state, tier=None, ice=None)
+    return replace(
+        state,
+        tier=None,
+        ice=None,
+        slots=np.concatenate(
+            [state.slots, np.full(tier.num_records, -1, dtype=np.int64)]
+        ),
+        keys=np.concatenate([state.keys, tier.keys]),
+        packets=np.concatenate([state.packets, tier.packets]),
+        bytes=np.concatenate([state.bytes, tier.bytes]),
+        timestamps=np.concatenate([state.timestamps, tier.timestamps]),
+        chance=np.concatenate([state.chance, tier.chance]),
+        tuple_lo=np.concatenate([state.tuple_lo, tier.tuple_lo]),
+        tuple_hi=np.concatenate([state.tuple_hi, tier.tuple_hi]),
+        tuple_present=np.concatenate(
+            [state.tuple_present, tier.tuple_present]
+        ),
+    )
+
+
 def _concat_wsaf(snapshots) -> WSAFState:
     """Disjoint merge: concatenate records, sum counters, keep slots."""
-    states = [snap.wsaf for snap in snapshots]
+    states = [_flatten_wsaf(snap.wsaf) for snap in snapshots]
     slots = np.concatenate([state.slots for state in states])
     # Two shards can legitimately claim one slot (their keys hash apart
     # but probe together); such records lose their exact placement and
@@ -157,7 +206,7 @@ def _sum_wsaf(snapshots) -> WSAFState:
     the merged record, so ``insertions``/``updates``/``size`` shift by
     the duplicate count; eviction and GC counters sum as observed events.
     """
-    states = [snap.wsaf for snap in snapshots]
+    states = [_flatten_wsaf(snap.wsaf) for snap in snapshots]
     keys = np.concatenate([state.keys for state in states])
     packets = np.concatenate([state.packets for state in states])
     bytes_ = np.concatenate([state.bytes for state in states])
@@ -242,7 +291,16 @@ def merge(snapshots, mode: str = "auto") -> MeasurementSnapshot:
         raise SnapshotError(f"unknown merge mode {mode!r}")
     _check_compatible(snapshots, require_seed=mode != "overlap")
 
-    all_keys = np.concatenate([snap.wsaf.keys for snap in snapshots])
+    all_keys = np.concatenate(
+        [
+            (
+                np.concatenate([snap.wsaf.keys, snap.wsaf.tier.keys])
+                if snap.wsaf.tier is not None
+                else snap.wsaf.keys
+            )
+            for snap in snapshots
+        ]
+    )
     disjoint = len(np.unique(all_keys)) == len(all_keys)
     if mode == "disjoint" and not disjoint:
         raise SnapshotError(

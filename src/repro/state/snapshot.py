@@ -99,12 +99,73 @@ class RegulatorState:
 
 
 @dataclass
+class TierState:
+    """The hot-cache tier of a tiered WSAF backend.
+
+    Cache records ship as parallel columns in key order; ``heat_keys`` /
+    ``heat_counts`` carry the current interval's recent hit/miss counts
+    (a key's tier membership — in ``keys`` or not — decides which side it
+    restores to), and ``op_count`` pins the maintenance-tick phase, so a
+    mid-interval capture round-trips bit-exactly.
+    """
+
+    cache_entries: int
+    tier_interval: int
+    op_count: int
+    cache_updates: int
+    promotions: int
+    demotions: int
+    keys: np.ndarray  # uint64, sorted
+    packets: np.ndarray  # float64
+    bytes: np.ndarray  # float64
+    timestamps: np.ndarray  # float64
+    chance: np.ndarray  # bool
+    tuple_lo: np.ndarray  # uint64
+    tuple_hi: np.ndarray  # uint64
+    tuple_present: np.ndarray  # bool
+    heat_keys: np.ndarray  # uint64, sorted
+    heat_counts: np.ndarray  # int64
+
+    @property
+    def num_records(self) -> int:
+        return len(self.keys)
+
+    def tuples(self) -> "list[int | None]":
+        return unpack_tuple_columns(
+            self.tuple_lo, self.tuple_hi, self.tuple_present
+        )
+
+
+@dataclass
+class IceState:
+    """The per-bucket scale exponents of a compressed-counter backend.
+
+    The main WSAF columns already hold the *dequantized* counter values
+    (exact in float64), so the integer counters recompute from them; the
+    scales are the only extra state a bit-exact restore needs.
+    """
+
+    bucket_slots: int
+    counter_bits: int
+    upscales: int
+    scale_packets: np.ndarray  # int64, one per bucket
+    scale_bytes: np.ndarray  # int64, one per bucket
+
+
+@dataclass
 class WSAFState:
     """A WSAF table's records and bookkeeping, as parallel columns.
 
     ``slots`` holds each record's table slot, or ``-1`` when the slot is
     unknown (merged snapshots with colliding placements); restore places
     slot-exact records directly and probe-places the rest.
+
+    ``tier`` / ``ice`` are optional backend sections: a tiered backend's
+    hot cache and a compressed backend's bucket scales.  Snapshots from
+    the flat backend (and all merged snapshots — merging flattens) carry
+    neither, and every consumer treats their absence as "plain flat
+    records".  The top-level counters are always the *facade* totals
+    (``size`` includes cached records; ``updates`` includes cache hits).
     """
 
     num_entries: int
@@ -125,6 +186,8 @@ class WSAFState:
     tuple_lo: np.ndarray  # uint64
     tuple_hi: np.ndarray  # uint64
     tuple_present: np.ndarray  # bool
+    tier: "TierState | None" = None
+    ice: "IceState | None" = None
 
     @property
     def num_records(self) -> int:
@@ -200,6 +263,16 @@ class MeasurementSnapshot:
                 self.wsaf.bytes.tolist(),
             )
         }
+        if self.wsaf.tier is not None:
+            # Tiered captures keep hot-cache records in their own section;
+            # the tiers are exclusive, so this is a disjoint union.
+            tier = self.wsaf.tier
+            for key, packets, bytes_ in zip(
+                tier.keys.tolist(),
+                tier.packets.tolist(),
+                tier.bytes.tolist(),
+            ):
+                table[key] = (packets, bytes_)
         if flow_keys is None:
             return table
         found: "dict[int, tuple[float, float]]" = {}

@@ -116,3 +116,34 @@ class TestShardsNormalization:
         history = json.loads(history_path.read_text())
         assert len(history) == 1
         assert history[0]["timestamp"] == 2.0
+
+
+class TestEnvironmentStamp:
+    def test_legacy_rows_backfilled_with_nulls(self, bench, history_path):
+        legacy = _row(bench, timestamp=1.0)
+        assert "cpu_count" not in legacy
+        history_path.write_text(json.dumps([legacy]))
+        bench._append_report([])
+        (row,) = json.loads(history_path.read_text())
+        assert row["cpu_count"] is None
+        assert row["platform"] is None
+        assert row["numpy_version"] is None
+
+    def test_stamped_rows_pass_through(self, bench, history_path):
+        stamped = _row(bench, timestamp=1.0)
+        stamped.update(
+            cpu_count=8, platform="Linux-test", numpy_version="1.26.0"
+        )
+        history_path.write_text(json.dumps([stamped]))
+        bench._append_report([])
+        (row,) = json.loads(history_path.read_text())
+        assert row["cpu_count"] == 8
+        assert row["platform"] == "Linux-test"
+        assert row["numpy_version"] == "1.26.0"
+
+    def test_environment_has_the_stamp_fields(self, bench):
+        environment = bench._environment()
+        assert set(environment) == {"cpu_count", "platform", "numpy_version"}
+        assert environment["cpu_count"] >= 1
+        assert environment["platform"]
+        assert environment["numpy_version"]

@@ -84,6 +84,111 @@ class TestRun:
             assert metric(sharded_out, name) == metric(single_out, name)
 
 
+class TestRunBackends:
+    @pytest.mark.parametrize("backend", ["tiered", "icebuckets"])
+    def test_run_with_backend(self, trace_path, capsys, backend):
+        code = main(
+            ["run", str(trace_path), "--l1-kb", "4", "--wsaf-bits", "12",
+             "--wsaf-backend", backend]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WSAF flows" in out
+
+    def test_unknown_backend_rejected(self, trace_path):
+        with pytest.raises(SystemExit):
+            main(["run", str(trace_path), "--wsaf-backend", "bogus"])
+
+
+class TestBenchShards:
+    def test_quick_shards_prints_stage_table(self, monkeypatch, capsys):
+        # Patch the heavy benchmark out; assert the CLI forwards the
+        # requested count and renders the stage-breakdown table.
+        from repro import cli
+
+        calls = {}
+
+        def fake_run_sharded_benchmark(trace, rounds, shard_counts, record):
+            calls["shard_counts"] = shard_counts
+            calls["record"] = record
+            rows = [
+                {
+                    "shards": n,
+                    "seconds": 0.5 / n,
+                    "stages": {
+                        "route_s": 0.01,
+                        "ipc_s": 0.02,
+                        "ingest_s": 0.4 / n,
+                        "merge_s": 0.01,
+                    },
+                }
+                for n in shard_counts
+            ]
+            return {
+                "rows": rows,
+                "report": "fake report",
+                "scaling": {n: float(n) for n in shard_counts},
+                "inproc_overhead": 1.0,
+            }
+
+        bench = cli._load_bench_module()
+        monkeypatch.setattr(
+            bench, "run_sharded_benchmark", fake_run_sharded_benchmark
+        )
+        monkeypatch.setattr(cli, "_load_bench_module", lambda: bench)
+        code = main(["bench", "--quick", "--shards", "3"])
+        assert code == 0
+        assert calls["shard_counts"] == (1, 3)
+        assert calls["record"] is False
+        out = capsys.readouterr().out
+        assert "Sharded stage breakdown" in out
+        assert "route ms" in out
+
+    def test_full_shards_forwards_counts(self, monkeypatch, capsys):
+        from repro import cli
+
+        calls = {}
+
+        def fake_run_sharded_benchmark(trace, rounds, shard_counts, record):
+            calls["shard_counts"] = shard_counts
+            calls["rounds"] = rounds
+            rows = [
+                {
+                    "shards": n,
+                    "seconds": 0.5 / n,
+                    "stages": {
+                        "route_s": 0.01,
+                        "ipc_s": 0.02,
+                        "ingest_s": 0.4 / n,
+                        "merge_s": 0.01,
+                    },
+                }
+                for n in shard_counts
+            ]
+            return {
+                "rows": rows,
+                "report": "fake report",
+                "scaling": {n: float(n) for n in shard_counts},
+                "inproc_overhead": 1.0,
+            }
+
+        bench = cli._load_bench_module()
+        monkeypatch.setattr(
+            bench, "run_sharded_benchmark", fake_run_sharded_benchmark
+        )
+        monkeypatch.setattr(cli, "_load_bench_module", lambda: bench)
+        monkeypatch.setattr(
+            cli, "build_caida_like_trace", lambda config: object()
+        )
+        code = main(["bench", "--shards", "4", "--no-record"])
+        assert code == 0
+        # The requested count joins the baseline and the default ladder
+        # up to it — previously --shards was parsed and then ignored.
+        assert calls["shard_counts"] == (1, 2, 4)
+        assert calls["rounds"] == bench.SHARD_ROUNDS
+        assert "Sharded stage breakdown" in capsys.readouterr().out
+
+
 class TestSnapshot:
     def test_save_load_round_trip(self, trace_path, tmp_path, capsys):
         snap_path = tmp_path / "state.snap"

@@ -1,0 +1,177 @@
+"""IMSNAP forward/backward compatibility across the backend seam.
+
+The wire format stayed at version 1 when backend sections were added:
+``tier`` / ``ice`` are *additive* optional sections announced in the
+header's ``wsaf.sections`` list.  The compatibility contracts:
+
+* A v1 payload with no ``sections`` entry (every pre-backend snapshot,
+  and every flat capture today) decodes and restores exactly as before —
+  flat headers never mention sections at all.
+* A payload announcing a section this decoder does not know must be
+  rejected loudly (``SnapshotError``), never silently dropped: the
+  unknown section's column bytes would otherwise be misattributed.
+* The committed golden snapshots — captured with the pre-refactor flat
+  tables — still describe exactly what the current flat backend produces
+  on the same trace and config, for both the scalar and the batch-probed
+  engine.  This is the bit-identity bar for the ``flat`` backend: same
+  records, same slots, same counters, same estimates.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import InstaMeasure, InstaMeasureConfig
+from repro.errors import SnapshotError
+from repro.state import capture_engine, from_bytes, load, to_bytes
+from repro.state.codec import MAGIC
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: The trace and config the golden snapshots were captured with: a small
+#: hot table (1 << 5 entries, probe limit 8) so evictions, GC reclaims,
+#: and rejections are all non-zero — the goldens pin the *full* eviction
+#: dynamics, not just the happy path.
+GOLDEN_TRACE = dict(num_flows=3000, duration=20.0, seed=13)
+GOLDEN_CONFIG = dict(
+    l1_memory_bytes=256,
+    wsaf_entries=1 << 5,
+    probe_limit=8,
+    seed=3,
+    gc_timeout=5.0,
+)
+
+
+def _header_of(payload: bytes) -> dict:
+    header_len = int.from_bytes(payload[len(MAGIC) : len(MAGIC) + 8], "little")
+    return json.loads(payload[len(MAGIC) + 8 : len(MAGIC) + 8 + header_len])
+
+
+def _tamper_header(payload: bytes, mutate) -> bytes:
+    """Re-encode ``payload`` with ``mutate(header)`` applied."""
+    header_len = int.from_bytes(payload[len(MAGIC) : len(MAGIC) + 8], "little")
+    body_start = len(MAGIC) + 8 + header_len
+    header = json.loads(payload[len(MAGIC) + 8 : body_start].decode())
+    mutate(header)
+    encoded = json.dumps(header, separators=(",", ":")).encode()
+    return (
+        MAGIC
+        + len(encoded).to_bytes(8, "little")
+        + encoded
+        + payload[body_start:]
+    )
+
+
+@pytest.fixture(scope="module")
+def flat_payload():
+    trace = build_caida_like_trace(
+        CaidaLikeConfig(num_flows=400, duration=4.0, seed=5)
+    )
+    engine = InstaMeasure(
+        InstaMeasureConfig(l1_memory_bytes=1024, wsaf_entries=1 << 10, seed=3)
+    )
+    engine.process_trace(trace)
+    return to_bytes(capture_engine(engine))
+
+
+class TestSectionForwardCompat:
+    def test_flat_header_is_section_free(self, flat_payload):
+        wsaf_meta = _header_of(flat_payload)["wsaf"]
+        assert "sections" not in wsaf_meta
+        assert "tier" not in wsaf_meta
+        assert "ice" not in wsaf_meta
+
+    def test_sectionless_payload_restores_flat_unchanged(self, flat_payload):
+        snapshot = from_bytes(flat_payload)
+        assert snapshot.wsaf.tier is None
+        assert snapshot.wsaf.ice is None
+        assert to_bytes(snapshot) == flat_payload
+
+    def test_unknown_section_is_rejected(self, flat_payload):
+        tampered = _tamper_header(
+            flat_payload,
+            lambda header: header["wsaf"].update(sections=["holographic"]),
+        )
+        with pytest.raises(SnapshotError, match="unknown WSAF section"):
+            from_bytes(tampered)
+
+    def test_known_and_unknown_sections_still_reject(self, flat_payload):
+        tampered = _tamper_header(
+            flat_payload,
+            lambda header: header["wsaf"].update(
+                sections=["tier", "holographic"]
+            ),
+        )
+        with pytest.raises(SnapshotError, match="unknown WSAF section"):
+            from_bytes(tampered)
+
+    def test_announced_section_without_payload_is_rejected(self, flat_payload):
+        # A header claiming a tier section whose metadata/columns are
+        # missing is a malformed snapshot, not a flat one.
+        tampered = _tamper_header(
+            flat_payload,
+            lambda header: header["wsaf"].update(sections=["tier"]),
+        )
+        with pytest.raises(SnapshotError):
+            from_bytes(tampered)
+
+
+class TestGoldenFlatIdentity:
+    """The flat backend is bit-identical to the pre-refactor tables."""
+
+    @pytest.fixture(scope="class")
+    def golden_trace(self):
+        return build_caida_like_trace(CaidaLikeConfig(**GOLDEN_TRACE))
+
+    @pytest.mark.parametrize("wsaf_engine", ["scalar", "batched"])
+    def test_flat_backend_matches_golden(self, golden_trace, wsaf_engine):
+        golden = load(GOLDEN_DIR / f"flat_{wsaf_engine}.imsnap")
+        engine = InstaMeasure(
+            InstaMeasureConfig(wsaf_engine=wsaf_engine, **GOLDEN_CONFIG)
+        )
+        engine.process_trace(golden_trace)
+        current = capture_engine(engine)
+
+        want, got = golden.wsaf, current.wsaf
+        for counter in (
+            "num_entries",
+            "probe_limit",
+            "eviction_policy",
+            "size",
+            "insertions",
+            "updates",
+            "evictions",
+            "gc_reclaimed",
+            "rejected",
+        ):
+            assert getattr(got, counter) == getattr(want, counter), counter
+        for column in (
+            "slots",
+            "keys",
+            "packets",
+            "bytes",
+            "timestamps",
+            "chance",
+            "tuple_lo",
+            "tuple_hi",
+            "tuple_present",
+        ):
+            assert np.array_equal(
+                getattr(got, column), getattr(want, column)
+            ), column
+        assert got.tier is None and got.ice is None
+        assert current.estimates() == golden.estimates()
+        assert current.regulator.packets == golden.regulator.packets
+        assert current.regulator.insertions == golden.regulator.insertions
+
+    @pytest.mark.parametrize("wsaf_engine", ["scalar", "batched"])
+    def test_golden_exercises_eviction_dynamics(self, wsaf_engine):
+        golden = load(GOLDEN_DIR / f"flat_{wsaf_engine}.imsnap")
+        assert golden.wsaf.evictions > 0
+        assert golden.wsaf.gc_reclaimed > 0
+        assert golden.wsaf.rejected > 0
