@@ -17,8 +17,13 @@ lab trace, and records one frontier row per variant in
   DRAM).  This is the number the tiering exists to move: wall-clock on
   a Python simulator cannot show a DRAM-latency win, the access model
   can.
-* **wall-clock** — best-of-rounds ingest seconds, to keep the modelled
-  claim honest about simulator overhead.
+* **wall-clock** — best-of-rounds ingest seconds and the measured pps
+  (``wall_pps``), to keep the modelled claim honest about simulator
+  overhead.  Every timed round takes a ``gc.collect()`` first, so a
+  stray gen-2 collection cannot inflate one variant's wall time.  Each
+  row also records the ``wsaf_engine`` the variant resolved to —
+  ``"auto"`` is backend-aware (batched for flat/tiered, scalar for
+  ICE-Buckets, whose serial quantized adds measure faster scalar).
 
 Rows are keyed by ``(git_sha, label)``: re-running on a commit replaces
 that commit's rows and keeps other commits', same policy as
@@ -34,6 +39,11 @@ Regression bars (the run *fails* below them):
   ``MAX_TIERED_MEMORY_OVERHEAD`` (10 %) extra memory.
 * Every ICE variant shows ≥ ``MIN_ICE_COUNTER_REDUCTION`` (2×) counter
   memory reduction at ≤ ``MAX_ICE_ARE_RATIO`` (2×) the flat ARE.
+* Every non-flat variant sustains ≥ ``MIN_WALL_PPS_RATIO`` (0.5×) the
+  flat row's *measured* pps — a no-collapse floor keeping the modelled
+  frontier honest: a backend may not buy its modelled win by wrecking
+  the simulator's real ingest rate.  ``--quick`` relaxes it to
+  ``MIN_WALL_PPS_RATIO_SMOKE``.
 
 ``--quick`` is the CI smoke: a small trace, one timed round, no history
 write, and the tiered pps bar relaxed to the
@@ -85,6 +95,14 @@ MIN_ICE_COUNTER_REDUCTION = 2.0
 #: Regression bar: ICE ARE at most this x the flat ARE (plus epsilon
 #: for a zero-error baseline).
 MAX_ICE_ARE_RATIO = 2.0
+#: No-collapse floor on each non-flat variant's *measured* ingest rate
+#: vs the flat row; 0.5x only trips on a real collapse, not timing
+#: noise.
+MIN_WALL_PPS_RATIO = 0.5
+#: Smoke-mode wall floor: the quick trace runs one round with
+#: ``tier_interval=64``, so maintenance ticks and per-delegated-event
+#: Python overhead weigh far more than on the recorded full trace.
+MIN_WALL_PPS_RATIO_SMOKE = 0.2
 
 #: The swept variants: (label, config overrides).
 VARIANTS = (
@@ -168,10 +186,13 @@ def _measure_variant(
     detected = set(np.flatnonzero(est_packets >= HH_THRESHOLD).tolist())
     outcome = classify_detections(detected, truth_hh, trace.num_flows)
 
+    from repro.core.instameasure import resolved_wsaf_engine
+
     modelled_s = accountant.modelled_seconds(labels=WSAF_LABELS)
     row = {
         "label": label,
         "backend": config.wsaf_backend,
+        "wsaf_engine": resolved_wsaf_engine(config),
         "config": {key: overrides[key] for key in sorted(overrides)},
         "packets": result.packets,
         "insertions": result.insertions,
@@ -260,6 +281,12 @@ def run_frontier(
     sha = _git_sha()
     now = time.time()
     environment = _environment()
+    # One untimed pass before the sweep: the first ingest of a fresh
+    # trace pays lazy array materialization and import costs that none
+    # of the later variants see, which would make whichever variant
+    # runs first (flat, the measured-pps baseline) look several times
+    # slower than the rest.
+    InstaMeasure(_config({}, tier_interval)).process_trace(trace)
     by_label: "dict[str, dict]" = {}
     rows = []
     for label, overrides in VARIANTS:
@@ -280,7 +307,7 @@ def run_frontier(
     ]
     lines.append(
         "variant        memory KB  ctr KB  modelled pps   vs flat  "
-        "ARE(1K+)  hh P/R     extra"
+        "  measured pps  vs flat  ARE(1K+)  hh P/R     extra"
     )
     for row in rows:
         extra = ""
@@ -294,6 +321,8 @@ def run_frontier(
             f"{row['counter_memory_bytes'] / 1024:>7.1f} "
             f"{row['modelled_pps']:>13,.0f} "
             f"{row['modelled_pps'] / flat['modelled_pps']:>8.2f}x "
+            f"{row['wall_pps']:>13,.0f} "
+            f"{row['wall_pps'] / flat['wall_pps']:>8.2f}x "
             f"{row['are_1k']:>8.4f}  "
             f"{row['hh_precision']:.2f}/{row['hh_recall']:.2f}  "
             f"{extra}"
@@ -343,6 +372,16 @@ def assert_frontier_bars(result: "dict", smoke: bool = False) -> None:
             f"{MIN_TIERED_MODELLED_SPEEDUP}x target — accepted above the "
             "no-collapse floor (smoke trace: the cache barely warms; the "
             "target is carried by the recorded full-trace rows)"
+        )
+
+    wall_floor = MIN_WALL_PPS_RATIO_SMOKE if smoke else MIN_WALL_PPS_RATIO
+    for label, row in by_label.items():
+        if row["backend"] == "flat":
+            continue
+        wall_ratio = row["wall_pps"] / flat["wall_pps"]
+        assert wall_ratio >= wall_floor, (
+            f"{label} measured ingest collapsed to {wall_ratio:.2f}x the "
+            f"flat row's pps (no-collapse floor: {wall_floor}x)"
         )
 
     for label, row in by_label.items():

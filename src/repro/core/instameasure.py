@@ -64,17 +64,27 @@ def resolved_regulator_replay(config: "InstaMeasureConfig") -> str:
     """Which contested-stretch replay ``config`` gets: "scan" or "loop".
 
     ``"auto"`` picks the vectorized segmented-FSM scan
-    (:mod:`repro.kernels.regulator_scan`) whenever the fully batched
-    pipeline runs — batched trace engine *and* batch-probed WSAF — and
-    keeps the per-stretch FSM loop otherwise, preserving the PR-2 loop
-    variants as A/B baselines.  Both replays are bit-identical; only
-    throughput differs.
+    (:mod:`repro.kernels.regulator_scan`) whenever the batched trace
+    engine runs with a batch-probed WSAF — or with the scalar table that
+    ICE-Buckets' backend-aware ``wsaf_engine="auto"`` picks on purely
+    measured grounds — and keeps the per-stretch FSM loop otherwise,
+    preserving the PR-2 loop variants as A/B baselines (an explicit
+    ``wsaf_engine="scalar"`` still means "give me the scalar-era
+    pipeline").  Both replays are bit-identical; only throughput
+    differs.
     """
     if config.regulator_replay in ("scan", "loop"):
         return config.regulator_replay
     if config.engine == "scalar":
         return "loop"
     if resolved_wsaf_engine(config) == "batched":
+        return "scan"
+    if config.wsaf_engine == "auto" and config.wsaf_backend == "icebuckets":
+        # ICE-Buckets' ``auto`` keeps the *scalar table* purely because
+        # its serial quantized adds measure faster that way — not as an
+        # A/B baseline request — and the scan replay composes with a
+        # scalar WSAF through the per-event facade, so the batched trace
+        # path keeps its vectorized regulator.
         return "scan"
     return "loop"
 
@@ -86,16 +96,24 @@ def resolved_wsaf_engine(config: "InstaMeasureConfig") -> str:
     BatchedWSAFTable` whenever the trace path itself batches (the batched
     regulator kernel delegates whole update batches, which is where cohort
     probing pays); a scalar trace path keeps the scalar table, whose
-    per-event ``accumulate`` is faster on plain Python lists.  Tiered and
-    compressed backends store scalar columns, so any non-flat
-    ``wsaf_backend`` resolves to ``"scalar"`` (forcing ``"batched"``
-    alongside one is a configuration error).
+    per-event ``accumulate`` is faster on plain Python lists.  The choice
+    is backend-aware: every storage backend has both a scalar and a
+    batch-probed form (see :mod:`repro.core.wsaf_storage`), bit-identical
+    by contract, but their measured throughput differs.  Flat and tiered
+    batch-probe faster than they accumulate per-event; ICE-Buckets does
+    not — its quantized add chains are order-serial (each add re-rounds
+    at the bucket scale), so the batched form replays most cohorts
+    through scalar arithmetic anyway and the cohort machinery is pure
+    overhead.  ``"auto"`` therefore keeps the scalar table for
+    ``wsaf_backend="icebuckets"``; forcing ``wsaf_engine="batched"``
+    still composes (bit-identical, pinned by goldens), it is just
+    slower on this simulator.
     """
-    if getattr(config, "wsaf_backend", "flat") != "flat":
-        return "scalar"
     if config.wsaf_engine in ("batched", "scalar"):
         return config.wsaf_engine
     if config.engine == "scalar":
+        return "scalar"
+    if config.wsaf_backend == "icebuckets":
         return "scalar"
     if config.num_layers == 2 and config.vector_bits <= 8:
         return "batched"
@@ -143,9 +161,12 @@ class InstaMeasureConfig:
         chunk_size: packets per batched-kernel chunk (bounds the working
             set of the vectorized stage; irrelevant to the scalar path).
         wsaf_engine: WSAF backing store — ``"auto"`` pairs the batch-probed
-            array table with the batched trace engine (and keeps the scalar
-            table otherwise), ``"batched"`` / ``"scalar"`` force one.  Both
-            stores are state-identical; only throughput differs.
+            array table with the batched trace engine for the flat and
+            tiered backends (and keeps the scalar table otherwise,
+            including for ``wsaf_backend="icebuckets"``, whose serial
+            quantized adds measure faster scalar), ``"batched"`` /
+            ``"scalar"`` force one.  Both stores are state-identical;
+            only throughput differs.
         regulator_replay: contested-stretch replay inside the batched
             kernel — ``"auto"`` uses the vectorized segmented-FSM scan when
             the fully batched pipeline runs and the per-stretch FSM loop
@@ -156,8 +177,9 @@ class InstaMeasureConfig:
             ``"tiered"`` (hot top-K SRAM cache in front of the DRAM
             table; see :mod:`repro.core.wsaf_tiered`), or
             ``"icebuckets"`` (bucket-scaled compressed counters; see
-            :mod:`repro.core.wsaf_icebuckets`).  Non-flat backends store
-            scalar columns, so they exclude ``wsaf_engine="batched"``.
+            :mod:`repro.core.wsaf_icebuckets`).  Every backend composes
+            with either ``wsaf_engine`` (batched forms are bit-identical
+            to scalar ones; only throughput differs).
         tier_cache_entries / tier_interval: tiered backend geometry —
             hot-cache capacity and accumulates between promote/demote
             maintenance ticks.
@@ -222,12 +244,6 @@ class InstaMeasureConfig:
             raise ConfigurationError(
                 f"unknown wsaf_backend {self.wsaf_backend!r}; "
                 f"known: {WSAF_BACKEND_CHOICES}"
-            )
-        if self.wsaf_backend != "flat" and self.wsaf_engine == "batched":
-            raise ConfigurationError(
-                f"wsaf_backend={self.wsaf_backend!r} stores scalar columns "
-                "and cannot pair with wsaf_engine='batched'; leave "
-                "wsaf_engine='auto'"
             )
         if self.tier_cache_entries < 1:
             raise ConfigurationError(

@@ -26,8 +26,12 @@ seam is a *backend*, selected by ``InstaMeasureConfig.wsaf_backend``:
     per-bucket shared scale exponents (upscale-on-overflow), trading a
     bounded relative error for a measured counter-memory reduction.
 
-Tiered and compressed backends store scalar columns; the batch-probed
-array engine pairs only with ``flat`` (enforced at config validation).
+Every backend composes with both WSAF engines: the ``wsaf_engine`` knob
+picks scalar columns or the batch-probed cohort kernel independently of
+the storage algorithm (``tiered`` wraps a batched backing table and
+vectorizes its cache probe; ``icebuckets`` has a batch-probed subclass
+with quantized vectorized adds).  Scalar and batched are bit-identical
+for every backend; only throughput differs.
 """
 
 from __future__ import annotations
@@ -126,6 +130,7 @@ def build_wsaf_storage(config, accountant: "AccessAccountant | None" = None):
     from repro.core.wsaf import WSAFTable
 
     backend = getattr(config, "wsaf_backend", "flat")
+    engine = resolved_wsaf_engine(config)
     if backend == "tiered":
         from repro.core.wsaf_tiered import TieredWSAFTable
 
@@ -137,11 +142,18 @@ def build_wsaf_storage(config, accountant: "AccessAccountant | None" = None):
             eviction_policy=config.eviction_policy,
             cache_entries=config.tier_cache_entries,
             tier_interval=config.tier_interval,
+            table_engine=engine,
         )
     if backend == "icebuckets":
-        from repro.core.wsaf_icebuckets import IceBucketsWSAFTable
+        if engine == "batched":
+            from repro.kernels.wsaf_batched import BatchedIceBucketsWSAFTable
 
-        return IceBucketsWSAFTable(
+            ice_class: type = BatchedIceBucketsWSAFTable
+        else:
+            from repro.core.wsaf_icebuckets import IceBucketsWSAFTable
+
+            ice_class = IceBucketsWSAFTable
+        return ice_class(
             num_entries=config.wsaf_entries,
             probe_limit=config.probe_limit,
             gc_timeout=config.gc_timeout,
@@ -150,7 +162,7 @@ def build_wsaf_storage(config, accountant: "AccessAccountant | None" = None):
             bucket_slots=config.ice_bucket_slots,
             counter_bits=config.ice_counter_bits,
         )
-    if resolved_wsaf_engine(config) == "batched":
+    if engine == "batched":
         from repro.kernels.wsaf_batched import BatchedWSAFTable
 
         table_class: "type[WSAFTable]" = BatchedWSAFTable

@@ -175,3 +175,126 @@ class TestGoldenFlatIdentity:
         assert golden.wsaf.evictions > 0
         assert golden.wsaf.gc_reclaimed > 0
         assert golden.wsaf.rejected > 0
+
+
+#: Backend geometry the non-flat goldens were captured with — tuned so
+#: the backend dynamics (promotions/demotions, upscales) and the table
+#: dynamics (evictions, GC reclaims, rejections) are all non-zero.
+GOLDEN_BACKENDS = {
+    "tiered": dict(wsaf_backend="tiered", tier_cache_entries=4, tier_interval=64),
+    "icebuckets": dict(
+        wsaf_backend="icebuckets", ice_bucket_slots=8, ice_counter_bits=8
+    ),
+}
+
+_WSAF_COUNTERS = (
+    "num_entries",
+    "probe_limit",
+    "eviction_policy",
+    "size",
+    "insertions",
+    "updates",
+    "evictions",
+    "gc_reclaimed",
+    "rejected",
+)
+_WSAF_COLUMNS = (
+    "slots",
+    "keys",
+    "packets",
+    "bytes",
+    "timestamps",
+    "chance",
+    "tuple_lo",
+    "tuple_hi",
+    "tuple_present",
+)
+
+
+class TestGoldenBackendIdentity:
+    """Tiered and ICE backends are pinned per engine by one golden each.
+
+    The goldens were captured with ``wsaf_engine="scalar"``; checking the
+    batched run against the *same* golden is the cross-engine bit-identity
+    contract — same estimates, same eviction/GC order, same promote/demote
+    decisions, same upscale points, same tier/ice sections.
+    """
+
+    @pytest.fixture(scope="class")
+    def golden_trace(self):
+        return build_caida_like_trace(CaidaLikeConfig(**GOLDEN_TRACE))
+
+    @pytest.mark.parametrize("backend", sorted(GOLDEN_BACKENDS))
+    @pytest.mark.parametrize("wsaf_engine", ["scalar", "batched"])
+    def test_backend_matches_golden(self, golden_trace, backend, wsaf_engine):
+        golden = load(GOLDEN_DIR / f"{backend}.imsnap")
+        engine = InstaMeasure(
+            InstaMeasureConfig(
+                wsaf_engine=wsaf_engine,
+                **GOLDEN_CONFIG,
+                **GOLDEN_BACKENDS[backend],
+            )
+        )
+        engine.process_trace(golden_trace)
+        current = capture_engine(engine)
+
+        want, got = golden.wsaf, current.wsaf
+        for counter in _WSAF_COUNTERS:
+            assert getattr(got, counter) == getattr(want, counter), counter
+        for column in _WSAF_COLUMNS:
+            assert np.array_equal(
+                getattr(got, column), getattr(want, column)
+            ), column
+        if backend == "tiered":
+            assert got.ice is None
+            for field in (
+                "cache_entries",
+                "tier_interval",
+                "op_count",
+                "cache_updates",
+                "promotions",
+                "demotions",
+            ):
+                assert getattr(got.tier, field) == getattr(
+                    want.tier, field
+                ), field
+            for column in (
+                "keys",
+                "packets",
+                "bytes",
+                "timestamps",
+                "chance",
+                "tuple_lo",
+                "tuple_hi",
+                "tuple_present",
+                "heat_keys",
+                "heat_counts",
+            ):
+                assert np.array_equal(
+                    getattr(got.tier, column), getattr(want.tier, column)
+                ), column
+        else:
+            assert got.tier is None
+            for field in ("bucket_slots", "counter_bits", "upscales"):
+                assert getattr(got.ice, field) == getattr(
+                    want.ice, field
+                ), field
+            assert np.array_equal(
+                got.ice.scale_packets, want.ice.scale_packets
+            )
+            assert np.array_equal(got.ice.scale_bytes, want.ice.scale_bytes)
+        assert current.estimates() == golden.estimates()
+        assert current.regulator.packets == golden.regulator.packets
+        assert current.regulator.insertions == golden.regulator.insertions
+
+    @pytest.mark.parametrize("backend", sorted(GOLDEN_BACKENDS))
+    def test_backend_golden_exercises_dynamics(self, backend):
+        golden = load(GOLDEN_DIR / f"{backend}.imsnap")
+        assert golden.wsaf.evictions > 0
+        assert golden.wsaf.gc_reclaimed > 0
+        assert golden.wsaf.rejected > 0
+        if backend == "tiered":
+            assert golden.wsaf.tier.promotions > 0
+            assert golden.wsaf.tier.demotions > 0
+        else:
+            assert golden.wsaf.ice.upscales > 0

@@ -1,0 +1,244 @@
+"""Property tests for the batch-probed tiered and ICE-Buckets backends.
+
+The contract mirrors ``tests/test_wsaf_batched.py`` for the flat table:
+the batched engine is an *execution strategy*, never a semantics change.
+For every backend, driving the same event stream through the scalar
+table (one ``accumulate`` per event) and the batched table (chunked
+``accumulate_batch_arrays``) must leave bit-identical state — backing
+columns, cache contents and promote/demote counters for the tiered
+store, quantized planes and per-bucket scales for ICE-Buckets — plus
+identical per-event running totals, estimates, and accountant tallies.
+
+The targeted cases pin the coupling points the vectorized paths have to
+get right: a retier interval landing mid-chunk, a bucket upscale
+triggered by the very first event of a cohort, and degenerate 1-event
+chunks that ride the scalar fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.wsaf import WSAFTable
+from repro.core.wsaf_icebuckets import IceBucketsWSAFTable
+from repro.core.wsaf_storage import default_technologies
+from repro.core.wsaf_tiered import TieredWSAFTable
+from repro.kernels.wsaf_batched import (
+    BatchedIceBucketsWSAFTable,
+    BatchedWSAFTable,
+)
+from repro.memmodel import DRAM, AccessAccountant
+
+
+def _random_events(seed, n, key_space):
+    """A reproducible event stream: (key, pkts, bytes, stamp, tuple)."""
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(1, key_space, size=n, dtype=np.uint64)
+    pkts = rng.integers(1, 40, size=n).astype(np.float64)
+    byts = pkts * rng.integers(40, 1500, size=n).astype(np.float64)
+    stamps = np.cumsum(rng.random(n) * 0.3)
+    tuples = [(int(k) << 16) | 0xBEEF for k in keys.tolist()]
+    return list(
+        zip(keys.tolist(), pkts.tolist(), byts.tolist(), stamps.tolist(), tuples)
+    )
+
+
+def _apply_scalar(table, events):
+    return [table.accumulate(*event) for event in events]
+
+
+def _apply_batched(table, events, chunk):
+    totals = []
+    for start in range(0, len(events), chunk):
+        part = events[start : start + chunk]
+        totals.extend(
+            table.accumulate_batch_arrays(
+                np.array([e[0] for e in part], dtype=np.uint64),
+                np.array([e[1] for e in part], dtype=np.float64),
+                np.array([e[2] for e in part], dtype=np.float64),
+                np.array([e[3] for e in part], dtype=np.float64),
+                [e[4] for e in part],
+            )
+        )
+    return totals
+
+
+def _assert_flat_columns_identical(scalar: WSAFTable, batched: BatchedWSAFTable):
+    """Every backing-table slot, column, and counter must match exactly."""
+    assert list(scalar._occupied) == batched._occupied.tolist()
+    assert list(scalar._keys) == batched._keys.tolist()
+    assert list(scalar._packets) == batched._packets.tolist()
+    assert list(scalar._bytes) == batched._bytes.tolist()
+    assert list(scalar._timestamps) == batched._timestamps.tolist()
+    assert list(scalar._chance) == batched._chance.tolist()
+    assert scalar._tuples == batched._tuples
+    assert scalar.size == batched.size
+    assert scalar.insertions == batched.insertions
+    assert scalar.updates == batched.updates
+    assert scalar.evictions == batched.evictions
+    assert scalar.gc_reclaimed == batched.gc_reclaimed
+    assert scalar.rejected == batched.rejected
+
+
+# -- tiered ---------------------------------------------------------------
+
+
+def _tiered_pair(**kwargs):
+    kwargs.setdefault("num_entries", 1 << 7)
+    kwargs.setdefault("probe_limit", 8)
+    kwargs.setdefault("gc_timeout", 5.0)
+    tables, accountants = [], []
+    for engine in ("scalar", "batched"):
+        accountant = AccessAccountant(DRAM, technologies=default_technologies())
+        tables.append(
+            TieredWSAFTable(
+                accountant=accountant, table_engine=engine, **kwargs
+            )
+        )
+        accountants.append(accountant)
+    return tables[0], tables[1], accountants
+
+
+def _assert_tiered_identical(scalar, batched, accountants):
+    _assert_flat_columns_identical(scalar.table, batched.table)
+    assert scalar._cache == batched._cache
+    assert scalar._hits == batched._hits
+    assert scalar._misses == batched._misses
+    assert scalar.op_count == batched.op_count
+    assert scalar.cache_updates == batched.cache_updates
+    assert scalar.promotions == batched.promotions
+    assert scalar.demotions == batched.demotions
+    assert scalar.estimates() == batched.estimates()
+    assert accountants[0].by_label() == accountants[1].by_label()
+
+
+class TestTieredEquivalence:
+    @pytest.mark.parametrize("seed,chunk", [(0, 512), (1, 96), (2, 257)])
+    def test_identity_across_seeds(self, seed, chunk):
+        scalar, batched, accountants = _tiered_pair(
+            cache_entries=8, tier_interval=64
+        )
+        events = _random_events(seed, 3000, key_space=1 << 14)
+        assert _apply_scalar(scalar, events) == _apply_batched(
+            batched, events, chunk
+        )
+        _assert_tiered_identical(scalar, batched, accountants)
+        assert batched.promotions > 0  # the dynamics actually ran
+
+    def test_retier_lands_mid_chunk(self):
+        # Interval 10 with chunk 64: every chunk straddles several retier
+        # ticks, and 64 % 10 != 0 keeps the ticks drifting through chunk
+        # positions — the segment-splitting path, not the aligned case.
+        scalar, batched, accountants = _tiered_pair(
+            cache_entries=4, tier_interval=10
+        )
+        events = _random_events(7, 2000, key_space=1 << 10)
+        assert _apply_scalar(scalar, events) == _apply_batched(
+            batched, events, chunk=64
+        )
+        _assert_tiered_identical(scalar, batched, accountants)
+        assert batched.promotions > 0
+        assert batched.demotions > 0
+
+    def test_single_event_chunks(self):
+        scalar, batched, accountants = _tiered_pair(
+            cache_entries=4, tier_interval=16
+        )
+        events = _random_events(11, 400, key_space=1 << 8)
+        assert _apply_scalar(scalar, events) == _apply_batched(
+            batched, events, chunk=1
+        )
+        _assert_tiered_identical(scalar, batched, accountants)
+
+    def test_eviction_pressure(self):
+        scalar, batched, accountants = _tiered_pair(
+            num_entries=1 << 5,
+            probe_limit=4,
+            cache_entries=4,
+            tier_interval=32,
+        )
+        events = _random_events(3, 4000, key_space=1 << 16)
+        assert _apply_scalar(scalar, events) == _apply_batched(
+            batched, events, chunk=200
+        )
+        _assert_tiered_identical(scalar, batched, accountants)
+        assert batched.evictions > 0
+
+
+# -- ICE-Buckets ----------------------------------------------------------
+
+
+def _ice_pair(**kwargs):
+    kwargs.setdefault("num_entries", 1 << 7)
+    kwargs.setdefault("probe_limit", 8)
+    kwargs.setdefault("gc_timeout", 5.0)
+    kwargs.setdefault("bucket_slots", 8)
+    kwargs.setdefault("counter_bits", 8)
+    return (
+        IceBucketsWSAFTable(**kwargs),
+        BatchedIceBucketsWSAFTable(**kwargs),
+    )
+
+
+def _assert_ice_identical(scalar, batched):
+    _assert_flat_columns_identical(scalar, batched)
+    assert list(scalar._qpackets) == np.asarray(batched._qpackets).tolist()
+    assert list(scalar._qbytes) == np.asarray(batched._qbytes).tolist()
+    assert scalar._scale_packets == batched._scale_packets
+    assert scalar._scale_bytes == batched._scale_bytes
+    assert scalar.upscales == batched.upscales
+    assert scalar.estimates() == batched.estimates()
+
+
+class TestIceBucketsEquivalence:
+    @pytest.mark.parametrize("seed,chunk", [(0, 512), (1, 96), (2, 257)])
+    def test_identity_across_seeds(self, seed, chunk):
+        scalar, batched = _ice_pair()
+        events = _random_events(seed, 3000, key_space=1 << 14)
+        assert _apply_scalar(scalar, events) == _apply_batched(
+            batched, events, chunk
+        )
+        _assert_ice_identical(scalar, batched)
+        assert batched.upscales > 0
+
+    def test_upscale_on_first_event_of_cohort(self):
+        # counter_bits=4 (max 15): the very first event of a fresh key's
+        # cohort already exceeds the counter range at scale 0, so the
+        # bucket must upscale on insert — before any vectorized chain
+        # arithmetic could have run for that cohort.
+        scalar, batched = _ice_pair(counter_bits=4)
+        events = [
+            (101, 400.0, 400.0 * 1000.0, 0.1, None),
+            (101, 3.0, 3.0 * 800.0, 0.2, None),
+            (202, 1.0, 64.0, 0.3, None),
+            (202, 900.0, 900.0 * 60.0, 0.4, None),
+        ] + _random_events(5, 500, key_space=1 << 8)
+        assert _apply_scalar(scalar, events) == _apply_batched(
+            batched, events, chunk=128
+        )
+        _assert_ice_identical(scalar, batched)
+        assert batched.upscales > 0
+
+    def test_single_event_chunks(self):
+        scalar, batched = _ice_pair(counter_bits=6)
+        events = _random_events(11, 400, key_space=1 << 8)
+        assert _apply_scalar(scalar, events) == _apply_batched(
+            batched, events, chunk=1
+        )
+        _assert_ice_identical(scalar, batched)
+
+    def test_eviction_pressure_with_tiny_counters(self):
+        scalar, batched = _ice_pair(
+            num_entries=1 << 5,
+            probe_limit=4,
+            bucket_slots=4,
+            counter_bits=5,
+        )
+        events = _random_events(3, 4000, key_space=1 << 16)
+        assert _apply_scalar(scalar, events) == _apply_batched(
+            batched, events, chunk=200
+        )
+        _assert_ice_identical(scalar, batched)
+        assert batched.evictions > 0
+        assert batched.upscales > 0
