@@ -11,6 +11,9 @@ Subcommands::
     instameasure snapshot save trace.npz --out state.snap
     instameasure snapshot load state.snap
     instameasure bench --quick
+    instameasure serve capture.impl --follow --checkpoint-dir state/ \
+        --control-port 0 --epoch-seconds 1
+    instameasure control 127.0.0.1:PORT stats
 
 Traces are the NPZ files of :mod:`repro.traffic.trace_io`; snapshots are
 the versioned wire format of :mod:`repro.state.codec`.
@@ -59,6 +62,13 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--duration", type=float, default=30.0, help="caida: seconds")
     gen.add_argument("--hours", type=int, default=24, help="campus: modelled hours")
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--pcaplite",
+        default=None,
+        metavar="PATH",
+        help="also write the trace as a streaming pcap-lite capture "
+        "(the `serve` input format)",
+    )
 
     summarize = commands.add_parser("summarize", help="print trace statistics")
     summarize.add_argument("trace", help="trace NPZ path")
@@ -166,6 +176,72 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the non-flat backend benchmark for this WSAF backend "
         "instead (scalar vs batched engine, measured WSAF stage)",
     )
+
+    serve = commands.add_parser(
+        "serve", help="run the always-on measurement service"
+    )
+    serve.add_argument(
+        "input",
+        help="pcap-lite capture path, or tcp://HOST:PORT for a live feed",
+    )
+    serve.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail a growing capture instead of stopping at EOF",
+    )
+    serve.add_argument("--chunk-size", type=int, default=8192)
+    serve.add_argument(
+        "--epoch-seconds",
+        type=float,
+        default=None,
+        help="rotate epochs this often on the stream clock",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist crash-recovery checkpoints here (and recover from "
+        "the newest one on start)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        metavar="CHUNKS",
+        help="checkpoint after this many ingested chunks",
+    )
+    serve.add_argument("--keep-checkpoints", type=int, default=3)
+    serve.add_argument(
+        "--control-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the line-protocol control socket on 127.0.0.1:PORT "
+        "(0 picks an ephemeral port; the chosen address is printed)",
+    )
+    serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument("--l1-kb", type=float, default=8.0)
+    serve.add_argument("--wsaf-bits", type=int, default=16)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--wsaf-backend",
+        choices=["flat", "tiered", "icebuckets"],
+        default="flat",
+    )
+    serve.add_argument(
+        "--max-packets",
+        type=int,
+        default=None,
+        help="stop after measuring this many packets (smoke-test hook)",
+    )
+
+    control = commands.add_parser(
+        "control", help="send one command to a running service"
+    )
+    control.add_argument("address", help="HOST:PORT of the control socket")
+    control.add_argument(
+        "words", nargs="+", help="command, e.g.: stats | query KEY | top 5"
+    )
+    control.add_argument("--timeout", type=float, default=10.0)
     return parser
 
 
@@ -185,6 +261,11 @@ def _cmd_gen_trace(args: argparse.Namespace) -> int:
         f"wrote {args.out}: {trace.num_packets:,} packets, "
         f"{trace.num_flows:,} flows, {trace.duration:.1f}s"
     )
+    if args.pcaplite is not None:
+        from repro.traffic.pcaplite import write_pcaplite
+
+        records = write_pcaplite(trace, args.pcaplite)
+        print(f"wrote {args.pcaplite}: {records:,} pcap-lite records")
     return 0
 
 
@@ -644,6 +725,103 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_source(args: argparse.Namespace):
+    from repro.pipeline import PacketRecordChunkSource, SocketChunkSource
+
+    if args.input.startswith("tcp://"):
+        host, _, port = args.input[len("tcp://") :].partition(":")
+        if not host or not port:
+            raise ReproError(f"bad feed address {args.input!r}: want tcp://HOST:PORT")
+        return SocketChunkSource(
+            host,
+            int(port),
+            chunk_size=args.chunk_size,
+            epoch_seconds=args.epoch_seconds,
+        )
+    return PacketRecordChunkSource(
+        args.input,
+        chunk_size=args.chunk_size,
+        epoch_seconds=args.epoch_seconds,
+        follow=args.follow,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: the always-on daemon with optional control socket."""
+    import signal
+
+    from repro.service import ControlServer, MeasurementDaemon
+
+    config = InstaMeasureConfig(
+        l1_memory_bytes=int(args.l1_kb * 1024),
+        wsaf_entries=1 << args.wsaf_bits,
+        seed=args.seed,
+        wsaf_backend=args.wsaf_backend,
+    )
+    daemon = MeasurementDaemon(
+        _serve_source(args),
+        config=config,
+        num_shards=args.shards,
+        epoch_seconds=args.epoch_seconds,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        keep_checkpoints=args.keep_checkpoints,
+        max_packets=args.max_packets,
+    )
+    control = None
+    try:
+        daemon.start()
+        if args.control_port is not None:
+            control = ControlServer(daemon, port=args.control_port)
+            # Parseable by wrappers (the CI smoke job reads this line).
+            print(f"control {control.address[0]}:{control.address[1]}", flush=True)
+        if daemon.recovered_from is not None:
+            print(
+                f"recovered from checkpoint {daemon.recovered_from} "
+                f"at packet {daemon.packets:,}",
+                flush=True,
+            )
+
+        def _stop(_signum, _frame):
+            daemon.stop()
+
+        signal.signal(signal.SIGINT, _stop)
+        signal.signal(signal.SIGTERM, _stop)
+        while not daemon.wait(timeout=0.5):
+            pass
+    finally:
+        if control is not None:
+            control.close()
+    stats = daemon.stats()
+    if daemon.error is not None:
+        print(f"error: ingest failed: {daemon.error}", file=sys.stderr)
+        return 1
+    print(
+        f"served {stats['packets']:,} packets in {stats['chunks']:,} chunks "
+        f"({stats['pps_total']:,.0f} pps, {stats['wsaf_entries']:,} WSAF flows)"
+    )
+    return 0
+
+
+def _cmd_control(args: argparse.Namespace) -> int:
+    """``control``: one-shot client for a running service."""
+    import json
+
+    from repro.service import send_command
+
+    host, _, port = args.address.partition(":")
+    if not host or not port:
+        raise ReproError(f"bad address {args.address!r}: want HOST:PORT")
+    ok, payload = send_command(
+        (host, int(port)), " ".join(args.words), timeout=args.timeout
+    )
+    if not ok:
+        print(f"error: {payload}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -655,6 +833,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "topk": _cmd_topk,
         "spreaders": _cmd_spreaders,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "control": _cmd_control,
     }
     try:
         return handlers[args.command](args)

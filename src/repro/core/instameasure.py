@@ -294,10 +294,20 @@ class MeasurementResult:
         return self.packets / self.elapsed_seconds
 
 
-#: Monotone id for streams whose total length is unknown up front; makes
-#: their kernel-cache stream tags unique (slices of a grow-as-you-go draw
-#: depend on the draw history, so they must never alias across streams).
+#: Monotone id for positioned streams that cover only part of the global
+#: draw; their slices are gathers, not plain offsets, so their
+#: kernel-cache stream tags must never alias across streams.
 _STREAM_NONCE = iter(range(1 << 62)).__next__
+
+#: Draw granularity for unknown-length streams.  Bits are drawn in
+#: fixed-size blocks from one persistent generator and served out in
+#: slices, so the choices a packet at stream offset ``k`` sees are a pure
+#: function of the seed and ``k`` — independent of how the stream
+#: happened to be chunked.  That makes unbounded ingestion
+#: chunking-invariant, and it makes ``(generator state at block start,
+#: entries consumed)`` a complete resume cursor for mid-flight
+#: checkpoints (see :mod:`repro.state.snapshot`).
+UNKNOWN_STREAM_BLOCK = 1 << 16
 
 
 class _BitStream:
@@ -308,8 +318,12 @@ class _BitStream:
     makes — and handed out in slices, which is what makes chunked
     ingestion bit-identical (NumPy's narrow-dtype ``integers`` draws are
     buffered per call, so N small draws do *not* equal one big draw).
-    Unknown-length streams fall back to drawing per chunk: still
-    deterministic for a fixed chunking, but not whole-trace-identical.
+    Unknown-length streams draw fixed-size ``UNKNOWN_STREAM_BLOCK``
+    blocks from one persistent generator instead: not identical to the
+    known-length draw (the layers interleave differently), but a pure
+    function of the stream offset, so every chunking of an unbounded
+    stream sees the same bits and a checkpoint can resume the stream
+    from the block cursor alone (:meth:`unknown_cursor`).
 
     ``positions`` opens a *positioned* stream: ``total`` is the global
     stream length the full draw covers, and the stream consumes only the
@@ -359,7 +373,12 @@ class _BitStream:
             self._nonce = None if covers_all else _STREAM_NONCE()
         else:
             self._bits1 = self._bits2 = self._matrix = None
-            self._nonce = _STREAM_NONCE()
+            self._nonce = None
+        #: Generator state captured immediately before the current block
+        #: draw (unknown-length streams only; None before the first draw).
+        self._block_state = None
+        #: Entries of the current block already handed out.
+        self._block_used = 0
 
     @property
     def length(self) -> "int | None":
@@ -388,15 +407,14 @@ class _BitStream:
         """The next ``count`` packets' bit choices, advancing the cursor."""
         begin = self.offset
         limit = self.length
-        if limit is not None:
-            if begin + count > limit:
-                raise ConfigurationError(
-                    f"stream overran its declared total of {limit} "
-                    f"packets at offset {begin} (+{count})"
-                )
-        else:
-            self._draw(count)
-            begin = 0
+        if limit is None:
+            self.offset += count
+            return self._take_unknown(count)
+        if begin + count > limit:
+            raise ConfigurationError(
+                f"stream overran its declared total of {limit} "
+                f"packets at offset {begin} (+{count})"
+            )
         end = begin + count
         self.offset += count
         if self.positions is not None:
@@ -407,6 +425,87 @@ class _BitStream:
         if self._flow_regulator:
             return (self._bits1[begin:end], self._bits2[begin:end])
         return self._matrix[begin:end]
+
+    def _draw_block(self) -> None:
+        # Record the generator state *before* drawing: (state, used) is
+        # then the whole resume cursor for an unknown-length stream.
+        self._block_state = self._rng.bit_generator.state
+        self._draw(UNKNOWN_STREAM_BLOCK)
+        self._block_used = 0
+
+    def _take_unknown(self, count: int):
+        """Assemble ``count`` entries from the fixed-size block draws.
+
+        Requests that fit inside the current block come back as views;
+        block-crossing requests are stitched into fresh arrays.  Either
+        way the entries depend only on the stream offset, never on the
+        chunk sizes that consumed it.
+        """
+        flow = self._flow_regulator
+        block = UNKNOWN_STREAM_BLOCK
+        if self._block_state is not None and self._block_used + count <= block:
+            lo = self._block_used
+            hi = lo + count
+            self._block_used = hi
+            if flow:
+                return (self._bits1[lo:hi], self._bits2[lo:hi])
+            return self._matrix[lo:hi]
+        if flow:
+            out1 = np.empty(count, dtype=np.uint8)
+            out2 = np.empty(count, dtype=np.uint8)
+        else:
+            out = np.empty((count, self._num_layers), dtype=np.int64)
+        filled = 0
+        while filled < count:
+            if self._block_state is None or self._block_used >= block:
+                self._draw_block()
+            step = min(count - filled, block - self._block_used)
+            lo = self._block_used
+            hi = lo + step
+            if flow:
+                out1[filled : filled + step] = self._bits1[lo:hi]
+                out2[filled : filled + step] = self._bits2[lo:hi]
+            else:
+                out[filled : filled + step] = self._matrix[lo:hi]
+            self._block_used = hi
+            filled += step
+        if flow:
+            return (out1, out2)
+        return out
+
+    def unknown_cursor(self) -> "tuple[dict, int]":
+        """``(generator state at block start, entries consumed)``.
+
+        The randomness half of a mid-flight unknown-length snapshot:
+        :meth:`seek_unknown` with these values (plus the offset) lands a
+        fresh stream on the exact next bit this one would hand out.
+        """
+        if self._total is not None:
+            raise ConfigurationError(
+                "unknown_cursor only applies to unknown-length streams"
+            )
+        if self._block_state is None:
+            return self._rng.bit_generator.state, 0
+        return self._block_state, self._block_used
+
+    def seek_unknown(self, rng_state: dict, block_used: int, offset: int) -> None:
+        """Resume an unknown-length stream at a captured cursor."""
+        if self._total is not None:
+            raise ConfigurationError(
+                "seek_unknown only applies to unknown-length streams"
+            )
+        if not 0 <= block_used <= UNKNOWN_STREAM_BLOCK:
+            raise ConfigurationError(
+                f"block cursor {block_used} outside [0, {UNKNOWN_STREAM_BLOCK}]"
+            )
+        self._rng.bit_generator.state = rng_state
+        self._block_state = None
+        self._block_used = 0
+        self._bits1 = self._bits2 = self._matrix = None
+        if block_used:
+            self._draw_block()
+            self._block_used = block_used
+        self.offset = offset
 
     def take_at(self, positions: np.ndarray):
         """Bit choices for the packets at global ``positions`` (ascending).

@@ -40,6 +40,8 @@ from repro.pipeline.protocol import (
 from repro.pipeline.sharded import (
     ShardedPipeline,
     ShardedResult,
+    ShardedStreamingMeasurer,
+    ShardedStreamResult,
     ShardWorkerPool,
     run_sharded,
 )
@@ -50,6 +52,12 @@ from repro.pipeline.source import (
     TraceChunkSource,
     as_chunk_source,
 )
+from repro.pipeline.streaming import (
+    PacketRecordChunkSource,
+    SocketChunkSource,
+    StreamingChunkSource,
+    trace_from_records,
+)
 
 __all__ = [
     "Chunk",
@@ -57,13 +65,18 @@ __all__ = [
     "ChunkStats",
     "EpochRecord",
     "FileChunkSource",
+    "PacketRecordChunkSource",
     "Pipeline",
     "PipelineResult",
     "PrefetchChunkSource",
     "PrefetchStats",
+    "SocketChunkSource",
+    "StreamingChunkSource",
     "ShardWorkerPool",
     "ShardedPipeline",
     "ShardedResult",
+    "ShardedStreamResult",
+    "ShardedStreamingMeasurer",
     "StreamingMeasurer",
     "TraceChunkSource",
     "as_chunk_source",
@@ -71,6 +84,7 @@ __all__ = [
     "chunk_trace",
     "run_pipeline",
     "run_sharded",
+    "trace_from_records",
     "supports_merge",
     "supports_rotate",
 ]

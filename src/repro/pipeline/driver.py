@@ -5,6 +5,14 @@ Feeds any :class:`~repro.pipeline.protocol.StreamingMeasurer` from any
 firing an epoch callback at every epoch boundary (including empty epochs,
 so periodic consumers see every tick), and returning the measurer's
 finalized result together with per-chunk throughput stats.
+
+The loop comes apart into :meth:`Pipeline.begin` / :meth:`Pipeline.step`
+/ :meth:`Pipeline.finish` so a long-lived driver (the service daemon)
+can push chunks one at a time — interleaving checkpoints and control
+queries between steps — while :meth:`Pipeline.run` remains the one-call
+batch form built on exactly those pieces.  Unbounded sources
+(``total_packets is None``) are first-class: the epoch origin is picked
+up lazily once the source has seen its first packet.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.pipeline.protocol import supports_rotate
 from repro.pipeline.source import ChunkSource, as_chunk_source
 
@@ -73,6 +82,20 @@ class PipelineResult:
         return self.packets / elapsed if elapsed > 0 else 0.0
 
 
+@dataclass
+class _RunState:
+    """Bookkeeping of one in-progress :meth:`Pipeline.begin` run."""
+
+    source: "object | None"
+    epoch_seconds: "float | None"
+    start_time: "float | None"
+    current_epoch: int = 0
+    packets: int = 0
+    saw_chunk: bool = False
+    chunks: "list[ChunkStats]" = field(default_factory=list)
+    epochs: "list[EpochRecord]" = field(default_factory=list)
+
+
 class Pipeline:
     """Drive a streaming measurer over a chunked packet stream.
 
@@ -92,6 +115,11 @@ class Pipeline:
             an accumulation callback (the InstaMeasure engines); leave
             ``None`` for measurers that do not.
         on_chunk: ``callback(stats)`` after each chunk (progress hook).
+        history: keep at most this many :class:`ChunkStats` /
+            :class:`EpochRecord` entries (oldest dropped); ``None`` keeps
+            everything.  An always-on driver must bound these lists or an
+            unbounded run grows without limit — aggregate counters
+            (``packets`` etc.) are unaffected by trimming.
     """
 
     def __init__(
@@ -102,6 +130,7 @@ class Pipeline:
         rotate: bool = False,
         on_accumulate=None,
         on_chunk=None,
+        history: "int | None" = None,
     ) -> None:
         self.measurer = measurer
         self.epoch_seconds = epoch_seconds
@@ -109,6 +138,145 @@ class Pipeline:
         self.rotate = rotate
         self.on_accumulate = on_accumulate
         self.on_chunk = on_chunk
+        if history is not None and history < 1:
+            raise ConfigurationError("history must be a positive count or None")
+        self.history = history
+        self._run: "_RunState | None" = None
+
+    # -- incremental interface -------------------------------------------------
+
+    @property
+    def active_epoch(self) -> "int | None":
+        """Index of the epoch the in-progress run is inside (None between
+        runs) — what a checkpoint must record to resume rotation cadence."""
+        if self._run is None:
+            return None
+        return self._run.current_epoch
+
+    def begin(
+        self,
+        source=None,
+        epoch_seconds: "float | None" = None,
+        start_time: "float | None" = None,
+        first_epoch: int = 0,
+    ) -> None:
+        """Open an incremental run; feed it with :meth:`step`.
+
+        ``source`` (optional) supplies the epoch geometry — its
+        ``epoch_seconds`` and ``start_time`` — exactly as :meth:`run`
+        would read them; explicit arguments override, which is also how a
+        sourceless driver (chunks pushed from elsewhere) declares its
+        epochs.  A still-unknown ``start_time`` (unbounded source waiting
+        for its first packet) is re-read at the first epoch boundary.
+        ``first_epoch`` resumes the epoch counter mid-sequence — the
+        recovery path: a daemon restarting from a checkpoint continues
+        the rotation cadence instead of re-firing past epochs.
+        """
+        if self._run is not None:
+            raise ConfigurationError(
+                "a pipeline run is already in progress; finish() or abort() it"
+            )
+        if epoch_seconds is None:
+            epoch_seconds = (
+                source.epoch_seconds if source is not None else self.epoch_seconds
+            )
+        if start_time is None and source is not None:
+            start_time = source.start_time
+        self._run = _RunState(
+            source=source,
+            epoch_seconds=epoch_seconds,
+            start_time=start_time,
+            current_epoch=first_epoch,
+        )
+
+    def step(self, chunk) -> ChunkStats:
+        """Ingest one chunk, firing any epoch boundaries it crossed."""
+        run = self._run
+        if run is None:
+            raise ConfigurationError("no run in progress; begin() first")
+        if run.epoch_seconds is not None:
+            while run.current_epoch < chunk.epoch:
+                self._fire(run, run.current_epoch)
+                run.current_epoch += 1
+        measurer = self.measurer
+        begin = time.perf_counter()
+        if self.on_accumulate is not None:
+            measurer.ingest(chunk, on_accumulate=self.on_accumulate)
+        else:
+            measurer.ingest(chunk)
+        seconds = time.perf_counter() - begin
+        run.packets += chunk.num_packets
+        run.saw_chunk = True
+        stats = ChunkStats(
+            index=chunk.index,
+            packets=chunk.num_packets,
+            seconds=seconds,
+            epoch=chunk.epoch,
+        )
+        run.chunks.append(stats)
+        self._trim(run.chunks)
+        if self.on_chunk is not None:
+            self.on_chunk(stats)
+        return stats
+
+    def finish(self) -> PipelineResult:
+        """Fire the final partial epoch, finalize the measurer, report."""
+        run = self._run
+        if run is None:
+            raise ConfigurationError("no run in progress; begin() first")
+        self._run = None
+        if run.epoch_seconds is not None and run.saw_chunk:
+            self._fire(run, run.current_epoch)
+        result = self.measurer.finalize()
+        return PipelineResult(
+            result=result,
+            measurer=self.measurer,
+            packets=run.packets,
+            chunks=run.chunks,
+            epochs=run.epochs,
+            prefetch_stats=getattr(run.source, "prefetch_stats", None),
+        )
+
+    def abort(self) -> None:
+        """Discard an in-progress run without finalizing the measurer.
+
+        The error path of :meth:`run` (and of a crashing daemon): the
+        measurer keeps whatever state it reached — a later snapshot or
+        ``finalize`` still sees it — but the driver is ready for a fresh
+        :meth:`begin`.
+        """
+        self._run = None
+
+    def _fire(self, run: _RunState, epoch_index: int) -> None:
+        if run.start_time is None and run.source is not None:
+            # Unbounded sources learn their origin from the first packet,
+            # after begin() already sampled it — re-read now that the
+            # stream is flowing.
+            run.start_time = run.source.start_time
+        end_time = (
+            run.start_time + (epoch_index + 1) * run.epoch_seconds
+            if run.start_time is not None
+            else float(epoch_index + 1)
+        )
+        snapshot = None
+        if self.rotate and supports_rotate(self.measurer):
+            snapshot = self.measurer.rotate(end_time)
+        record = EpochRecord(
+            index=epoch_index,
+            end_time=end_time,
+            packets_so_far=run.packets,
+            snapshot=snapshot,
+        )
+        run.epochs.append(record)
+        self._trim(run.epochs)
+        if self.on_epoch is not None:
+            self.on_epoch(record, self.measurer)
+
+    def _trim(self, records: list) -> None:
+        if self.history is not None and len(records) > self.history:
+            del records[: len(records) - self.history]
+
+    # -- batch interface ---------------------------------------------------------
 
     def run(self, source, chunk_size: "int | None" = None) -> PipelineResult:
         """Ingest every chunk of ``source`` and finalize.
@@ -127,70 +295,14 @@ class Pipeline:
             source = as_chunk_source(
                 source, chunk_size=chunk_size, epoch_seconds=self.epoch_seconds
             )
-        measurer = self.measurer
-        epoch_seconds = source.epoch_seconds
-        epoched = epoch_seconds is not None
-        start_time = source.start_time
-
-        chunks: "list[ChunkStats]" = []
-        epochs: "list[EpochRecord]" = []
-        packets = 0
-        current_epoch = 0
-
-        def fire(epoch_index: int) -> None:
-            end_time = (
-                start_time + (epoch_index + 1) * epoch_seconds
-                if start_time is not None
-                else float(epoch_index + 1)
-            )
-            snapshot = None
-            if self.rotate and supports_rotate(measurer):
-                snapshot = measurer.rotate(end_time)
-            record = EpochRecord(
-                index=epoch_index,
-                end_time=end_time,
-                packets_so_far=packets,
-                snapshot=snapshot,
-            )
-            epochs.append(record)
-            if self.on_epoch is not None:
-                self.on_epoch(record, measurer)
-
-        saw_chunk = False
-        for chunk in source:
-            saw_chunk = True
-            if epoched:
-                while current_epoch < chunk.epoch:
-                    fire(current_epoch)
-                    current_epoch += 1
-            begin = time.perf_counter()
-            if self.on_accumulate is not None:
-                measurer.ingest(chunk, on_accumulate=self.on_accumulate)
-            else:
-                measurer.ingest(chunk)
-            seconds = time.perf_counter() - begin
-            packets += chunk.num_packets
-            stats = ChunkStats(
-                index=chunk.index,
-                packets=chunk.num_packets,
-                seconds=seconds,
-                epoch=chunk.epoch,
-            )
-            chunks.append(stats)
-            if self.on_chunk is not None:
-                self.on_chunk(stats)
-        if epoched and saw_chunk:
-            fire(current_epoch)
-
-        result = measurer.finalize()
-        return PipelineResult(
-            result=result,
-            measurer=measurer,
-            packets=packets,
-            chunks=chunks,
-            epochs=epochs,
-            prefetch_stats=getattr(source, "prefetch_stats", None),
-        )
+        self.begin(source)
+        try:
+            for chunk in source:
+                self.step(chunk)
+        except BaseException:
+            self.abort()
+            raise
+        return self.finish()
 
 
 def run_pipeline(

@@ -14,6 +14,8 @@ sequence, metadata, and the wrapped source's ``total_packets`` /
 bit-identity guarantee of the chunked pipeline carries over.  Producer
 exceptions propagate to the consuming iterator; each ``__iter__`` call
 starts a fresh producer thread, so the source stays re-iterable.
+Abandoning iteration early (the daemon's stop path) shuts the producer
+down promptly instead of leaking a thread blocked on the full queue.
 
 Each pass also records a :class:`PrefetchStats` on the source
 (``prefetch_stats``): how many chunks flowed through, the deepest the
@@ -37,6 +39,9 @@ from repro.pipeline.source import ChunkSource
 
 #: Queue sentinel marking normal end-of-stream.
 _DONE = object()
+
+#: How often a blocked producer re-checks whether the consumer is gone.
+_STOP_POLL_S = 0.05
 
 
 @dataclass
@@ -77,43 +82,84 @@ class PrefetchChunkSource(ChunkSource):
             raise ConfigurationError(f"depth must be >= 1, got {depth}")
         self.source = source
         self.depth = depth
-        self.total_packets = source.total_packets
-        self.epoch_seconds = source.epoch_seconds
-        self.start_time = source.start_time
         #: Stats of the most recent (possibly in-progress) iteration pass.
         self.prefetch_stats: "PrefetchStats | None" = None
 
+    # The stream-shape attributes delegate live rather than being copied
+    # at construction: an unbounded source learns its start_time from its
+    # first packet, possibly after the wrapper was built.
+    @property
+    def total_packets(self):  # type: ignore[override]
+        return self.source.total_packets
+
+    @property
+    def epoch_seconds(self):  # type: ignore[override]
+        return self.source.epoch_seconds
+
+    @property
+    def start_time(self):  # type: ignore[override]
+        return self.source.start_time
+
     def __iter__(self):
         staged: "queue.Queue" = queue.Queue(maxsize=self.depth)
+        stop = threading.Event()
         stats = PrefetchStats()
         self.prefetch_stats = stats
+
+        def offer(item) -> bool:
+            """Put unless the consumer went away; True when delivered."""
+            while not stop.is_set():
+                try:
+                    staged.put(item, timeout=_STOP_POLL_S)
+                    return True
+                except queue.Full:
+                    continue
+            return False
 
         def produce() -> None:
             try:
                 for chunk in self.source:
+                    if stop.is_set():
+                        return
                     begin = time.perf_counter()
-                    staged.put(chunk)
+                    if not offer(chunk):
+                        return
                     stats.producer_wait_s += time.perf_counter() - begin
                     # qsize() is advisory, which is fine for a high-water
                     # mark that only informs tuning.
                     stats.max_depth = max(stats.max_depth, staged.qsize())
             except BaseException as error:  # propagate to the consumer
-                staged.put(error)
+                offer(error)
             else:
-                staged.put(_DONE)
+                offer(_DONE)
 
         worker = threading.Thread(
             target=produce, name="chunk-prefetch", daemon=True
         )
         worker.start()
-        while True:
-            begin = time.perf_counter()
-            item = staged.get()
-            stats.consumer_wait_s += time.perf_counter() - begin
-            if item is _DONE:
-                break
-            if isinstance(item, BaseException):
-                raise item
-            stats.chunks += 1
-            yield item
-        worker.join()
+        try:
+            while True:
+                begin = time.perf_counter()
+                item = staged.get()
+                stats.consumer_wait_s += time.perf_counter() - begin
+                if item is _DONE:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                stats.chunks += 1
+                yield item
+        finally:
+            # Reached on normal end, on error, and when the consumer
+            # abandons iteration early (generator close — the daemon's
+            # stop path): wake a producer blocked on the full queue and
+            # reap the thread instead of leaking it.
+            stop.set()
+            stopper = getattr(self.source, "stop", None)
+            if callable(stopper):
+                stopper()
+            while True:
+                try:
+                    staged.get_nowait()
+                except queue.Empty:
+                    break
+            worker.join(timeout=5.0)

@@ -1,6 +1,6 @@
 """Process-sharded ingestion — N streaming workers, one exact merged state.
 
-A :class:`ShardedPipeline` consumes any known-length
+A :class:`ShardedPipeline` consumes any
 :class:`~repro.pipeline.source.ChunkSource` and routes each chunk as it
 arrives: :meth:`repro.state.ShardRouter.split_chunk` partitions the
 chunk's packets into per-shard sub-traces plus their *global* bit-stream
@@ -35,6 +35,16 @@ fork and import cost is paid once per run, not once per shard-chunk.
 In-process execution is bit-identical and the fallback wherever fork is
 unavailable (with a :class:`RuntimeWarning`, since the caller asked for
 parallelism it will not get).
+
+Unknown-length sources (``total_packets is None`` — the always-on
+service's inputs) shard too: the regulator/WSAF disjointness argument is
+unchanged, but with no stream total there is no global draw to position
+against, so each shard consumes its own unknown-length block-drawn
+stream.  The merged state is then a well-defined sharded measurement —
+deterministic for a given routing, exact merges, per-shard checkpoints —
+but not a bit-replica of a single-process unbounded run.
+:class:`ShardedStreamingMeasurer` packages that mode behind the
+streaming-measurer protocol for the service daemon.
 """
 
 from __future__ import annotations
@@ -257,7 +267,7 @@ def _worker_main(conn, parent_conn, config, key_range, total) -> None:
                     flows=directory,
                 )
                 begin = time.perf_counter()
-                engine.ingest(sub, positions=columns["positions"])
+                engine.ingest(sub, positions=columns.get("positions"))
                 ingest_s += time.perf_counter() - begin
             elif kind == "finalize":
                 result = engine.finalize()
@@ -406,7 +416,11 @@ class ShardWorkerPool:
 
 
 class ShardedPipeline:
-    """Stream any known-length chunk source across N shards, merge exactly.
+    """Stream any chunk source across N shards and merge the states.
+
+    Known-length sources merge *exactly equal* to a single-process run
+    (see the module docstring); unknown-length sources shard exactly on
+    the regulator/WSAF axes but draw per-shard randomness.
 
     Args:
         config: per-worker engine configuration.  Unlike the multi-core
@@ -446,11 +460,15 @@ class ShardedPipeline:
         self.router = ShardRouter.for_config(self.config, num_shards)
 
     def _coerce_source(self, source) -> ChunkSource:
-        """Any trace or chunk source, as long as the total is known.
+        """Any trace or chunk source; routing itself is per-chunk.
 
-        The global randomness draw is positioned against the stream
-        total, so sharding needs ``total_packets`` up front — but *not*
-        the trace itself: routing is per-chunk.
+        A known ``total_packets`` positions every shard against the one
+        global randomness draw — the exact-equals-single-process mode.
+        An unknown total (unbounded source) still shards exactly on the
+        regulator/WSAF axes, but each shard consumes its own
+        unknown-length block-drawn stream, so the merged result is a
+        well-defined sharded measurement rather than a bit-replica of a
+        single-process run (see the module docstring).
         """
         if isinstance(source, Trace):
             source = TraceChunkSource(source, chunk_size=self.chunk_size)
@@ -458,12 +476,6 @@ class ShardedPipeline:
             raise ConfigurationError(
                 "sharded ingestion needs a Trace or a ChunkSource, "
                 f"got {type(source).__name__}"
-            )
-        if source.total_packets is None:
-            raise ConfigurationError(
-                "sharded ingestion needs a chunk source with a known "
-                "total_packets (the global randomness draw is positioned "
-                f"against it); {type(source).__name__} reports None"
             )
         return source
 
@@ -478,7 +490,9 @@ class ShardedPipeline:
     def run(self, source, parallel: "bool | None" = None) -> ShardedResult:
         """Stream every chunk through routed shard pipelines and merge."""
         source = self._coerce_source(source)
-        total = int(source.total_packets)
+        total = source.total_packets
+        if total is not None:
+            total = int(total)
         if parallel is None:
             parallel = self.parallel
         use_fork = parallel and _fork_available()
@@ -514,7 +528,11 @@ class ShardedPipeline:
             route_s += time.perf_counter() - begin
             for shard, (sub, positions) in enumerate(parts):
                 if sub.num_packets:
-                    engines[shard].ingest(sub, positions=positions)
+                    # Unknown totals have no global draw to gather from;
+                    # each shard consumes its own block-drawn stream.
+                    engines[shard].ingest(
+                        sub, positions=positions if total is not None else None
+                    )
         results = [engine.finalize() for engine in engines]
 
         begin = time.perf_counter()
@@ -562,18 +580,17 @@ class ShardedPipeline:
                     key64, tuple_lo, tuple_hi = _fresh_flow_columns(
                         sub.flows, fresh
                     )
-                    frame = pack_frame(
-                        {"type": "chunk"},
-                        {
-                            "timestamps": sub.timestamps,
-                            "flow_ids": local_ids,
-                            "sizes": sub.sizes,
-                            "positions": positions,
-                            "new_key64": key64,
-                            "new_tuple_lo": tuple_lo,
-                            "new_tuple_hi": tuple_hi,
-                        },
-                    )
+                    columns = {
+                        "timestamps": sub.timestamps,
+                        "flow_ids": local_ids,
+                        "sizes": sub.sizes,
+                        "new_key64": key64,
+                        "new_tuple_lo": tuple_lo,
+                        "new_tuple_hi": tuple_hi,
+                    }
+                    if total is not None:
+                        columns["positions"] = positions
+                    frame = pack_frame({"type": "chunk"}, columns)
                     pool.send(shard, frame)
                     ipc_s += time.perf_counter() - begin
             begin = time.perf_counter()
@@ -604,6 +621,126 @@ class ShardedPipeline:
             },
             parallel=True,
         )
+
+
+@dataclass
+class ShardedStreamResult:
+    """Aggregate result of one sharded stream (``finalize`` output)."""
+
+    packets: int
+    insertions: int
+    elapsed_seconds: float
+    shard_packets: "list[int]" = field(default_factory=list)
+    shard_insertions: "list[int]" = field(default_factory=list)
+
+
+class ShardedStreamingMeasurer:
+    """In-process sharded measurer for *unbounded* streams.
+
+    The batch :class:`ShardedPipeline` drives the whole run itself; an
+    always-on service instead needs a measurer it can push chunks into
+    one at a time, checkpoint mid-flight, and query between chunks.
+    This class is that: N same-seed engines, each consuming its own
+    unknown-length (block-drawn, chunking-invariant) stream, fed through
+    the same word-range :class:`~repro.state.ShardRouter` — so regulator
+    words and WSAF key sets stay disjoint and per-shard states merge
+    exactly.  It speaks the
+    :class:`~repro.pipeline.protocol.StreamingMeasurer` protocol, so the
+    :class:`~repro.pipeline.driver.Pipeline` driver and the service
+    daemon treat it exactly like a single engine.
+
+    Checkpointing goes through :meth:`snapshot_shards` (one mid-flight
+    snapshot per shard — ``merge`` refuses in-progress streams, and the
+    per-shard cursors must survive individually anyway) and
+    :meth:`from_snapshots` to resume.
+    """
+
+    def __init__(self, config=None, num_shards: int = 1, accountant=None) -> None:
+        from repro.core.instameasure import InstaMeasure, InstaMeasureConfig
+
+        if num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        self.config = config or InstaMeasureConfig()
+        self.num_shards = num_shards
+        self.router = ShardRouter.for_config(self.config, num_shards)
+        self.engines = [
+            InstaMeasure(self.config, accountant) for _ in range(num_shards)
+        ]
+
+    @classmethod
+    def from_snapshots(cls, snapshots, accountant=None) -> "ShardedStreamingMeasurer":
+        """Rebuild from per-shard snapshots (a service checkpoint),
+        resuming every shard's stream cursor bit-identically."""
+        from repro.core.instameasure import InstaMeasure, InstaMeasureConfig
+
+        if not snapshots:
+            raise ConfigurationError("cannot restore from zero shard snapshots")
+        config = InstaMeasureConfig(**snapshots[0].config)
+        measurer = cls(config, num_shards=len(snapshots), accountant=accountant)
+        measurer.engines = [
+            InstaMeasure.from_snapshot(snapshot, accountant=accountant)
+            for snapshot in snapshots
+        ]
+        return measurer
+
+    def ingest(self, chunk, on_accumulate=None) -> None:
+        """Route one chunk's packets into their owning shard engines.
+
+        Every engine runs an unknown-length stream (the service never
+        knows how many packets are coming), opened here rather than
+        lazily inside the engine so no shard infers a finite total from
+        its first sub-chunk's metadata.
+        """
+        for engine in self.engines:
+            if engine._stream is None:
+                engine.begin_stream()
+        for shard, (sub, _positions) in enumerate(self.router.split_chunk(chunk)):
+            if sub.num_packets:
+                self.engines[shard].ingest(sub, on_accumulate=on_accumulate)
+
+    def finalize(self) -> ShardedStreamResult:
+        results = [engine.finalize() for engine in self.engines]
+        return ShardedStreamResult(
+            packets=sum(result.packets for result in results),
+            insertions=sum(result.insertions for result in results),
+            elapsed_seconds=sum(result.elapsed_seconds for result in results),
+            shard_packets=[result.packets for result in results],
+            shard_insertions=[result.insertions for result in results],
+        )
+
+    def estimates(self, flow_keys=None) -> "dict[int, tuple[float, float]]":
+        """Union of the shards' estimates (key sets are disjoint)."""
+        merged: "dict[int, tuple[float, float]]" = {}
+        for engine in self.engines:
+            merged.update(engine.estimates(flow_keys=flow_keys))
+        return merged
+
+    def rotate(self, now: float, wsaf_timeout: "float | None" = None):
+        """Rotate every shard; returns the union of their pre-expiry
+        snapshots (the per-epoch archive the driver stores)."""
+        merged: "dict[int, tuple[float, float]]" = {}
+        for engine in self.engines:
+            merged.update(engine.rotate(now, wsaf_timeout=wsaf_timeout))
+        return merged
+
+    @property
+    def wsaf_size(self) -> int:
+        """Total live WSAF records across shards (occupancy metric)."""
+        return sum(len(engine.wsaf) for engine in self.engines)
+
+    def snapshot_shards(self) -> "list[MeasurementSnapshot]":
+        """One mid-flight snapshot per shard, tagged with its key range."""
+        return [
+            engine.snapshot(key_range=self.router.key_range(shard))
+            for shard, engine in enumerate(self.engines)
+        ]
+
+    def merged_snapshot(self) -> MeasurementSnapshot:
+        """The shards folded into one state — valid between streams only
+        (``merge`` refuses in-progress stream cursors)."""
+        return merge(self.snapshot_shards(), mode="disjoint")
 
 
 def run_sharded(

@@ -1,0 +1,38 @@
+"""The always-on measurement service.
+
+The batch pipeline answers "what happened in this trace"; this package
+answers "what is happening right now".  Three pieces:
+
+* :class:`~repro.service.daemon.MeasurementDaemon` — an ingest thread
+  driving the incremental :class:`~repro.pipeline.driver.Pipeline` loop
+  over an unbounded source, continuously queryable and periodically
+  checkpointed.
+* :class:`~repro.service.checkpoint.CheckpointStore` — atomic,
+  numbered, self-pruning on-disk checkpoints (per-shard IMSNAP
+  snapshots + a JSON manifest as the commit point), from which a
+  restarted daemon resumes bit-identically.
+* :class:`~repro.service.control.ControlServer` — a one-line-in /
+  one-line-out TCP protocol (``query``, ``top``, ``stats``, ``rotate``,
+  ``snapshot``, ``stop``) for live operation, with
+  :func:`~repro.service.control.send_command` as the matching client.
+
+``instameasure serve`` (:mod:`repro.cli`) wires all three together; see
+``docs/STREAMING.md`` ("Service mode") for the operational story.
+"""
+
+from repro.service.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointInfo,
+    CheckpointStore,
+)
+from repro.service.control import ControlServer, send_command
+from repro.service.daemon import MeasurementDaemon
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointInfo",
+    "CheckpointStore",
+    "ControlServer",
+    "MeasurementDaemon",
+    "send_command",
+]

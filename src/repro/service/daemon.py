@@ -1,0 +1,324 @@
+"""The always-on measurement daemon.
+
+:class:`MeasurementDaemon` wraps the incremental :class:`~repro.
+pipeline.driver.Pipeline` loop in a background ingest thread and keeps
+the engine continuously queryable: packets stream in from any unbounded
+:class:`~repro.pipeline.source.ChunkSource` (a tailed pcap-lite file, a
+socket feed), epochs rotate on the stream's own clock, and every N
+chunks the complete engine state — per-shard mid-stream snapshots plus
+stream bookkeeping — is checkpointed atomically through
+:class:`~repro.service.checkpoint.CheckpointStore`.
+
+Crash recovery is the point: :meth:`MeasurementDaemon.start` looks for
+the newest complete checkpoint, restores the measurer bit-identically
+(unknown-length stream cursors resume mid-block), seeks the source back
+to the checkpointed packet position, and continues the epoch cadence
+where it left off.  Re-feeding the tail of the capture then reproduces
+*exactly* the estimates and regulator words of a run that never died —
+the invariant ``tests/test_service.py`` pins.
+
+Crash semantics are deliberate: a clean :meth:`stop` writes a final
+checkpoint and finalizes the stream, but an ingest error does *not*
+checkpoint — the on-disk state stays at the last periodic checkpoint,
+exactly what a hard kill would leave.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.core import InstaMeasureConfig
+from repro.errors import ConfigurationError
+from repro.pipeline.driver import Pipeline
+from repro.pipeline.sharded import ShardedStreamingMeasurer
+from repro.service.checkpoint import CheckpointStore
+
+#: How many (wall_time, packets) samples back the "recent" pps window
+#: reaches (one sample per ingested chunk).
+_RECENT_WINDOW = 32
+
+
+class MeasurementDaemon:
+    """Run a measurer over an unbounded source, checkpointed and queryable.
+
+    Args:
+        source: an unbounded :class:`~repro.pipeline.source.ChunkSource`
+            (``total_packets is None``).  For recovery it must support
+            ``seek_packets(offset)`` — the pcap-lite file source does; a
+            live socket feed runs fine but restarts from the live stream.
+        config: engine configuration (default
+            :class:`~repro.core.instameasure.InstaMeasureConfig`), used
+            for a fresh start; a recovered daemon takes its config from
+            the checkpoint instead.
+        num_shards: shard the engine by flow key (in-process).  ``1``
+            keeps a single engine; either way the checkpoint format is a
+            list of per-shard snapshots.
+        epoch_seconds: rotation period on the stream clock; ``None``
+            disables epoch bookkeeping and rotation.
+        checkpoint_dir: where to persist checkpoints; ``None`` disables
+            checkpointing (the daemon is then purely in-memory).
+        checkpoint_every: checkpoint after this many ingested chunks.
+        keep_checkpoints: retention passed to :class:`CheckpointStore`.
+        max_packets: stop the source once this many packets have been
+            measured (recovered packets count) — a test/CI convenience.
+        history: bound on the driver's per-chunk/per-epoch records.
+    """
+
+    def __init__(
+        self,
+        source,
+        config: "InstaMeasureConfig | None" = None,
+        num_shards: int = 1,
+        epoch_seconds: "float | None" = None,
+        checkpoint_dir: "str | None" = None,
+        checkpoint_every: int = 50,
+        keep_checkpoints: int = 3,
+        max_packets: "int | None" = None,
+        history: int = 256,
+    ) -> None:
+        if getattr(source, "total_packets", None) is not None:
+            raise ConfigurationError(
+                "the daemon serves unbounded sources; for a bounded trace "
+                "use Pipeline.run"
+            )
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.source = source
+        self.config = config or InstaMeasureConfig()
+        self.num_shards = num_shards
+        self.epoch_seconds = epoch_seconds
+        self.checkpoint_every = checkpoint_every
+        self.max_packets = max_packets
+        self.store = (
+            CheckpointStore(checkpoint_dir, keep=keep_checkpoints)
+            if checkpoint_dir is not None
+            else None
+        )
+        self.history = history
+        self.measurer: "ShardedStreamingMeasurer | None" = None
+        self.pipeline: "Pipeline | None" = None
+        self.result = None
+        self.error: "BaseException | None" = None
+        self.recovered_from: "int | None" = None
+
+        self._lock = threading.RLock()
+        self._thread: "threading.Thread | None" = None
+        self._finished = threading.Event()
+        self._position = 0  # stream position after the last ingested chunk
+        self._base_packets = 0  # packets restored from a checkpoint
+        self._run_packets = 0  # packets ingested by this process
+        self._epoch = 0
+        self._chunks = 0
+        self._chunks_since_checkpoint = 0
+        self._ingest_seconds = 0.0
+        self._stream_time: "float | None" = None
+        self._started_at: "float | None" = None
+        self._recent: "deque[tuple[float, int]]" = deque(maxlen=_RECENT_WINDOW)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "MeasurementDaemon":
+        """Recover from the latest checkpoint (if any), then start the
+        ingest thread.  Returns ``self`` for chaining."""
+        if self._thread is not None:
+            raise ConfigurationError("the daemon is already running")
+        first_epoch = 0
+        start_time = None
+        if self.store is not None:
+            info = self.store.latest()
+            if info is not None:
+                snapshots = self.store.load(info)
+                self.measurer = ShardedStreamingMeasurer.from_snapshots(snapshots)
+                self.config = self.measurer.config
+                self.num_shards = self.measurer.num_shards
+                self._position = int(info.meta.get("position", 0))
+                self._base_packets = int(info.meta.get("packets", 0))
+                first_epoch = self._epoch = int(info.meta.get("epoch", 0))
+                start_time = info.meta.get("start_time")
+                self._stream_time = info.meta.get("stream_time")
+                self.recovered_from = info.seq
+                self.source.seek_packets(self._position)
+                if start_time is not None and self.source.start_time is None:
+                    # Pin the epoch origin: the re-opened source must
+                    # grid its epochs exactly as the dead run did.
+                    self.source.start_time = start_time
+        if self.measurer is None:
+            self.measurer = ShardedStreamingMeasurer(
+                self.config, num_shards=self.num_shards
+            )
+        self.pipeline = Pipeline(
+            self.measurer,
+            epoch_seconds=self.epoch_seconds,
+            rotate=self.epoch_seconds is not None,
+            history=self.history,
+        )
+        self.pipeline.begin(
+            self.source, start_time=start_time, first_epoch=first_epoch
+        )
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._ingest_loop, name="measurement-daemon", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _ingest_loop(self) -> None:
+        try:
+            for chunk in self.source:
+                with self._lock:
+                    stats = self.pipeline.step(chunk)
+                    self._position = chunk.end
+                    self._run_packets += chunk.num_packets
+                    self._epoch = self.pipeline.active_epoch
+                    self._chunks += 1
+                    self._chunks_since_checkpoint += 1
+                    self._ingest_seconds += stats.seconds
+                    self._stream_time = float(chunk.trace.timestamps[-1])
+                    self._recent.append((time.monotonic(), self.packets))
+                    due = (
+                        self.store is not None
+                        and self._chunks_since_checkpoint >= self.checkpoint_every
+                    )
+                    if due:
+                        self._checkpoint_locked()
+                if (
+                    self.max_packets is not None
+                    and self.packets >= self.max_packets
+                ):
+                    self.source.stop()
+            with self._lock:
+                # Clean end of stream: commit the final state, then
+                # close the stream so estimates read a finished run.
+                if self.store is not None:
+                    self._checkpoint_locked()
+                finished = self.pipeline.finish()
+                self.result = finished
+        except BaseException as exc:  # crash path: NO final checkpoint
+            self.error = exc
+            with self._lock:
+                self.pipeline.abort()
+        finally:
+            self._finished.set()
+
+    def stop(self) -> None:
+        """Ask the source to wind down; :meth:`wait` for completion."""
+        stop = getattr(self.source, "stop", None)
+        if callable(stop):
+            stop()
+
+    def wait(self, timeout: "float | None" = None) -> bool:
+        """Block until the ingest thread exits; ``True`` when it did."""
+        if self._thread is None:
+            return True
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    def __enter__(self) -> "MeasurementDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+        self.wait(timeout=30.0)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def _checkpoint_locked(self):
+        info = self.store.save(
+            self.measurer.snapshot_shards(),
+            meta={
+                "position": self._position,
+                "packets": self.packets,
+                "chunks": self._chunks,
+                "epoch": self._epoch,
+                "start_time": self.source.start_time,
+                "stream_time": self._stream_time,
+                "epoch_seconds": self.epoch_seconds,
+                "num_shards": self.num_shards,
+            },
+        )
+        self._chunks_since_checkpoint = 0
+        return info
+
+    def checkpoint_now(self):
+        """Force a checkpoint immediately; returns its info."""
+        if self.store is None:
+            raise ConfigurationError("the daemon has no checkpoint directory")
+        with self._lock:
+            return self._checkpoint_locked()
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def packets(self) -> int:
+        """Packets measured so far, including recovered ones."""
+        return self._base_packets + self._run_packets
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and not self._finished.is_set()
+
+    def query(self, key: int) -> "tuple[float, float] | None":
+        """Current ``(packets, bytes)`` estimate for one flow key."""
+        with self._lock:
+            return self.measurer.estimates(flow_keys=[int(key)]).get(int(key))
+
+    def top(self, k: int) -> "list[tuple[int, float, float]]":
+        """The ``k`` largest flows by packet estimate:
+        ``[(key64, packets, bytes), ...]`` descending."""
+        with self._lock:
+            table = self.measurer.estimates()
+        ranked = sorted(table.items(), key=lambda item: item[1][0], reverse=True)
+        return [(key, est[0], est[1]) for key, est in ranked[: max(0, int(k))]]
+
+    def rotate_now(self):
+        """Rotate every shard at the current stream time; returns the
+        pre-expiry snapshot (union across shards)."""
+        with self._lock:
+            now = self._stream_time if self._stream_time is not None else 0.0
+            return self.measurer.rotate(now)
+
+    def stats(self) -> "dict":
+        """Live operational counters (what the control ``stats`` verb
+        serves)."""
+        with self._lock:
+            recent = list(self._recent)
+            active_epoch = self._epoch
+            wsaf_entries = (
+                self.measurer.wsaf_size if self.measurer is not None else 0
+            )
+            packets = self.packets
+            ingest_seconds = self._ingest_seconds
+        pps_recent = 0.0
+        if len(recent) >= 2:
+            dt = recent[-1][0] - recent[0][0]
+            dp = recent[-1][1] - recent[0][1]
+            pps_recent = dp / dt if dt > 0 else 0.0
+        return {
+            "running": self.running,
+            "packets": packets,
+            "position": self._position,
+            "chunks": self._chunks,
+            "epoch": active_epoch,
+            "epoch_seconds": self.epoch_seconds,
+            "num_shards": self.num_shards,
+            "wsaf_entries": wsaf_entries,
+            "pps_total": (
+                (packets - self._base_packets) / ingest_seconds
+                if ingest_seconds > 0
+                else 0.0
+            ),
+            "pps_recent": pps_recent,
+            "stream_time": self._stream_time,
+            "start_time": self.source.start_time,
+            "uptime_seconds": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "recovered_from": self.recovered_from,
+            "error": repr(self.error) if self.error is not None else None,
+        }

@@ -108,6 +108,31 @@ def _columns_of(snapshot: MeasurementSnapshot) -> "list[tuple[str, np.ndarray]]"
     return columns
 
 
+def _stream_header(stream) -> "dict | None":
+    """JSON header entry for an in-progress stream cursor.
+
+    The block-draw keys are emitted only for unbounded cursors, so
+    known-length snapshots serialize byte-for-byte as they did before
+    the service refactor (golden files stay valid).
+    """
+    if stream is None:
+        return None
+    header = {
+        "offset": stream.offset,
+        "total": stream.total,
+        "has_positions": stream.positions is not None,
+        "packets": stream.packets,
+        "insertions": stream.insertions,
+        "l1_saturations": stream.l1_saturations,
+        "elapsed": stream.elapsed,
+    }
+    if stream.rng_state is not None:
+        header["rng_state"] = stream.rng_state
+        header["block_used"] = stream.block_used
+        header["block_size"] = stream.block_size
+    return header
+
+
 def to_bytes(snapshot: MeasurementSnapshot) -> bytes:
     """Serialize ``snapshot`` to a self-describing byte string."""
     columns = _columns_of(snapshot)
@@ -147,19 +172,7 @@ def to_bytes(snapshot: MeasurementSnapshot) -> bytes:
             "gc_reclaimed": wsaf.gc_reclaimed,
             "rejected": wsaf.rejected,
         },
-        "stream": (
-            None
-            if stream is None
-            else {
-                "offset": stream.offset,
-                "total": stream.total,
-                "has_positions": stream.positions is not None,
-                "packets": stream.packets,
-                "insertions": stream.insertions,
-                "l1_saturations": stream.l1_saturations,
-                "elapsed": stream.elapsed,
-            }
-        ),
+        "stream": _stream_header(stream),
         "key_range": (
             None if snapshot.key_range is None else list(snapshot.key_range)
         ),
@@ -352,6 +365,9 @@ def from_bytes(data: bytes) -> MeasurementSnapshot:
             insertions=stream_meta["insertions"],
             l1_saturations=stream_meta["l1_saturations"],
             elapsed=stream_meta["elapsed"],
+            rng_state=stream_meta.get("rng_state"),
+            block_used=stream_meta.get("block_used", 0),
+            block_size=stream_meta.get("block_size", 0),
         )
 
     key_range = header.get("key_range")

@@ -202,23 +202,34 @@ class WSAFState:
 
 @dataclass
 class StreamCursor:
-    """RNG/bookkeeping cursor of an in-progress known-length ingest stream.
+    """RNG/bookkeeping cursor of an in-progress ingest stream.
 
-    ``total`` is the *global* stream length the randomness was drawn for;
-    ``positions`` (optional) are the global packet positions this stream
-    consumes, in order — the sharded pipeline's workers index the global
-    draw through them, which is what makes per-shard streams bit-identical
-    to their slice of a single-process run.  ``offset`` counts packets
-    already consumed (an index into ``positions`` when present).
+    ``total`` is the *global* stream length the randomness was drawn for,
+    or ``None`` for an unbounded stream; ``positions`` (optional) are the
+    global packet positions this stream consumes, in order — the sharded
+    pipeline's workers index the global draw through them, which is what
+    makes per-shard streams bit-identical to their slice of a
+    single-process run.  ``offset`` counts packets already consumed (an
+    index into ``positions`` when present).
+
+    Unbounded streams (``total is None``) draw their randomness in
+    fixed-size blocks; ``rng_state`` is the generator state at the start
+    of the current block, ``block_used`` how many of its ``block_size``
+    entries were already consumed.  Together with ``offset`` that pins
+    the exact next bit the stream hands out — the mechanism behind the
+    service daemon's mid-flight checkpoints.
     """
 
     offset: int
-    total: int
+    total: "int | None"
     positions: "np.ndarray | None"
     packets: int
     insertions: int
     l1_saturations: int
     elapsed: float
+    rng_state: "dict | None" = None
+    block_used: int = 0
+    block_size: int = 0
 
 
 @dataclass
@@ -350,11 +361,12 @@ def restore_regulator(regulator, state: RegulatorState) -> None:
 def capture_engine(engine, key_range=None) -> MeasurementSnapshot:
     """Snapshot a live :class:`~repro.core.instameasure.InstaMeasure`.
 
-    Raises :class:`SnapshotError` when the engine has an in-progress
-    *unknown-length* ingest stream: its randomness was drawn chunk by
-    chunk (history-dependent) and cannot be reproduced from a cursor.
-    Finalize the stream first, or feed the engine from a source that
-    knows its total.
+    In-progress streams are captured mid-flight: known-length streams as
+    a plain offset into the up-front draw, unknown-length streams as the
+    block-draw RNG cursor (see :class:`StreamCursor`).  The one exclusion
+    is a stream that already served positional (``take_at``) gathers —
+    its cursor no longer describes the consumed prefix, so capture raises
+    :class:`SnapshotError`; finalize such a stream first.
     """
     from dataclasses import asdict
 
@@ -362,29 +374,40 @@ def capture_engine(engine, key_range=None) -> MeasurementSnapshot:
     cursor = None
     if stream_state is not None:
         bits = stream_state.bits
-        if bits._total is None:
-            raise SnapshotError(
-                "cannot snapshot an in-progress stream of unknown length: "
-                "its randomness was drawn per chunk and is not reproducible "
-                "from a cursor; finalize() first"
-            )
         if getattr(bits, "positional", False):
             raise SnapshotError(
                 "cannot snapshot a stream mid-flight after positional "
                 "(take_at) gathers: the cursor no longer describes the "
                 "consumed prefix; finalize() first"
             )
-        cursor = StreamCursor(
-            offset=bits.offset,
-            total=bits._total,
-            positions=(
-                None if bits.positions is None else bits.positions.copy()
-            ),
-            packets=stream_state.packets,
-            insertions=stream_state.insertions,
-            l1_saturations=stream_state.l1_saturations,
-            elapsed=stream_state.elapsed,
-        )
+        if bits._total is None:
+            from repro.core.instameasure import UNKNOWN_STREAM_BLOCK
+
+            rng_state, block_used = bits.unknown_cursor()
+            cursor = StreamCursor(
+                offset=bits.offset,
+                total=None,
+                positions=None,
+                packets=stream_state.packets,
+                insertions=stream_state.insertions,
+                l1_saturations=stream_state.l1_saturations,
+                elapsed=stream_state.elapsed,
+                rng_state=rng_state,
+                block_used=block_used,
+                block_size=UNKNOWN_STREAM_BLOCK,
+            )
+        else:
+            cursor = StreamCursor(
+                offset=bits.offset,
+                total=bits._total,
+                positions=(
+                    None if bits.positions is None else bits.positions.copy()
+                ),
+                packets=stream_state.packets,
+                insertions=stream_state.insertions,
+                l1_saturations=stream_state.l1_saturations,
+                elapsed=stream_state.elapsed,
+            )
     return MeasurementSnapshot(
         kind=KIND_INSTAMEASURE,
         config=asdict(engine.config),
@@ -414,9 +437,28 @@ def restore_engine(snapshot: MeasurementSnapshot, accountant=None):
     engine.wsaf.load_state(snapshot.wsaf)
     cursor = snapshot.stream
     if cursor is not None:
-        engine.begin_stream(total=cursor.total, positions=cursor.positions)
-        stream = engine._stream
-        stream.bits.offset = cursor.offset
+        if cursor.total is None:
+            from repro.core.instameasure import UNKNOWN_STREAM_BLOCK
+
+            if cursor.rng_state is None:
+                raise SnapshotError(
+                    "unknown-length stream cursor is missing its RNG state"
+                )
+            if cursor.block_size != UNKNOWN_STREAM_BLOCK:
+                raise SnapshotError(
+                    f"snapshot drew unknown-stream blocks of "
+                    f"{cursor.block_size} entries but this build uses "
+                    f"{UNKNOWN_STREAM_BLOCK}; the cursor cannot be replayed"
+                )
+            engine.begin_stream()
+            stream = engine._stream
+            stream.bits.seek_unknown(
+                cursor.rng_state, cursor.block_used, cursor.offset
+            )
+        else:
+            engine.begin_stream(total=cursor.total, positions=cursor.positions)
+            stream = engine._stream
+            stream.bits.offset = cursor.offset
         stream.packets = cursor.packets
         stream.insertions = cursor.insertions
         stream.l1_saturations = cursor.l1_saturations

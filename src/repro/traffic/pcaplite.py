@@ -35,6 +35,23 @@ FORMAT_VERSION = 1
 _HEADER = struct.Struct("<4sHH8x")  # magic, version, reserved, pad to 16
 _RECORD = struct.Struct("<dIIHHBxH")
 RECORD_BYTES = _RECORD.size
+HEADER_BYTES = _HEADER.size
+
+#: The record layout as a packed structured dtype — one ``frombuffer``
+#: call reads a whole block of records (the streaming sources' path).
+RECORD_DTYPE = np.dtype(
+    [
+        ("timestamp", "<f8"),
+        ("src_ip", "<u4"),
+        ("dst_ip", "<u4"),
+        ("src_port", "<u2"),
+        ("dst_port", "<u2"),
+        ("protocol", "u1"),
+        ("pad", "u1"),
+        ("size", "<u2"),
+    ]
+)
+assert RECORD_DTYPE.itemsize == RECORD_BYTES
 
 
 class PacketRecordWriter:
@@ -60,6 +77,11 @@ class PacketRecordWriter:
         )
         self.records_written += 1
 
+    def flush(self) -> None:
+        """Flush buffered records to the OS — the point at which a
+        tailing :meth:`PacketRecordReader.read_block` can see them."""
+        self._file.flush()
+
     def close(self) -> None:
         """Close the underlying file."""
         self._file.close()
@@ -72,10 +94,21 @@ class PacketRecordWriter:
 
 
 class PacketRecordReader:
-    """Streaming pcap-lite reader: iterates (timestamp, FiveTuple, size)."""
+    """Streaming pcap-lite reader: iterates (timestamp, FiveTuple, size).
+
+    Two access styles, not meant to be mixed on one instance: the
+    iterator yields decoded per-packet tuples; :meth:`read_block` /
+    :meth:`seek_record` move whole record blocks as structured arrays
+    (the vectorized path the streaming chunk sources use to tail a
+    growing capture).
+    """
 
     def __init__(self, path: "str | os.PathLike[str]") -> None:
         self.path = os.fspath(path)
+        #: Records consumed through the block interface so far (the
+        #: resume position a checkpoint records).
+        self.records_read = 0
+        self._pending = b""
         try:
             self._file = open(path, "rb")
         except OSError as exc:
@@ -105,6 +138,35 @@ class PacketRecordReader:
                 chunk
             )
             yield ts, FiveTuple(src_ip, dst_ip, src_port, dst_port, proto), size
+
+    def read_block(self, max_records: int) -> np.ndarray:
+        """Up to ``max_records`` complete records as a structured array.
+
+        Never blocks on file growth: returns whatever complete records
+        are on disk right now (possibly an empty array).  A trailing
+        partial record — the normal mid-append state of a live capture —
+        is buffered and completed by a later call, which is what lets a
+        follow-mode source tail a file its writer is still flushing.
+        The returned array is read-only (it views the read buffer).
+        """
+        want = max_records * RECORD_BYTES - len(self._pending)
+        data = self._file.read(want) if want > 0 else b""
+        if self._pending:
+            data = self._pending + data
+        complete = len(data) // RECORD_BYTES
+        cut = complete * RECORD_BYTES
+        self._pending = data[cut:]
+        self.records_read += complete
+        return np.frombuffer(data[:cut], dtype=RECORD_DTYPE)
+
+    def seek_record(self, index: int) -> None:
+        """Position the block interface at record ``index`` (0-based) —
+        the recovery path: resume tailing from a checkpointed position."""
+        if index < 0:
+            raise TraceFormatError(f"record index must be >= 0, got {index}")
+        self._file.seek(HEADER_BYTES + index * RECORD_BYTES)
+        self._pending = b""
+        self.records_read = index
 
     def close(self) -> None:
         """Close the underlying file."""

@@ -337,3 +337,86 @@ class TestSourcesAndDriver:
         assert outcome.elapsed_seconds > 0
         assert outcome.pps > 0
         assert sum(chunk.packets for chunk in outcome.chunks) == outcome.packets
+
+
+class TestIncrementalDriver:
+    """The begin/step/finish decomposition that run() is built on."""
+
+    def test_step_loop_equals_run(self, tiny_trace):
+        whole = run_pipeline(
+            _engine("batched", "batched"), tiny_trace, chunk_size=500,
+            epoch_seconds=1.0,
+        )
+        engine = _engine("batched", "batched")
+        pipeline = Pipeline(engine, epoch_seconds=1.0)
+        source = TraceChunkSource(
+            tiny_trace, chunk_size=500, epoch_seconds=1.0
+        )
+        pipeline.begin(source)
+        for chunk in source:
+            pipeline.step(chunk)
+        outcome = pipeline.finish()
+        assert outcome.packets == whole.packets
+        assert [e.index for e in outcome.epochs] == [
+            e.index for e in whole.epochs
+        ]
+        assert engine.estimates() == whole.measurer.estimates()
+
+    def test_step_without_begin_rejected(self, tiny_trace):
+        pipeline = Pipeline(_engine("batched", "batched"))
+        source = TraceChunkSource(tiny_trace, chunk_size=500)
+        with pytest.raises(ConfigurationError):
+            pipeline.step(next(iter(source)))
+        with pytest.raises(ConfigurationError):
+            pipeline.finish()
+
+    def test_double_begin_rejected(self, tiny_trace):
+        pipeline = Pipeline(_engine("batched", "batched"))
+        pipeline.begin(TraceChunkSource(tiny_trace, chunk_size=500))
+        with pytest.raises(ConfigurationError):
+            pipeline.begin(TraceChunkSource(tiny_trace, chunk_size=500))
+
+    def test_abort_allows_fresh_begin_and_keeps_state(self, tiny_trace):
+        engine = _engine("batched", "batched")
+        pipeline = Pipeline(engine)
+        source = TraceChunkSource(tiny_trace, chunk_size=500)
+        pipeline.begin(source)
+        chunks = iter(source)
+        pipeline.step(next(chunks))
+        pipeline.abort()
+        assert pipeline.active_epoch is None
+        # The measurer keeps its mid-stream state across the abort.
+        assert engine.finalize().packets == 500
+        pipeline.begin(TraceChunkSource(tiny_trace, chunk_size=500))
+        assert pipeline.active_epoch == 0
+
+    def test_history_bounds_records(self, trace):
+        engine = _engine("batched", "batched")
+        pipeline = Pipeline(engine, epoch_seconds=1.0, history=3)
+        outcome = pipeline.run(
+            TraceChunkSource(trace, chunk_size=300, epoch_seconds=1.0)
+        )
+        assert len(outcome.chunks) == 3
+        assert len(outcome.epochs) <= 3
+        # Aggregates are unaffected by the trim.
+        assert outcome.packets == trace.num_packets
+        with pytest.raises(ConfigurationError):
+            Pipeline(engine, history=0)
+
+    def test_first_epoch_resumes_cadence(self, tiny_trace):
+        fired: "list[int]" = []
+        pipeline = Pipeline(
+            _engine("batched", "batched"),
+            epoch_seconds=1.0,
+            on_epoch=lambda record, _m: fired.append(record.index),
+        )
+        source = TraceChunkSource(
+            tiny_trace, chunk_size=500, epoch_seconds=1.0
+        )
+        pipeline.begin(source, first_epoch=5)
+        assert pipeline.active_epoch == 5
+        for chunk in source:
+            pipeline.step(chunk)
+        pipeline.finish()
+        assert fired and fired[0] == 5
+        assert fired == sorted(fired)

@@ -1,0 +1,454 @@
+"""The always-on measurement service: checkpoints, recovery, control.
+
+The contract under test is the service tentpole: a daemon killed
+between checkpoints and restarted over the same capture must finish
+with *bit-identical* state — estimates, regulator words, stream
+cursors — to a daemon that never died, and while running it must stay
+queryable over the control socket at throughput comparable to the batch
+pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import InstaMeasureConfig
+from repro.errors import ConfigurationError
+from repro.pipeline import (
+    PacketRecordChunkSource,
+    Pipeline,
+    ShardedStreamingMeasurer,
+)
+from repro.service import (
+    CheckpointStore,
+    ControlServer,
+    MeasurementDaemon,
+    send_command,
+)
+from repro.state import to_bytes
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+from repro.traffic.pcaplite import write_pcaplite
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=700, duration=6.0, seed=31)
+    )
+
+
+@pytest.fixture(scope="module")
+def capture(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("service") / "trace.impl"
+    write_pcaplite(trace, path)
+    return str(path)
+
+
+def _config() -> InstaMeasureConfig:
+    return InstaMeasureConfig(
+        l1_memory_bytes=2_048, wsaf_entries=1 << 11, seed=13
+    )
+
+
+def _source(capture, **kwargs):
+    kwargs.setdefault("chunk_size", 1_000)
+    kwargs.setdefault("epoch_seconds", 1.0)
+    return PacketRecordChunkSource(capture, **kwargs)
+
+
+def _run_daemon(daemon):
+    daemon.start()
+    assert daemon.wait(60.0)
+    return daemon
+
+
+def _shard_bytes(measurer):
+    return [to_bytes(s) for s in measurer.snapshot_shards()]
+
+
+class TestCheckpointStore:
+    def _snapshots(self, capture, chunks=2):
+        measurer = ShardedStreamingMeasurer(_config(), num_shards=2)
+        source = _source(capture)
+        for i, chunk in enumerate(source):
+            if i == chunks:
+                source.stop()
+            measurer.ingest(chunk)
+        return measurer.snapshot_shards()
+
+    def test_save_latest_load_round_trip(self, capture, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        snapshots = self._snapshots(capture)
+        info = store.save(snapshots, meta={"position": 2_000, "epoch": 1})
+        latest = store.latest()
+        assert latest is not None and latest.seq == info.seq
+        assert latest.meta["position"] == 2_000
+        assert latest.num_shards == 2
+        loaded = store.load(latest)
+        assert [to_bytes(s) for s in loaded] == [to_bytes(s) for s in snapshots]
+        # No .tmp litter after a completed save.
+        assert not [n for n in os.listdir(tmp_path / "ck") if ".tmp" in n]
+
+    def test_prunes_to_retention(self, capture, tmp_path):
+        store = CheckpointStore(tmp_path / "ck", keep=2)
+        snapshots = self._snapshots(capture)
+        for position in (100, 200, 300, 400):
+            store.save(snapshots, meta={"position": position})
+        infos = store.list()
+        assert [info.meta["position"] for info in infos] == [300, 400]
+        names = os.listdir(tmp_path / "ck")
+        assert len([n for n in names if n.endswith(".json")]) == 2
+
+    def test_latest_skips_corrupt_manifest(self, capture, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        snapshots = self._snapshots(capture)
+        good = store.save(snapshots, meta={"position": 1})
+        bad = store.save(snapshots, meta={"position": 2})
+        with open(bad.manifest_path, "w") as handle:
+            handle.write("{ not json")
+        assert store.latest().seq == good.seq
+
+    def test_latest_skips_missing_shard_files(self, capture, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        snapshots = self._snapshots(capture)
+        good = store.save(snapshots, meta={"position": 1})
+        bad = store.save(snapshots, meta={"position": 2})
+        os.remove(bad.shard_paths[0])
+        assert store.latest().seq == good.seq
+
+    def test_empty_directory_has_no_latest(self, tmp_path):
+        assert CheckpointStore(tmp_path / "ck").latest() is None
+
+    def test_rejects_bad_parameters(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(tmp_path / "ck", keep=0)
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(tmp_path / "ck").save([])
+
+
+class TestMeasurementDaemon:
+    def test_rejects_bounded_sources(self, trace):
+        from repro.pipeline import TraceChunkSource
+
+        with pytest.raises(ConfigurationError):
+            MeasurementDaemon(TraceChunkSource(trace, chunk_size=100))
+
+    def test_matches_manual_pipeline(self, trace, capture, tmp_path):
+        reference = ShardedStreamingMeasurer(_config(), num_shards=2)
+        source = _source(capture)
+        pipeline = Pipeline(reference, rotate=True)
+        pipeline.begin(source)
+        for chunk in source:
+            pipeline.step(chunk)
+        result = pipeline.finish()
+
+        daemon = _run_daemon(
+            MeasurementDaemon(
+                _source(capture),
+                config=_config(),
+                num_shards=2,
+                epoch_seconds=1.0,
+                checkpoint_dir=str(tmp_path / "ck"),
+                checkpoint_every=3,
+            )
+        )
+        assert daemon.error is None
+        assert daemon.packets == result.packets == trace.num_packets
+        assert daemon.measurer.estimates() == reference.estimates()
+        assert _shard_bytes(daemon.measurer) == _shard_bytes(reference)
+
+    def test_crash_recovery_is_bit_identical(self, trace, capture, tmp_path):
+        """Satellite: kill mid-stream between checkpoints, restart,
+        finish — state equals a run that never died."""
+        reference = _run_daemon(
+            MeasurementDaemon(
+                _source(capture), config=_config(), num_shards=2,
+                epoch_seconds=1.0,
+            )
+        )
+        assert reference.error is None
+
+        class Dying(PacketRecordChunkSource):
+            def __iter__(self):
+                for i, chunk in enumerate(super().__iter__()):
+                    if i == 5:  # between the every-2-chunks checkpoints
+                        raise RuntimeError("simulated crash")
+                    yield chunk
+
+        ck = str(tmp_path / "ck")
+        crashed = _run_daemon(
+            MeasurementDaemon(
+                Dying(capture, chunk_size=1_000, epoch_seconds=1.0),
+                config=_config(),
+                num_shards=2,
+                epoch_seconds=1.0,
+                checkpoint_dir=ck,
+                checkpoint_every=2,
+            )
+        )
+        assert isinstance(crashed.error, RuntimeError)
+        # The crash wrote no final checkpoint: on-disk state is the last
+        # *periodic* one, strictly before the crash point.
+        last = crashed.store.latest()
+        assert 0 < last.meta["position"] < crashed._position
+
+        recovered = _run_daemon(
+            MeasurementDaemon(
+                _source(capture),
+                num_shards=2,
+                epoch_seconds=1.0,
+                checkpoint_dir=ck,
+                checkpoint_every=2,
+            )
+        )
+        assert recovered.error is None
+        assert recovered.recovered_from == last.seq
+        assert recovered.packets == trace.num_packets
+        assert recovered.measurer.estimates() == reference.measurer.estimates()
+        assert _shard_bytes(recovered.measurer) == _shard_bytes(
+            reference.measurer
+        )
+
+    def test_recovery_restores_config_from_checkpoint(
+        self, capture, tmp_path
+    ):
+        ck = str(tmp_path / "ck")
+        first = _run_daemon(
+            MeasurementDaemon(
+                _source(capture), config=_config(), epoch_seconds=1.0,
+                checkpoint_dir=ck, checkpoint_every=2, max_packets=3_000,
+            )
+        )
+        assert first.error is None
+        # Restart with *no* config: it must come back from the manifest.
+        second = MeasurementDaemon(
+            _source(capture), epoch_seconds=1.0, checkpoint_dir=ck,
+        )
+        second.start()
+        assert second.wait(60.0)
+        assert second.config.seed == _config().seed
+        assert second.config.l1_memory_bytes == _config().l1_memory_bytes
+
+    def test_max_packets_stops_cleanly_with_final_checkpoint(
+        self, capture, tmp_path
+    ):
+        daemon = _run_daemon(
+            MeasurementDaemon(
+                _source(capture), config=_config(), epoch_seconds=1.0,
+                checkpoint_dir=str(tmp_path / "ck"), checkpoint_every=100,
+                max_packets=2_500,
+            )
+        )
+        assert daemon.error is None
+        assert daemon.packets >= 2_500
+        # Clean stop commits a final checkpoint at the stop position.
+        assert daemon.store.latest().meta["position"] == daemon._position
+
+    def test_throughput_comparable_to_batch(self, trace, capture):
+        """Acceptance: live service pps within 2x of the batch loop."""
+        batch = Pipeline(ShardedStreamingMeasurer(_config())).run(
+            _source(capture, epoch_seconds=None)
+        )
+        daemon = _run_daemon(
+            MeasurementDaemon(
+                _source(capture, epoch_seconds=None), config=_config()
+            )
+        )
+        assert daemon.error is None
+        stats = daemon.stats()
+        assert stats["pps_total"] >= 0.5 * batch.pps
+
+    def test_stats_and_queries(self, trace, capture):
+        daemon = _run_daemon(
+            MeasurementDaemon(
+                _source(capture), config=_config(), epoch_seconds=1.0
+            )
+        )
+        stats = daemon.stats()
+        assert stats["packets"] == trace.num_packets
+        assert stats["running"] is False
+        assert stats["error"] is None
+        assert stats["wsaf_entries"] == daemon.measurer.wsaf_size > 0
+        table = daemon.measurer.estimates()
+        top = daemon.top(3)
+        assert len(top) == 3
+        assert top[0][1] == max(est[0] for est in table.values())
+        key = top[0][0]
+        assert daemon.query(key) == table[key]
+        assert daemon.query(0xDEAD_BEEF_0000) is None
+
+
+class TestControlServer:
+    @pytest.fixture()
+    def served(self, capture):
+        daemon = _run_daemon(
+            MeasurementDaemon(
+                _source(capture), config=_config(), epoch_seconds=1.0
+            )
+        )
+        with ControlServer(daemon) as server:
+            yield daemon, server.address
+
+    def test_ping(self, served):
+        _daemon, address = served
+        assert send_command(address, "ping") == (True, "pong")
+
+    def test_stats(self, served, trace):
+        daemon, address = served
+        ok, stats = send_command(address, "stats")
+        assert ok and stats["packets"] == trace.num_packets
+
+    def test_query_and_top(self, served):
+        daemon, address = served
+        ok, top = send_command(address, "top 2")
+        assert ok and len(top) == 2
+        key = top[0][0]
+        ok, reply = send_command(address, f"query {key}")
+        assert ok and reply["key"] == key
+        assert reply["packets"] == pytest.approx(top[0][1])
+        ok, miss = send_command(address, "query 1")
+        assert ok and miss["packets"] is None
+
+    def test_rotate(self, served):
+        _daemon, address = served
+        ok, reply = send_command(address, "rotate")
+        assert ok and reply["expired"] >= 0
+
+    def test_errors_are_reported_in_band(self, served):
+        _daemon, address = served
+        ok, message = send_command(address, "frobnicate")
+        assert not ok and "frobnicate" in message
+        ok, _message = send_command(address, "query")
+        assert not ok
+        # snapshot without a checkpoint dir is an in-band error too
+        ok, message = send_command(address, "snapshot")
+        assert not ok and "checkpoint" in message
+
+    def test_snapshot_with_store(self, capture, tmp_path):
+        daemon = _run_daemon(
+            MeasurementDaemon(
+                _source(capture), config=_config(), epoch_seconds=1.0,
+                checkpoint_dir=str(tmp_path / "ck"), checkpoint_every=10_000,
+            )
+        )
+        with ControlServer(daemon) as server:
+            ok, reply = send_command(server.address, "snapshot")
+        assert ok and os.path.exists(reply["path"])
+
+
+class TestServeCLI:
+    """End-to-end over the real executable: serve, hard-kill, recover."""
+
+    def _run(self, *argv, **kwargs):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            env=env, capture_output=True, text=True, timeout=120, **kwargs,
+        )
+
+    @staticmethod
+    def _summary(stdout: str) -> "tuple[str, str]":
+        """(packets, wsaf flows) off the final ``served ...`` line —
+        the run-invariant parts (pps is wall-clock noise)."""
+        line = stdout.strip().splitlines()[-1]
+        assert line.startswith("served "), line
+        words = line.split()
+        return words[1], words[-3]
+
+    def test_serve_batch_and_kill_recover(self, capture, tmp_path):
+        ck = str(tmp_path / "ck")
+        serve_args = [
+            "serve", capture, "--epoch-seconds", "1", "--chunk-size", "500",
+            "--checkpoint-dir", ck, "--checkpoint-every", "2",
+            "--l1-kb", "2", "--wsaf-bits", "11",
+        ]
+        # Uninterrupted pass: the baseline summary line.
+        clean = self._run(*serve_args)
+        assert clean.returncode == 0, clean.stderr
+        baseline = self._summary(clean.stdout)
+
+        # Fresh directory, kill a follow-mode server mid-stream.
+        ck2 = str(tmp_path / "ck2")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(__file__), "..", "src"
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", capture, "--follow",
+                "--epoch-seconds", "1", "--chunk-size", "500",
+                "--checkpoint-dir", ck2, "--checkpoint-every", "2",
+                "--control-port", "0", "--l1-kb", "2", "--wsaf-bits", "11",
+            ],
+            env=env, stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("control "), line
+            host, _, port = line.split()[1].partition(":")
+            deadline = time.monotonic() + 60.0
+            packets = 0
+            while time.monotonic() < deadline:
+                ok, stats = send_command((host, int(port)), "stats")
+                assert ok, stats
+                packets = stats["packets"]
+                if packets and any(
+                    name.endswith(".json") for name in os.listdir(ck2)
+                ):
+                    break
+                time.sleep(0.1)
+            assert packets > 0
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        # Recover without --follow: drains the capture to the end and
+        # lands on the same packet count and WSAF occupancy as the
+        # uninterrupted pass (pps is wall-clock and may differ).
+        recover_args = [
+            arg if arg != ck else ck2 for arg in serve_args
+        ]
+        recovered = self._run(*recover_args)
+        assert recovered.returncode == 0, recovered.stderr
+        assert "recovered from checkpoint" in recovered.stdout
+        assert self._summary(recovered.stdout) == baseline
+
+    def test_control_cli_round_trip(self, capture, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(__file__), "..", "src"
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", capture, "--follow",
+                "--chunk-size", "500", "--control-port", "0",
+                "--l1-kb", "2", "--wsaf-bits", "11",
+            ],
+            env=env, stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            address = line.split()[1]
+            out = self._run("control", address, "ping")
+            assert out.returncode == 0 and json.loads(out.stdout) == "pong"
+            out = self._run("control", address, "stats")
+            assert out.returncode == 0
+            assert "packets" in json.loads(out.stdout)
+            out = self._run("control", address, "stop")
+            assert out.returncode == 0
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)

@@ -171,16 +171,26 @@ class TestShardedPipelineAPI:
         )
         assert from_trace.estimates() == from_source.estimates()
 
-    def test_rejects_unknown_length_sources(self, trace):
-        # Streaming routing accepts any ChunkSource — but the global
-        # randomness draw is positioned against the stream total, so a
-        # source that cannot report one is rejected up front.
-        class Opaque(ChunkSource):
-            def __iter__(self):
-                return iter(())
+    def test_accepts_unknown_length_sources(self, trace):
+        # An unbounded source (the service mode's shape) shards too:
+        # per-shard block-drawn randomness instead of the positioned
+        # global draw.  Packets must be conserved and the key sets of the
+        # merged estimates must cover exactly the trace's flows.
+        inner = TraceChunkSource(trace, chunk_size=3_000)
 
-        with pytest.raises(ConfigurationError, match="total_packets"):
-            ShardedPipeline(_config(), num_shards=2).run(Opaque())
+        class Unbounded(ChunkSource):
+            total_packets = None
+            epoch_seconds = None
+            start_time = None
+
+            def __iter__(self):
+                return iter(inner)
+
+        config = _config("scalar")
+        result = ShardedPipeline(config, num_shards=3).run(Unbounded())
+        assert sum(result.shard_packets) == trace.num_packets
+        keys = set(trace.flows.key64.tolist())
+        assert set(result.estimates()).issubset(keys)
 
     def test_accepts_opaque_sources_with_known_total(self, trace):
         # A chunk source that is NOT a TraceChunkSource (so nothing can
@@ -407,6 +417,31 @@ class TestPrefetchChunkSource:
 
         with pytest.raises(RuntimeError, match="disk on fire"):
             list(PrefetchChunkSource(Exploding()))
+
+    def test_abandoned_iteration_reaps_producer_thread(self, trace):
+        """Breaking out early must not leak a producer blocked on the
+        full staging queue (the daemon's stop path)."""
+        import threading
+        import time
+
+        def prefetch_threads():
+            return [
+                worker
+                for worker in threading.enumerate()
+                if worker.name == "chunk-prefetch" and worker.is_alive()
+            ]
+
+        prefetched = PrefetchChunkSource(
+            TraceChunkSource(trace, chunk_size=100), depth=1
+        )
+        iterator = iter(prefetched)
+        next(iterator)  # the producer is now blocked staging chunk 3
+        iterator.close()  # consumer abandons the pass
+
+        deadline = time.monotonic() + 5.0
+        while prefetch_threads() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not prefetch_threads()
 
     def test_validation(self, trace):
         inner = TraceChunkSource(trace, chunk_size=1_000)

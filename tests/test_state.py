@@ -189,11 +189,54 @@ class TestMidStreamResume:
             capture_engine(reference)
         )
 
-    def test_unknown_length_stream_rejected(self, trace):
-        engine = InstaMeasure(_config("scalar"))
-        engine.begin_stream(total=None)
-        with pytest.raises(SnapshotError, match="unknown length"):
-            capture_engine(engine)
+    @pytest.mark.parametrize("wsaf_engine", ["scalar", "batched"])
+    def test_unknown_length_save_load_resume_bit_identical(
+        self, trace, wsaf_engine, tmp_path
+    ):
+        """Unbounded streams checkpoint mid-flight via the block cursor."""
+        chunks = list(TraceChunkSource(trace, chunk_size=1_500))
+        assert len(chunks) >= 4
+
+        reference = InstaMeasure(_config(wsaf_engine))
+        reference.begin_stream()
+        for chunk in chunks:
+            reference.ingest(chunk)
+        reference.finalize()
+
+        engine = InstaMeasure(_config(wsaf_engine))
+        engine.begin_stream()
+        for chunk in chunks[:2]:
+            engine.ingest(chunk)
+        path = tmp_path / "midstream-unknown.snap"
+        save(engine.snapshot(), path)
+
+        resumed = InstaMeasure.from_snapshot(load(path))
+        for chunk in chunks[2:]:
+            resumed.ingest(chunk)
+        result = resumed.finalize()
+
+        assert result.packets == trace.num_packets
+        assert resumed.estimates() == reference.estimates()
+        assert to_bytes(capture_engine(resumed)) == to_bytes(
+            capture_engine(reference)
+        )
+
+    def test_unknown_length_chunking_invariant(self, trace):
+        """Block draws make unbounded streams independent of chunking."""
+
+        def run(chunk_size):
+            engine = InstaMeasure(_config("scalar"))
+            engine.begin_stream()
+            for chunk in TraceChunkSource(trace, chunk_size=chunk_size):
+                engine.ingest(chunk)
+            engine.finalize()
+            return engine
+
+        small, large = run(700), run(2_900)
+        assert small.estimates() == large.estimates()
+        assert to_bytes(capture_engine(small)) == to_bytes(
+            capture_engine(large)
+        )
 
 
 class TestCodecRejection:

@@ -1,0 +1,257 @@
+"""Unbounded chunk sources: pcap-lite tailing and socket feeds.
+
+The contract under test: a streaming source cutting chunks out of a
+byte stream must reproduce *exactly* the chunks a batch
+:class:`TraceChunkSource` would cut from the equivalent loaded trace —
+same packet order, same epoch indices, same per-packet flow keys — no
+matter how the bytes dribble in, and an engine fed from one must land
+on the same estimates regardless of chunk geometry (the unknown-length
+block-draw guarantee).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import InstaMeasure, InstaMeasureConfig
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.pipeline import (
+    PacketRecordChunkSource,
+    Pipeline,
+    SocketChunkSource,
+    TraceChunkSource,
+    trace_from_records,
+)
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+from repro.traffic.pcaplite import (
+    HEADER_BYTES,
+    RECORD_BYTES,
+    RECORD_DTYPE,
+    PacketRecordReader,
+    PacketRecordWriter,
+    write_pcaplite,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=600, duration=5.0, seed=23)
+    )
+
+
+@pytest.fixture(scope="module")
+def capture(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("capture") / "trace.impl"
+    write_pcaplite(trace, path)
+    return str(path)
+
+
+def _config() -> InstaMeasureConfig:
+    return InstaMeasureConfig(
+        l1_memory_bytes=2_048, wsaf_entries=1 << 11, seed=9
+    )
+
+
+def _chunk_signature(chunk):
+    trace = chunk.trace
+    keys = trace.flows.key64[trace.flow_ids]
+    return (
+        chunk.index,
+        chunk.begin,
+        chunk.end,
+        chunk.epoch,
+        trace.timestamps.tolist(),
+        trace.sizes.tolist(),
+        keys.tolist(),
+    )
+
+
+class TestTraceFromRecords:
+    def test_round_trips_packets_and_flows(self, trace, capture):
+        with PacketRecordReader(capture) as reader:
+            records = reader.read_block(trace.num_packets)
+        rebuilt = trace_from_records(np.array(records))
+        assert rebuilt.num_packets == trace.num_packets
+        np.testing.assert_allclose(rebuilt.timestamps, trace.timestamps)
+        np.testing.assert_array_equal(rebuilt.sizes, trace.sizes)
+        # Flow indices may be renumbered but the per-packet key stream
+        # (what the engine hashes) must be identical.
+        np.testing.assert_array_equal(
+            rebuilt.flows.key64[rebuilt.flow_ids],
+            trace.flows.key64[trace.flow_ids],
+        )
+
+    def test_empty_block(self):
+        rebuilt = trace_from_records(np.empty(0, dtype=RECORD_DTYPE))
+        assert rebuilt.num_packets == 0
+
+
+class TestPacketRecordChunkSource:
+    def test_matches_batch_source_exactly(self, trace, capture):
+        batch = TraceChunkSource(trace, chunk_size=700, epoch_seconds=1.0)
+        stream = PacketRecordChunkSource(
+            capture, chunk_size=700, epoch_seconds=1.0
+        )
+        batch_chunks = [_chunk_signature(c) for c in batch]
+        stream_chunks = [_chunk_signature(c) for c in stream]
+        assert stream_chunks == batch_chunks
+
+    def test_unbounded_metadata(self, capture):
+        source = PacketRecordChunkSource(capture, chunk_size=512)
+        assert source.total_packets is None
+        assert source.start_time is None
+        chunks = list(source)
+        assert source.start_time is not None
+        assert chunks[0].total_packets is None
+
+    def test_engine_chunk_geometry_invariant(self, trace, capture):
+        estimates = []
+        for chunk_size in (311, 4_096):
+            engine = InstaMeasure(_config())
+            Pipeline(engine).run(
+                PacketRecordChunkSource(capture, chunk_size=chunk_size)
+            )
+            estimates.append(engine.estimates())
+        assert estimates[0] == estimates[1]
+
+    def test_start_record_resumes_numbering(self, trace, capture):
+        whole = list(PacketRecordChunkSource(capture, chunk_size=900))
+        source = PacketRecordChunkSource(
+            capture, chunk_size=900, start_record=1_800
+        )
+        tail = list(source)
+        assert tail[0].begin == 1_800
+        assert sum(c.num_packets for c in tail) == trace.num_packets - 1_800
+        np.testing.assert_allclose(
+            tail[0].trace.timestamps, whole[2].trace.timestamps
+        )
+
+    def test_seek_packets_equivalent_to_start_record(self, capture):
+        source = PacketRecordChunkSource(capture, chunk_size=900)
+        source.seek_packets(1_800)
+        assert next(iter(source)).begin == 1_800
+
+    def test_follow_mode_tails_a_growing_file(self, trace, tmp_path):
+        path = tmp_path / "grow.impl"
+        full = trace
+        cut = full.num_packets // 2
+        writer = PacketRecordWriter(path)
+        tuples = [full.flows.five_tuple(i) for i in range(full.num_flows)]
+        for p in range(cut):
+            writer.write(
+                full.timestamps[p], tuples[full.flow_ids[p]], int(full.sizes[p])
+            )
+        writer.flush()
+
+        source = PacketRecordChunkSource(
+            path, chunk_size=1_000, follow=True, poll_interval=0.01
+        )
+        seen = []
+        done = threading.Event()
+
+        def consume():
+            for chunk in source:
+                seen.append(chunk.num_packets)
+            done.set()
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        # A follow-mode source holds back a partial chunk (more data may
+        # come), so it can only have emitted down to the last full budget.
+        visible = cut - (cut % 1_000)
+        deadline = time.monotonic() + 10.0
+        while sum(seen) < visible and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert sum(seen) == visible
+        for p in range(cut, full.num_packets):
+            writer.write(
+                full.timestamps[p], tuples[full.flow_ids[p]], int(full.sizes[p])
+            )
+        writer.flush()
+        writer.close()
+        visible = full.num_packets - (full.num_packets % 1_000)
+        deadline = time.monotonic() + 10.0
+        while sum(seen) < visible and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert sum(seen) == visible
+        # stop() flushes the buffered partial tail as final chunks.
+        source.stop()
+        assert done.wait(10.0)
+        thread.join(timeout=10.0)
+        assert sum(seen) == full.num_packets
+
+    def test_non_follow_stops_at_eof(self, trace, capture):
+        chunks = list(PacketRecordChunkSource(capture, chunk_size=10_000))
+        assert sum(c.num_packets for c in chunks) == trace.num_packets
+
+    def test_rejects_bad_parameters(self, capture):
+        with pytest.raises(ConfigurationError):
+            PacketRecordChunkSource(capture, chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            PacketRecordChunkSource(capture, epoch_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            PacketRecordChunkSource(capture, start_record=-1)
+
+
+class TestSocketChunkSource:
+    def _serve_bytes(self, payload: bytes, dribble: int):
+        """Serve ``payload`` over a one-shot TCP socket in ragged pieces."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def run():
+            conn, _ = listener.accept()
+            with conn:
+                for at in range(0, len(payload), dribble):
+                    conn.sendall(payload[at : at + dribble])
+            listener.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        return listener.getsockname()[1], thread
+
+    def test_matches_file_source(self, trace, capture):
+        payload = open(capture, "rb").read()
+        port, thread = self._serve_bytes(payload, dribble=1_009)
+        stream = SocketChunkSource(
+            "127.0.0.1", port, chunk_size=700, epoch_seconds=1.0,
+            poll_interval=0.01,
+        )
+        got = [_chunk_signature(c) for c in stream]
+        thread.join(timeout=10.0)
+        want = [
+            _chunk_signature(c)
+            for c in PacketRecordChunkSource(
+                capture, chunk_size=700, epoch_seconds=1.0
+            )
+        ]
+        assert got == want
+
+    def test_rejects_bad_header(self):
+        port, thread = self._serve_bytes(b"NOPE" + b"\x00" * 12, dribble=16)
+        stream = SocketChunkSource("127.0.0.1", port, poll_interval=0.01)
+        with pytest.raises(TraceFormatError):
+            list(stream)
+        thread.join(timeout=10.0)
+
+    def test_rejects_mid_record_eof(self, capture):
+        payload = open(capture, "rb").read()
+        torn = payload[: HEADER_BYTES + RECORD_BYTES * 3 + 7]
+        port, thread = self._serve_bytes(torn, dribble=4_096)
+        stream = SocketChunkSource("127.0.0.1", port, poll_interval=0.01)
+        with pytest.raises(TraceFormatError):
+            list(stream)
+        thread.join(timeout=10.0)
+
+    def test_cannot_seek(self):
+        source = SocketChunkSource("127.0.0.1", 1)
+        with pytest.raises(ConfigurationError):
+            source.seek_packets(10)
