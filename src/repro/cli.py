@@ -36,7 +36,7 @@ from repro.detection import (
     keys_to_flow_indices,
 )
 from repro.errors import ReproError
-from repro.pipeline import run_pipeline
+from repro.pipeline import LOAD_POLICY_CHOICES, build_load_controller, run_pipeline
 from repro.traffic import (
     CaidaLikeConfig,
     CampusConfig,
@@ -100,6 +100,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default="flat",
         help="WSAF storage backend (tiered: hot SRAM cache; icebuckets: "
         "compressed counters)",
+    )
+    run.add_argument(
+        "--load-policy",
+        choices=list(LOAD_POLICY_CHOICES),
+        default="none",
+        help="closed-loop overload policy: none (ingest everything), shed "
+        "(deterministically sample overloaded chunks down to --target-pps), "
+        "degrade (batch chunks into cheaper coalesced ingests under load)",
+    )
+    run.add_argument(
+        "--target-pps",
+        type=float,
+        default=None,
+        help="sustainable ingest rate for --load-policy shed/degrade "
+        "(stream-clock packets per second)",
     )
 
     snap = commands.add_parser(
@@ -233,6 +248,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop after measuring this many packets (smoke-test hook)",
     )
+    serve.add_argument(
+        "--load-policy",
+        choices=list(LOAD_POLICY_CHOICES),
+        default="none",
+        help="closed-loop overload policy for the ingest loop "
+        "(none | shed | degrade)",
+    )
+    serve.add_argument(
+        "--target-pps",
+        type=float,
+        default=None,
+        help="sustainable ingest rate for --load-policy shed/degrade",
+    )
 
     control = commands.add_parser(
         "control", help="send one command to a running service"
@@ -286,6 +314,28 @@ def _engine_from_args(args: argparse.Namespace) -> InstaMeasure:
     )
 
 
+def _controller_from_args(args: argparse.Namespace):
+    return build_load_controller(
+        getattr(args, "load_policy", "none"),
+        target_pps=getattr(args, "target_pps", None),
+        seed=getattr(args, "seed", 0),
+    )
+
+
+def _controller_rows(stats: "dict | None") -> "list[list[str]]":
+    if not stats or stats.get("policy", "none") == "none":
+        return []
+    return [
+        ["load policy", stats["policy"]],
+        ["load keep rate",
+         f"{stats['keep_rate']:.2%} ({stats['kept_packets']:,} of "
+         f"{stats['offered_packets']:,} offered)"],
+        ["load actions (thin/drop/degraded chunks)",
+         f"{stats['thinned_chunks']:,}/{stats['dropped_chunks']:,}/"
+         f"{stats['degraded_chunks']:,}"],
+    ]
+
+
 def _run_sharded(args: argparse.Namespace, source) -> int:
     """``run --shards N``: stream chunks through shards, merge exactly."""
     from repro.pipeline import PrefetchChunkSource, ShardedPipeline
@@ -300,7 +350,10 @@ def _run_sharded(args: argparse.Namespace, source) -> int:
     # Chunks stream straight off the file source into per-shard routing;
     # prefetch stages the next chunk while the current one is routed.
     sharded = ShardedPipeline(
-        config, num_shards=args.shards, parallel=args.parallel
+        config,
+        num_shards=args.shards,
+        parallel=args.parallel,
+        controller=_controller_from_args(args),
     ).run(PrefetchChunkSource(source))
     snapshot = sharded.snapshot
     trace = source.trace
@@ -324,6 +377,7 @@ def _run_sharded(args: argparse.Namespace, source) -> int:
              f"{stages['route_s']:.3f}/{stages['ipc_s']:.3f}/"
              f"{stages['ingest_s']:.3f}/{stages['merge_s']:.3f}"]
         )
+    rows.extend(_controller_rows(sharded.controller_stats))
     big = truth >= 1000
     if big.any():
         rows.append(
@@ -349,7 +403,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     trace = source.trace
     # Prefetch stages the next chunk while the engine ingests the
     # current one; the chunk sequence itself is unchanged.
-    pipeline_result = run_pipeline(engine, PrefetchChunkSource(source))
+    pipeline_result = run_pipeline(
+        engine,
+        PrefetchChunkSource(source),
+        controller=_controller_from_args(args),
+    )
     result = pipeline_result.result
     est_packets, _est_bytes = engine.estimates_for(trace)
     truth = trace.ground_truth_packets().astype(float)
@@ -371,6 +429,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
              f"{staging.max_depth} / {staging.producer_wait_s:.3f}s / "
              f"{staging.consumer_wait_s:.3f}s"]
         )
+    rows.extend(_controller_rows(pipeline_result.controller_stats))
     big = truth >= 1000
     if big.any():
         rows.append(
@@ -767,6 +826,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         keep_checkpoints=args.keep_checkpoints,
         max_packets=args.max_packets,
+        load_policy=args.load_policy,
+        target_pps=args.target_pps,
     )
     control = None
     try:
@@ -800,6 +861,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"served {stats['packets']:,} packets in {stats['chunks']:,} chunks "
         f"({stats['pps_total']:,.0f} pps, {stats['wsaf_entries']:,} WSAF flows)"
     )
+    if stats.get("load_policy", "none") != "none":
+        print(
+            f"load policy {stats['load_policy']}: measured "
+            f"{stats['measured_packets']:,} of {stats['packets']:,} offered "
+            f"packets (target {stats['target_pps']:,.0f} pps)"
+        )
     return 0
 
 
@@ -818,7 +885,12 @@ def _cmd_control(args: argparse.Namespace) -> int:
     if not ok:
         print(f"error: {payload}", file=sys.stderr)
         return 1
-    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.words and args.words[0] == "metrics" and isinstance(payload, str):
+        # The exposition text prints raw so it can be piped straight
+        # into a scraper; everything else stays JSON.
+        print(payload.rstrip("\n"))
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 

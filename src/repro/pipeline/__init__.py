@@ -18,10 +18,35 @@ estimates exactly equal a single-process run, and
 :class:`~repro.pipeline.prefetch.PrefetchChunkSource` stages upcoming
 chunks from a background thread.
 
+The pipeline is a *closed-loop controlled* plane: a
+:class:`~repro.pipeline.control.LoadController` (``none`` / ``shed`` /
+``degrade``) can sit between the source and the measurer, reading the
+per-chunk :class:`~repro.pipeline.control.LoadSignal` (offered rate on
+the stream clock, measured ingest rate, prefetch queue depth) and
+thinning, dropping, or batch-coalescing chunks under overload — with
+deterministic seed-stable sampling so shed runs stay reproducible.  See
+docs/STREAMING.md, "Backpressure and load-shedding".
+
 See ``docs/STREAMING.md`` for the protocol contract, including which
 measurers are bit-identical between chunked and whole-trace ingestion.
 """
 
+from repro.pipeline.control import (
+    ChunkGovernor,
+    ControlDecision,
+    ControlDecisionRecord,
+    ControllerStats,
+    DegradeController,
+    LOAD_POLICY_CHOICES,
+    LoadController,
+    LoadSignal,
+    NoLoadController,
+    ShedController,
+    build_load_controller,
+    coalesce_chunks,
+    thin_chunk,
+    thin_mask,
+)
 from repro.pipeline.driver import (
     ChunkStats,
     EpochRecord,
@@ -61,9 +86,23 @@ from repro.pipeline.streaming import (
 
 __all__ = [
     "Chunk",
+    "ChunkGovernor",
     "ChunkSource",
     "ChunkStats",
+    "ControlDecision",
+    "ControlDecisionRecord",
+    "ControllerStats",
+    "DegradeController",
     "EpochRecord",
+    "LOAD_POLICY_CHOICES",
+    "LoadController",
+    "LoadSignal",
+    "NoLoadController",
+    "ShedController",
+    "build_load_controller",
+    "coalesce_chunks",
+    "thin_chunk",
+    "thin_mask",
     "FileChunkSource",
     "PacketRecordChunkSource",
     "Pipeline",

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.pipeline.control import ChunkGovernor, LoadController
 from repro.pipeline.protocol import supports_rotate
 from repro.pipeline.source import ChunkSource, as_chunk_source
 
@@ -62,6 +63,16 @@ class PipelineResult:
     (:class:`~repro.pipeline.prefetch.PrefetchStats`) when the run's
     source was a :class:`~repro.pipeline.prefetch.PrefetchChunkSource`,
     else ``None``.
+
+    When the pipeline ran with a load controller, ``offered_packets``
+    counts the packets the source offered (``packets`` counts what was
+    actually ingested after shedding), ``decisions`` holds the
+    controller's per-chunk
+    :class:`~repro.pipeline.control.ControlDecisionRecord` entries
+    (bounded by the driver's ``history``), and ``controller_stats`` is
+    the aggregate :meth:`~repro.pipeline.control.ControllerStats.as_dict`.
+    Without a controller ``offered_packets == packets`` and the other
+    two stay empty/``None``.
     """
 
     result: object
@@ -70,6 +81,9 @@ class PipelineResult:
     chunks: "list[ChunkStats]" = field(default_factory=list)
     epochs: "list[EpochRecord]" = field(default_factory=list)
     prefetch_stats: "object | None" = None
+    offered_packets: int = 0
+    decisions: list = field(default_factory=list)
+    controller_stats: "dict | None" = None
 
     @property
     def elapsed_seconds(self) -> float:
@@ -91,9 +105,13 @@ class _RunState:
     start_time: "float | None"
     current_epoch: int = 0
     packets: int = 0
+    offered_packets: int = 0
+    ingest_seconds: float = 0.0
+    last_ingest_seconds: float = 0.0
     saw_chunk: bool = False
     chunks: "list[ChunkStats]" = field(default_factory=list)
     epochs: "list[EpochRecord]" = field(default_factory=list)
+    governor: "ChunkGovernor | None" = None
 
 
 class Pipeline:
@@ -120,6 +138,13 @@ class Pipeline:
             everything.  An always-on driver must bound these lists or an
             unbounded run grows without limit — aggregate counters
             (``packets`` etc.) are unaffected by trimming.
+        controller: an optional
+            :class:`~repro.pipeline.control.LoadController`.  When given,
+            the driver consults it between chunks: :meth:`step` may thin
+            or drop the chunk, or stage it toward a coalesced batch
+            ingest (and then returns ``None`` for the deferred step).
+            ``None`` keeps the historical zero-overhead path, bit for
+            bit.
     """
 
     def __init__(
@@ -131,6 +156,7 @@ class Pipeline:
         on_accumulate=None,
         on_chunk=None,
         history: "int | None" = None,
+        controller: "LoadController | None" = None,
     ) -> None:
         self.measurer = measurer
         self.epoch_seconds = epoch_seconds
@@ -141,6 +167,7 @@ class Pipeline:
         if history is not None and history < 1:
             raise ConfigurationError("history must be a positive count or None")
         self.history = history
+        self.controller = controller
         self._run: "_RunState | None" = None
 
     # -- incremental interface -------------------------------------------------
@@ -187,17 +214,52 @@ class Pipeline:
             epoch_seconds=epoch_seconds,
             start_time=start_time,
             current_epoch=first_epoch,
+            governor=(
+                ChunkGovernor(self.controller, history=self.history)
+                if self.controller is not None
+                else None
+            ),
         )
 
-    def step(self, chunk) -> ChunkStats:
-        """Ingest one chunk, firing any epoch boundaries it crossed."""
+    def step(self, chunk) -> "ChunkStats | None":
+        """Ingest one chunk, firing any epoch boundaries it crossed.
+
+        With a load controller the chunk is first run through the
+        governor: the returned stats cover what was actually ingested
+        this step, and ``None`` means the step deferred (the chunk was
+        staged toward a batch, or shed entirely).
+        """
         run = self._run
         if run is None:
             raise ConfigurationError("no run in progress; begin() first")
-        if run.epoch_seconds is not None:
+        if run.epoch_seconds is not None and run.current_epoch < chunk.epoch:
+            # Any staged batch belongs to an earlier epoch: ingest it
+            # before firing the boundary callbacks it precedes.
+            self._flush_pending(run)
             while run.current_epoch < chunk.epoch:
                 self._fire(run, run.current_epoch)
                 run.current_epoch += 1
+        run.offered_packets += chunk.num_packets
+        governor = run.governor
+        if governor is None:
+            return self._ingest(run, chunk)
+        ready = governor.admit(
+            chunk,
+            ingested_pps=(
+                run.packets / run.ingest_seconds
+                if run.ingest_seconds > 0
+                else 0.0
+            ),
+            queue_depth=int(getattr(run.source, "queue_depth", 0) or 0),
+            ingest_seconds=run.last_ingest_seconds,
+        )
+        stats = None
+        for item in ready:
+            stats = self._ingest(run, item)
+        return stats
+
+    def _ingest(self, run: _RunState, chunk) -> ChunkStats:
+        """Time one actual ``ingest`` call and record its stats."""
         measurer = self.measurer
         begin = time.perf_counter()
         if self.on_accumulate is not None:
@@ -206,6 +268,8 @@ class Pipeline:
             measurer.ingest(chunk)
         seconds = time.perf_counter() - begin
         run.packets += chunk.num_packets
+        run.ingest_seconds += seconds
+        run.last_ingest_seconds = seconds
         run.saw_chunk = True
         stats = ChunkStats(
             index=chunk.index,
@@ -219,11 +283,54 @@ class Pipeline:
             self.on_chunk(stats)
         return stats
 
+    def _flush_pending(self, run: _RunState) -> "ChunkStats | None":
+        if run.governor is None:
+            return None
+        chunk = run.governor.flush()
+        if chunk is None:
+            return None
+        return self._ingest(run, chunk)
+
+    def flush_pending(self) -> "ChunkStats | None":
+        """Ingest any batch the governor has staged, right now.
+
+        The daemon calls this before checkpointing: a checkpoint's
+        stream position covers every chunk already stepped, so staged
+        packets must reach the measurer before the state is persisted.
+        No-op (``None``) without a controller or staged chunks.
+        """
+        run = self._run
+        if run is None:
+            raise ConfigurationError("no run in progress; begin() first")
+        return self._flush_pending(run)
+
+    @property
+    def controller_stats(self) -> "dict | None":
+        """Live aggregate controller stats of the in-progress run."""
+        run = self._run
+        if run is None or run.governor is None:
+            return None
+        return run.governor.stats.as_dict()
+
+    @property
+    def ingested_packets(self) -> int:
+        """Packets actually ingested by the in-progress run (0 between
+        runs) — differs from the offered count when a controller sheds."""
+        run = self._run
+        return run.packets if run is not None else 0
+
+    @property
+    def run_ingest_seconds(self) -> float:
+        """Cumulative wall-clock seconds inside ``ingest`` this run."""
+        run = self._run
+        return run.ingest_seconds if run is not None else 0.0
+
     def finish(self) -> PipelineResult:
         """Fire the final partial epoch, finalize the measurer, report."""
         run = self._run
         if run is None:
             raise ConfigurationError("no run in progress; begin() first")
+        self._flush_pending(run)
         self._run = None
         if run.epoch_seconds is not None and run.saw_chunk:
             self._fire(run, run.current_epoch)
@@ -235,6 +342,15 @@ class Pipeline:
             chunks=run.chunks,
             epochs=run.epochs,
             prefetch_stats=getattr(run.source, "prefetch_stats", None),
+            offered_packets=run.offered_packets,
+            decisions=(
+                list(run.governor.decisions) if run.governor is not None else []
+            ),
+            controller_stats=(
+                run.governor.stats.as_dict()
+                if run.governor is not None
+                else None
+            ),
         )
 
     def abort(self) -> None:
@@ -313,6 +429,7 @@ def run_pipeline(
     on_epoch=None,
     rotate: bool = False,
     on_accumulate=None,
+    controller: "LoadController | None" = None,
 ) -> PipelineResult:
     """One-shot convenience: build a :class:`Pipeline` and run it."""
     return Pipeline(
@@ -321,4 +438,5 @@ def run_pipeline(
         on_epoch=on_epoch,
         rotate=rotate,
         on_accumulate=on_accumulate,
+        controller=controller,
     ).run(source, chunk_size=chunk_size)

@@ -84,6 +84,7 @@ class PrefetchChunkSource(ChunkSource):
         self.depth = depth
         #: Stats of the most recent (possibly in-progress) iteration pass.
         self.prefetch_stats: "PrefetchStats | None" = None
+        self._staged: "queue.Queue | None" = None
 
     # The stream-shape attributes delegate live rather than being copied
     # at construction: an unbounded source learns its start_time from its
@@ -100,11 +101,29 @@ class PrefetchChunkSource(ChunkSource):
     def start_time(self):  # type: ignore[override]
         return self.source.start_time
 
+    @property
+    def offered_pps(self):  # type: ignore[override]
+        return self.source.offered_pps
+
+    @property
+    def queue_depth(self) -> int:  # type: ignore[override]
+        """Chunks currently staged ahead of the consumer.
+
+        Advisory (``qsize`` of a live queue), which is what a load
+        signal needs; 0 between iteration passes.  A depth pinned at
+        the configured maximum means ingestion is the bottleneck — the
+        same story as a high ``producer_wait_s``, but readable
+        mid-chunk by a controller.
+        """
+        staged = self._staged
+        return staged.qsize() if staged is not None else 0
+
     def __iter__(self):
         staged: "queue.Queue" = queue.Queue(maxsize=self.depth)
         stop = threading.Event()
         stats = PrefetchStats()
         self.prefetch_stats = stats
+        self._staged = staged
 
         def offer(item) -> bool:
             """Put unless the consumer went away; True when delivered."""
@@ -163,3 +182,4 @@ class PrefetchChunkSource(ChunkSource):
                 except queue.Empty:
                     break
             worker.join(timeout=5.0)
+            self._staged = None

@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError, ShardWorkerError, SnapshotError
+from repro.pipeline.control import ChunkGovernor
 from repro.pipeline.source import (
     DEFAULT_CHUNK_SIZE,
     ChunkSource,
@@ -92,6 +93,13 @@ class ShardedResult:
     stage_seconds: "dict[str, float]" = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     parallel: bool = False
+    #: Packets the source offered before any load-shedding (== packets
+    #: when the run had no controller).
+    offered_packets: int = 0
+    #: Per-chunk controller decisions / aggregate stats, when the run
+    #: had a load controller (see repro.pipeline.control); else []/None.
+    decisions: list = field(default_factory=list)
+    controller_stats: "dict | None" = None
 
     @property
     def packets(self) -> int:
@@ -434,6 +442,15 @@ class ShardedPipeline:
         chunk_size: slicing budget when :meth:`run` receives a bare
             trace (defaults to the config's ``chunk_size``); an explicit
             chunk source keeps its own slicing.
+        controller: optional
+            :class:`~repro.pipeline.control.LoadController`.  The
+            controller sees each chunk once, *before* routing, with the
+            aggregate signal (global offered rate on the stream clock,
+            packets routed across all shards per wall-clock second) —
+            one global decision per chunk, applied to the whole chunk,
+            so every shard sheds the same packets and a sharded shed
+            run stays decision-identical to a single-process shed run
+            with the same policy, seed, and schedule.
     """
 
     def __init__(
@@ -442,6 +459,7 @@ class ShardedPipeline:
         num_shards: int = 1,
         parallel: bool = False,
         chunk_size: "int | None" = None,
+        controller=None,
     ) -> None:
         from repro.core.instameasure import InstaMeasureConfig
 
@@ -457,6 +475,7 @@ class ShardedPipeline:
             if chunk_size is not None
             else getattr(self.config, "chunk_size", DEFAULT_CHUNK_SIZE)
         )
+        self.controller = controller
         self.router = ShardRouter.for_config(self.config, num_shards)
 
     def _coerce_source(self, source) -> ChunkSource:
@@ -506,15 +525,54 @@ class ShardedPipeline:
         key_ranges = [
             self.router.key_range(shard) for shard in range(self.num_shards)
         ]
+        governor = (
+            ChunkGovernor(self.controller)
+            if self.controller is not None
+            else None
+        )
         begin = time.perf_counter()
         if use_fork:
-            result = self._run_forked(source, total, key_ranges)
+            result = self._run_forked(source, total, key_ranges, governor)
         else:
-            result = self._run_in_process(source, total, key_ranges)
+            result = self._run_in_process(source, total, key_ranges, governor)
         result.elapsed_seconds = time.perf_counter() - begin
+        if governor is not None:
+            result.offered_packets = governor.stats.offered_packets
+            result.decisions = list(governor.decisions)
+            result.controller_stats = governor.stats.as_dict()
+        else:
+            result.offered_packets = result.packets
         return result
 
-    def _run_in_process(self, source, total, key_ranges) -> ShardedResult:
+    def _governed_chunks(self, source, governor):
+        """The chunk stream after one global controller decision each.
+
+        The aggregate signal: ``ingested_pps`` is packets routed across
+        *all* shards per wall-clock second so far (the per-shard ingest
+        clocks only resolve at finalize), ``queue_depth`` comes from the
+        source's staging queue.  The decision applies to the whole chunk
+        before routing, so every shard sees the same shed stream.
+        """
+        if governor is None:
+            yield from source
+            return
+        begin = time.perf_counter()
+        routed = 0
+        for chunk in source:
+            elapsed = time.perf_counter() - begin
+            ready = governor.admit(
+                chunk,
+                ingested_pps=routed / elapsed if elapsed > 0 else 0.0,
+                queue_depth=int(getattr(source, "queue_depth", 0) or 0),
+            )
+            for item in ready:
+                routed += item.num_packets
+                yield item
+        tail = governor.flush()
+        if tail is not None:
+            yield tail
+
+    def _run_in_process(self, source, total, key_ranges, governor) -> ShardedResult:
         """Route chunks into per-shard engines living in this process."""
         from repro.core.instameasure import InstaMeasure
 
@@ -522,7 +580,7 @@ class ShardedPipeline:
         for engine in engines:
             engine.begin_stream(total=total)
         route_s = 0.0
-        for chunk in source:
+        for chunk in self._governed_chunks(source, governor):
             begin = time.perf_counter()
             parts = self.router.split_chunk(chunk)
             route_s += time.perf_counter() - begin
@@ -560,13 +618,13 @@ class ShardedPipeline:
             parallel=False,
         )
 
-    def _run_forked(self, source, total, key_ranges) -> ShardedResult:
+    def _run_forked(self, source, total, key_ranges, governor) -> ShardedResult:
         """Stream routed sub-chunks into a persistent forked worker pool."""
         route_s = ipc_s = 0.0
         syncs = [_ShardFlowSync() for _ in range(self.num_shards)]
         pool = ShardWorkerPool(self.config, key_ranges, total)
         try:
-            for chunk in source:
+            for chunk in self._governed_chunks(source, governor):
                 begin = time.perf_counter()
                 parts = self.router.split_chunk(chunk)
                 route_s += time.perf_counter() - begin
@@ -749,6 +807,7 @@ def run_sharded(
     num_shards: int,
     parallel: bool = False,
     chunk_size: "int | None" = None,
+    controller=None,
 ) -> ShardedResult:
     """One-shot convenience: build a :class:`ShardedPipeline` and run it."""
     return ShardedPipeline(
@@ -756,4 +815,5 @@ def run_sharded(
         num_shards=num_shards,
         parallel=parallel,
         chunk_size=chunk_size,
+        controller=controller,
     ).run(source)

@@ -12,9 +12,11 @@ answers "what is happening right now".  Three pieces:
   snapshots + a JSON manifest as the commit point), from which a
   restarted daemon resumes bit-identically.
 * :class:`~repro.service.control.ControlServer` — a one-line-in /
-  one-line-out TCP protocol (``query``, ``top``, ``stats``, ``rotate``,
-  ``snapshot``, ``stop``) for live operation, with
-  :func:`~repro.service.control.send_command` as the matching client.
+  one-line-out TCP protocol (``query``, ``top``, ``stats``,
+  ``metrics``, ``rotate``, ``snapshot``, ``stop``) for live operation,
+  with :func:`~repro.service.control.send_command` as the matching
+  client; ``metrics`` renders ``daemon.stats()`` as a Prometheus-style
+  text exposition (:func:`~repro.service.control.render_metrics`).
 
 ``instameasure serve`` (:mod:`repro.cli`) wires all three together; see
 ``docs/STREAMING.md`` ("Service mode") for the operational story.
@@ -25,7 +27,7 @@ from repro.service.checkpoint import (
     CheckpointInfo,
     CheckpointStore,
 )
-from repro.service.control import ControlServer, send_command
+from repro.service.control import ControlServer, render_metrics, send_command
 from repro.service.daemon import MeasurementDaemon
 
 __all__ = [
@@ -34,5 +36,6 @@ __all__ = [
     "CheckpointStore",
     "ControlServer",
     "MeasurementDaemon",
+    "render_metrics",
     "send_command",
 ]

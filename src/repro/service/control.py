@@ -6,6 +6,8 @@ a live daemon without a client library::
 
     ping                 -> ok "pong"
     stats                -> ok {"packets": ..., "pps_recent": ..., ...}
+    metrics              -> ok "# TYPE instameasure_packets counter\n..."
+                            (daemon.stats() as Prometheus text exposition)
     query <key64>        -> ok {"key": ..., "packets": ..., "bytes": ...}
                             (estimate null when the flow is not resident)
     top <k>              -> ok [[key64, packets, bytes], ...]
@@ -24,6 +26,8 @@ locking).
 from __future__ import annotations
 
 import json
+import math
+import re
 import socket
 import threading
 
@@ -31,6 +35,55 @@ from repro.errors import ConfigurationError
 
 #: Cap on one request line, defensive against garbage connections.
 _MAX_LINE = 4096
+
+#: Stats keys that are monotone over a daemon's life — exported as
+#: Prometheus ``counter``; everything else numeric is a ``gauge``.
+_COUNTER_KEYS = frozenset(
+    {
+        "packets",
+        "measured_packets",
+        "position",
+        "chunks",
+        "offered_packets",
+        "kept_packets",
+        "dropped_packets",
+        "thinned_chunks",
+        "dropped_chunks",
+        "degraded_chunks",
+        "batched_ingests",
+    }
+)
+
+_NAME_SAFE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def render_metrics(stats: "dict", prefix: str = "instameasure") -> str:
+    """``daemon.stats()`` as a Prometheus-style text exposition.
+
+    One ``# TYPE`` line plus one value line per stat.  Numeric values
+    export as-is, booleans as 0/1, nested dicts (the controller stats)
+    flatten with an underscore-joined prefix, and non-numeric values
+    (strings, ``None``) are skipped — Prometheus samples are numbers.
+    """
+    lines: "list[str]" = []
+
+    def emit(path: "list[str]", value) -> None:
+        if isinstance(value, dict):
+            for key in sorted(value):
+                emit(path + [str(key)], value[key])
+            return
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            return
+        name = _NAME_SAFE.sub("_", "_".join([prefix] + path))
+        kind = "counter" if path[-1] in _COUNTER_KEYS else "gauge"
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {value}")
+
+    for key in sorted(stats):
+        emit([str(key)], stats[key])
+    return "\n".join(lines) + "\n"
 
 
 class ControlServer:
@@ -110,6 +163,8 @@ class ControlServer:
             return "pong"
         if verb == "stats":
             return daemon.stats()
+        if verb == "metrics":
+            return render_metrics(daemon.stats())
         if verb == "query":
             if len(args) != 1:
                 raise ConfigurationError("usage: query <key64>")

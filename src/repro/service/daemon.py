@@ -31,6 +31,7 @@ from collections import deque
 
 from repro.core import InstaMeasureConfig
 from repro.errors import ConfigurationError
+from repro.pipeline.control import build_load_controller
 from repro.pipeline.driver import Pipeline
 from repro.pipeline.sharded import ShardedStreamingMeasurer
 from repro.service.checkpoint import CheckpointStore
@@ -64,6 +65,14 @@ class MeasurementDaemon:
         max_packets: stop the source once this many packets have been
             measured (recovered packets count) — a test/CI convenience.
         history: bound on the driver's per-chunk/per-epoch records.
+        load_policy: backpressure policy (``none`` / ``shed`` /
+            ``degrade``, see :mod:`repro.pipeline.control`) — the
+            daemon's rate-limit knob.  Non-``none`` policies require
+            ``target_pps`` and surface their live
+            :class:`~repro.pipeline.control.ControllerStats` under
+            ``stats()["controller"]`` (and so through the control
+            protocol's ``stats`` and ``metrics`` verbs).
+        target_pps: the sustained stream-clock rate the policy defends.
     """
 
     def __init__(
@@ -77,6 +86,8 @@ class MeasurementDaemon:
         keep_checkpoints: int = 3,
         max_packets: "int | None" = None,
         history: int = 256,
+        load_policy: str = "none",
+        target_pps: "float | None" = None,
     ) -> None:
         if getattr(source, "total_packets", None) is not None:
             raise ConfigurationError(
@@ -93,6 +104,12 @@ class MeasurementDaemon:
         self.epoch_seconds = epoch_seconds
         self.checkpoint_every = checkpoint_every
         self.max_packets = max_packets
+        self.load_policy = load_policy
+        self.target_pps = target_pps
+        # Validate the policy/target combination at construction time
+        # (the controller itself is rebuilt in start(), after recovery
+        # may have replaced the config whose seed it samples with).
+        build_load_controller(load_policy, target_pps, seed=self.config.seed)
         self.store = (
             CheckpointStore(checkpoint_dir, keep=keep_checkpoints)
             if checkpoint_dir is not None
@@ -110,7 +127,9 @@ class MeasurementDaemon:
         self._finished = threading.Event()
         self._position = 0  # stream position after the last ingested chunk
         self._base_packets = 0  # packets restored from a checkpoint
-        self._run_packets = 0  # packets ingested by this process
+        self._run_packets = 0  # packets offered to this process
+        self._base_measured = 0  # measured packets restored from a checkpoint
+        self._run_measured = 0  # packets actually measured (post-shedding)
         self._epoch = 0
         self._chunks = 0
         self._chunks_since_checkpoint = 0
@@ -137,6 +156,9 @@ class MeasurementDaemon:
                 self.num_shards = self.measurer.num_shards
                 self._position = int(info.meta.get("position", 0))
                 self._base_packets = int(info.meta.get("packets", 0))
+                self._base_measured = int(
+                    info.meta.get("measured_packets", self._base_packets)
+                )
                 first_epoch = self._epoch = int(info.meta.get("epoch", 0))
                 start_time = info.meta.get("start_time")
                 self._stream_time = info.meta.get("stream_time")
@@ -155,6 +177,9 @@ class MeasurementDaemon:
             epoch_seconds=self.epoch_seconds,
             rotate=self.epoch_seconds is not None,
             history=self.history,
+            controller=build_load_controller(
+                self.load_policy, self.target_pps, seed=self.config.seed
+            ),
         )
         self.pipeline.begin(
             self.source, start_time=start_time, first_epoch=first_epoch
@@ -170,14 +195,19 @@ class MeasurementDaemon:
         try:
             for chunk in self.source:
                 with self._lock:
-                    stats = self.pipeline.step(chunk)
+                    # step may return None (chunk staged toward a batch,
+                    # or shed entirely); the pipeline's cumulative
+                    # counters are authoritative either way.
+                    self.pipeline.step(chunk)
                     self._position = chunk.end
                     self._run_packets += chunk.num_packets
                     self._epoch = self.pipeline.active_epoch
                     self._chunks += 1
                     self._chunks_since_checkpoint += 1
-                    self._ingest_seconds += stats.seconds
-                    self._stream_time = float(chunk.trace.timestamps[-1])
+                    self._run_measured = self.pipeline.ingested_packets
+                    self._ingest_seconds = self.pipeline.run_ingest_seconds
+                    if chunk.num_packets:
+                        self._stream_time = float(chunk.trace.timestamps[-1])
                     self._recent.append((time.monotonic(), self.packets))
                     due = (
                         self.store is not None
@@ -197,6 +227,8 @@ class MeasurementDaemon:
                     self._checkpoint_locked()
                 finished = self.pipeline.finish()
                 self.result = finished
+                self._run_measured = finished.packets
+                self._ingest_seconds = finished.elapsed_seconds
         except BaseException as exc:  # crash path: NO final checkpoint
             self.error = exc
             with self._lock:
@@ -227,17 +259,27 @@ class MeasurementDaemon:
     # -- checkpointing ---------------------------------------------------------
 
     def _checkpoint_locked(self):
+        if self.pipeline is not None and self.pipeline.active_epoch is not None:
+            # The checkpointed stream position covers every stepped
+            # chunk, so any batch the controller staged must reach the
+            # measurer before the state is persisted — otherwise a
+            # recovery would skip those packets.
+            self.pipeline.flush_pending()
+            self._run_measured = self.pipeline.ingested_packets
+            self._ingest_seconds = self.pipeline.run_ingest_seconds
         info = self.store.save(
             self.measurer.snapshot_shards(),
             meta={
                 "position": self._position,
                 "packets": self.packets,
+                "measured_packets": self.measured_packets,
                 "chunks": self._chunks,
                 "epoch": self._epoch,
                 "start_time": self.source.start_time,
                 "stream_time": self._stream_time,
                 "epoch_seconds": self.epoch_seconds,
                 "num_shards": self.num_shards,
+                "load_policy": self.load_policy,
             },
         )
         self._chunks_since_checkpoint = 0
@@ -254,8 +296,14 @@ class MeasurementDaemon:
 
     @property
     def packets(self) -> int:
-        """Packets measured so far, including recovered ones."""
+        """Packets the stream offered so far, including recovered ones."""
         return self._base_packets + self._run_packets
+
+    @property
+    def measured_packets(self) -> int:
+        """Packets that actually reached the measurer (equals
+        :attr:`packets` unless a load policy shed some)."""
+        return self._base_measured + self._run_measured
 
     @property
     def running(self) -> bool:
@@ -291,7 +339,16 @@ class MeasurementDaemon:
                 self.measurer.wsaf_size if self.measurer is not None else 0
             )
             packets = self.packets
+            measured = self.measured_packets
             ingest_seconds = self._ingest_seconds
+            controller = (
+                self.pipeline.controller_stats
+                if self.pipeline is not None
+                else None
+            )
+            if controller is None and self.result is not None:
+                # Finished runs keep their final controller tally.
+                controller = self.result.controller_stats
         pps_recent = 0.0
         if len(recent) >= 2:
             dt = recent[-1][0] - recent[0][0]
@@ -300,14 +357,18 @@ class MeasurementDaemon:
         return {
             "running": self.running,
             "packets": packets,
+            "measured_packets": measured,
             "position": self._position,
             "chunks": self._chunks,
             "epoch": active_epoch,
             "epoch_seconds": self.epoch_seconds,
             "num_shards": self.num_shards,
             "wsaf_entries": wsaf_entries,
+            "load_policy": self.load_policy,
+            "target_pps": self.target_pps,
+            "controller": controller,
             "pps_total": (
-                (packets - self._base_packets) / ingest_seconds
+                (measured - self._base_measured) / ingest_seconds
                 if ingest_seconds > 0
                 else 0.0
             ),

@@ -10,6 +10,7 @@ the ground-truth recorder observe.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,20 +43,49 @@ class MirrorPort:
     backpressure the switch).
 
     Args:
-        capacity_bps: mirror port line rate in bits per second.
-        buffer_bytes: port buffer depth in bytes.
+        capacity_bps: mirror port line rate in bits per second; must be
+            a positive finite number (a zero or negative rate would
+            make the token-bucket refill meaningless, so it raises
+            :class:`~repro.errors.ConfigurationError` — a
+            ``ValueError`` subclass — up front rather than silently
+            dropping everything or dividing by zero downstream).
+        buffer_bytes: port buffer depth in bytes; positive and finite
+            for the same reason.
     """
 
     def __init__(self, capacity_bps: float, buffer_bytes: int = 512 * 1024) -> None:
+        if not isinstance(capacity_bps, (int, float)) or not math.isfinite(
+            capacity_bps
+        ):
+            raise ConfigurationError(
+                f"capacity_bps must be a finite number, got {capacity_bps!r}"
+            )
         if capacity_bps <= 0:
-            raise ConfigurationError("capacity_bps must be positive")
+            raise ConfigurationError(
+                "capacity_bps must be positive (a mirror port with no line "
+                f"rate delivers nothing), got {capacity_bps}"
+            )
+        if not isinstance(buffer_bytes, (int, float)) or not math.isfinite(
+            buffer_bytes
+        ):
+            raise ConfigurationError(
+                f"buffer_bytes must be a finite number, got {buffer_bytes!r}"
+            )
         if buffer_bytes <= 0:
-            raise ConfigurationError("buffer_bytes must be positive")
+            raise ConfigurationError(
+                "buffer_bytes must be positive (a bufferless port cannot "
+                f"forward any packet), got {buffer_bytes}"
+            )
         self.capacity_bps = capacity_bps
         self.buffer_bytes = buffer_bytes
 
     def apply(self, trace: Trace) -> "tuple[Trace, MirrorPortStats]":
-        """The post-drop trace and drop statistics for ``trace``."""
+        """The post-drop trace and drop statistics for ``trace``.
+
+        An empty trace is well-defined: it passes through unchanged
+        with all-zero stats (``drop_rate`` reports 0.0, not a division
+        by zero).
+        """
         num_packets = trace.num_packets
         if num_packets == 0:
             return trace, MirrorPortStats(0, 0, 0)

@@ -139,15 +139,18 @@ class ShardRouter:
         (``chunk.begin`` + offset within the chunk), ascending — exactly
         what :meth:`InstaMeasure.ingest` needs to gather the packets' bits
         out of the single-process draw.  Results are cached on the chunk's
-        trace object keyed by the routing function, so repeated runs over
+        trace object keyed by the routing function *and* the chunk's
+        ``begin`` (a load controller may rebase a chunk's span onto the
+        kept stream without touching the trace), so repeated runs over
         one chunk source reuse both the routing work and the sub-trace
         objects (keeping per-trace kernel caches warm).
         """
         from repro.traffic.packet import Trace
 
         trace = chunk.trace
+        begin = int(getattr(chunk, "begin", 0))
         cache = getattr(trace, "_shard_split_cache", None)
-        if cache is not None and cache[0] == self.cache_token:
+        if cache is not None and cache[0] == (self.cache_token, begin):
             return cache[1]
         assignment = self.flow_shards(trace.flows)[trace.flow_ids]
         # Stable sort by shard: within a shard, packets keep ascending
@@ -156,7 +159,6 @@ class ShardRouter:
         order = np.argsort(assignment, kind="stable")
         counts = np.bincount(assignment, minlength=self.num_shards)
         offsets = np.concatenate(([0], np.cumsum(counts)))
-        begin = int(getattr(chunk, "begin", 0))
         parts: "list[tuple]" = []
         for shard in range(self.num_shards):
             index = order[offsets[shard] : offsets[shard + 1]]
@@ -168,7 +170,7 @@ class ShardRouter:
             )
             parts.append((sub, (begin + index).astype(np.int64)))
         try:
-            trace._shard_split_cache = (self.cache_token, parts)
+            trace._shard_split_cache = ((self.cache_token, begin), parts)
         except AttributeError:
             pass
         return parts

@@ -1,18 +1,34 @@
-"""The throughput harness's report-file handling.
+"""The bench harnesses' report-file handling.
 
-A bench run appends to ``BENCH_throughput.json`` and reads baselines out
-of it; a missing, unparseable, or wrong-shaped file must never crash a
-run mid-bench — it is moved aside to ``.corrupt`` (preserved for
-inspection) and the run starts a fresh history.
+A bench run appends to its history file (``BENCH_throughput.json``,
+``BENCH_overload.json``) and reads baselines out of it; a missing,
+unparseable, or wrong-shaped file must never crash a run mid-bench — it
+is moved aside to ``.corrupt`` (preserved for inspection) and the run
+starts a fresh history.  Legacy rows are backfilled so every row
+carries its harness's full key.
 """
 
 from __future__ import annotations
 
+import importlib.util
 import json
+import pathlib
 
 import pytest
 
 from repro.cli import _load_bench_module
+
+
+def _load_overload_module():
+    path = (
+        pathlib.Path(__file__).resolve().parents[1]
+        / "benchmarks"
+        / "bench_overload.py"
+    )
+    spec = importlib.util.spec_from_file_location("bench_overload", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 @pytest.fixture(scope="module")
@@ -147,3 +163,98 @@ class TestEnvironmentStamp:
         assert environment["cpu_count"] >= 1
         assert environment["platform"]
         assert environment["numpy_version"]
+
+
+class TestOverloadHistory:
+    """``BENCH_overload.json`` row keying: ``(git_sha, policy, overload)``."""
+
+    @pytest.fixture(scope="class")
+    def overload_bench(self):
+        return _load_overload_module()
+
+    @pytest.fixture()
+    def history_path(self, overload_bench, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH_overload.json"
+        monkeypatch.setattr(overload_bench, "OUTPUT_PATH", path)
+        return path
+
+    def _row(self, policy="shed", overload=2.5, timestamp=1.0, sha="abc123"):
+        return {
+            "git_sha": sha,
+            "policy": policy,
+            "overload": overload,
+            "timestamp": timestamp,
+        }
+
+    def test_missing_file_is_empty_history(self, overload_bench, history_path):
+        assert overload_bench._load_history() == []
+        assert not history_path.exists()
+
+    def test_corrupt_file_backed_up(self, overload_bench, history_path, capsys):
+        history_path.write_text("{not json")
+        assert overload_bench._load_history() == []
+        assert history_path.with_suffix(".json.corrupt").exists()
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_rows_key_on_sha_policy_and_overload(
+        self, overload_bench, history_path
+    ):
+        rows = [
+            self._row("shed", 2.5, timestamp=1.0),
+            self._row("shed", 4.0, timestamp=1.0),
+            self._row("degrade", 2.5, timestamp=1.0),
+            self._row("shed", 2.5, timestamp=2.0),  # re-measurement wins
+        ]
+        history_path.write_text(json.dumps(rows))
+        overload_bench._append_report([])
+        history = json.loads(history_path.read_text())
+        assert sorted(
+            (r["policy"], r["overload"], r["timestamp"]) for r in history
+        ) == [("degrade", 2.5, 1.0), ("shed", 2.5, 2.0), ("shed", 4.0, 1.0)]
+
+    def test_other_commits_rows_survive(self, overload_bench, history_path):
+        history_path.write_text(
+            json.dumps([self._row(sha="old001", timestamp=1.0)])
+        )
+        overload_bench._append_report(
+            [self._row(sha="new002", timestamp=2.0)]
+        )
+        history = json.loads(history_path.read_text())
+        assert {r["git_sha"] for r in history} == {"old001", "new002"}
+
+    def test_legacy_rows_backfilled(self, overload_bench, history_path):
+        legacy = {"timestamp": 1.0, "hh_recall": 0.9}
+        history_path.write_text(json.dumps([legacy]))
+        overload_bench._append_report([])
+        (row,) = json.loads(history_path.read_text())
+        assert row["git_sha"] == "unknown"
+        assert row["policy"] == "oblivious"
+        assert row["overload"] == 1.0
+        assert row["cpu_count"] is None
+        assert row["platform"] is None
+        assert row["numpy_version"] is None
+
+    def test_backfilled_legacy_row_superseded_by_keyed_row(
+        self, overload_bench, history_path
+    ):
+        legacy = {"timestamp": 1.0}
+        keyed = self._row("oblivious", 1.0, timestamp=2.0, sha="unknown")
+        history_path.write_text(json.dumps([legacy, keyed]))
+        overload_bench._append_report([])
+        (row,) = json.loads(history_path.read_text())
+        assert row["timestamp"] == 2.0
+
+    def test_output_sorted_by_timestamp(self, overload_bench, history_path):
+        rows = [
+            self._row("degrade", 4.0, timestamp=3.0),
+            self._row("shed", 2.5, timestamp=1.0),
+            self._row("oblivious", 2.5, timestamp=2.0),
+        ]
+        history_path.write_text(json.dumps(rows))
+        overload_bench._append_report([])
+        history = json.loads(history_path.read_text())
+        assert [r["timestamp"] for r in history] == [1.0, 2.0, 3.0]
+
+    def test_environment_stamp_fields(self, overload_bench):
+        environment = overload_bench._environment()
+        assert set(environment) == {"cpu_count", "platform", "numpy_version"}

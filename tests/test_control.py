@@ -1,0 +1,509 @@
+"""The closed-loop backpressure control plane.
+
+Contracts under test, layer by layer:
+
+* policies (:mod:`repro.pipeline.control`): ``none`` passes everything,
+  ``shed`` thins to the target with seed-stable sampling, ``degrade``
+  batches under pressure and restores after the cooldown;
+* mechanism: the thinning mask is a pure function of (seed, global
+  position) — identical across chunk geometries — and the governor
+  rebases kept chunks onto a dense kept stream;
+* drivers: ``--load-policy none`` is byte-identical to no controller at
+  all, shed runs are byte-identical across repeats, batching-only
+  degrade is byte-identical to ``none`` (chunking invariance), and a
+  sharded shed run equals the single-process one exactly;
+* service: the daemon accounts offered vs measured packets and surfaces
+  controller stats; the control socket renders them as Prometheus text.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import InstaMeasure, InstaMeasureConfig
+from repro.errors import ConfigurationError
+from repro.pipeline import (
+    ChunkGovernor,
+    DegradeController,
+    LOAD_POLICY_CHOICES,
+    LoadSignal,
+    NoLoadController,
+    Pipeline,
+    ShardedPipeline,
+    ShedController,
+    TraceChunkSource,
+    build_load_controller,
+    coalesce_chunks,
+    run_pipeline,
+    thin_chunk,
+    thin_mask,
+)
+from repro.state.codec import to_bytes
+from repro.traffic import CaidaLikeConfig, build_caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_caida_like_trace(
+        CaidaLikeConfig(num_flows=1_500, duration=6.0, seed=21)
+    )
+
+
+def _config(**overrides) -> InstaMeasureConfig:
+    base = dict(l1_memory_bytes=2_048, wsaf_entries=1 << 11, seed=5)
+    base.update(overrides)
+    return InstaMeasureConfig(**base)
+
+
+def _signal(offered_pps: float, packets: int = 1_000) -> LoadSignal:
+    return LoadSignal(
+        chunk_index=0, offered_packets=packets, offered_pps=offered_pps
+    )
+
+
+class TestPolicies:
+    def test_none_always_passes(self):
+        controller = NoLoadController()
+        for pps in (0.0, 1e3, 1e9, float("inf")):
+            decision = controller.decide(_signal(pps))
+            assert decision.action == "pass"
+            assert decision.keep_fraction == 1.0
+            assert decision.batch_chunks == 1
+
+    def test_shed_passes_under_target(self):
+        controller = ShedController(target_pps=1_000.0)
+        assert controller.decide(_signal(999.0)).action == "pass"
+        assert controller.decide(_signal(1_000.0)).action == "pass"
+
+    def test_shed_thins_proportionally_over_target(self):
+        controller = ShedController(target_pps=1_000.0)
+        decision = controller.decide(_signal(4_000.0))
+        assert decision.action == "thin"
+        assert decision.keep_fraction == pytest.approx(0.25)
+
+    def test_shed_drops_on_infinite_rate_without_floor(self):
+        controller = ShedController(target_pps=1_000.0)
+        assert controller.decide(_signal(float("inf"))).action == "drop"
+
+    def test_shed_min_keep_floors_the_sample(self):
+        controller = ShedController(target_pps=1_000.0, min_keep=0.1)
+        assert controller.decide(
+            _signal(1e9)
+        ).keep_fraction == pytest.approx(0.1)
+        assert controller.decide(
+            _signal(float("inf"))
+        ).keep_fraction == pytest.approx(0.1)
+
+    def test_shed_validation(self):
+        for target in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ConfigurationError):
+                ShedController(target_pps=target)
+        with pytest.raises(ConfigurationError):
+            ShedController(target_pps=1.0, min_keep=1.5)
+
+    def test_degrade_stays_passthrough_until_pressure(self):
+        controller = DegradeController(target_pps=1_000.0)
+        decision = controller.decide(_signal(500.0))
+        assert decision.action == "pass" and decision.batch_chunks == 1
+        assert not controller.degraded
+
+    def test_degrade_batches_within_boosted_budget(self):
+        controller = DegradeController(
+            target_pps=1_000.0, batch_chunks=4, boost=2.0
+        )
+        decision = controller.decide(_signal(1_500.0))
+        assert controller.degraded
+        # 1500 <= 1000 * 2.0: batching alone absorbs the overload.
+        assert decision.action == "pass"
+        assert decision.batch_chunks == 4
+        assert decision.degraded
+
+    def test_degrade_thins_above_boosted_budget(self):
+        controller = DegradeController(
+            target_pps=1_000.0, batch_chunks=4, boost=2.0
+        )
+        decision = controller.decide(_signal(8_000.0))
+        assert decision.action == "thin"
+        assert decision.keep_fraction == pytest.approx(2_000.0 / 8_000.0)
+        assert decision.degraded
+
+    def test_degrade_restores_after_cooldown(self):
+        controller = DegradeController(target_pps=1_000.0, cooldown=2)
+        controller.decide(_signal(5_000.0))
+        assert controller.degraded
+        # One quiet chunk is not enough (hysteresis)...
+        first_quiet = controller.decide(_signal(100.0))
+        assert first_quiet.degraded and controller.degraded
+        # ...the second clears the mode and pass-through resumes.
+        second_quiet = controller.decide(_signal(100.0))
+        assert not second_quiet.degraded
+        assert not controller.degraded
+        assert second_quiet.action == "pass"
+        assert second_quiet.batch_chunks == 1
+
+    def test_degrade_pressure_resets_the_cooldown(self):
+        controller = DegradeController(target_pps=1_000.0, cooldown=2)
+        controller.decide(_signal(5_000.0))
+        controller.decide(_signal(100.0))
+        controller.decide(_signal(5_000.0))  # pressure again
+        controller.decide(_signal(100.0))
+        assert controller.degraded  # the quiet counter restarted
+
+    def test_degrade_validation(self):
+        with pytest.raises(ConfigurationError):
+            DegradeController(target_pps=0.0)
+        with pytest.raises(ConfigurationError):
+            DegradeController(target_pps=1.0, batch_chunks=0)
+        with pytest.raises(ConfigurationError):
+            DegradeController(target_pps=1.0, boost=0.5)
+        with pytest.raises(ConfigurationError):
+            DegradeController(target_pps=1.0, cooldown=0)
+
+    def test_factory(self):
+        assert build_load_controller(None) is None
+        assert build_load_controller("none") is None
+        assert isinstance(
+            build_load_controller("shed", target_pps=10.0), ShedController
+        )
+        assert isinstance(
+            build_load_controller("degrade", target_pps=10.0),
+            DegradeController,
+        )
+        with pytest.raises(ConfigurationError, match="unknown load policy"):
+            build_load_controller("panic", target_pps=10.0)
+        with pytest.raises(ConfigurationError, match="target-pps"):
+            build_load_controller("shed")
+        assert set(LOAD_POLICY_CHOICES) == {"none", "shed", "degrade"}
+
+
+class TestThinningMechanism:
+    def test_mask_is_deterministic(self):
+        first = thin_mask(0, 10_000, 0.4, seed=9)
+        second = thin_mask(0, 10_000, 0.4, seed=9)
+        assert (first == second).all()
+
+    def test_mask_is_geometry_invariant(self):
+        whole = thin_mask(0, 10_000, 0.4, seed=9)
+        pieces = np.concatenate(
+            [
+                thin_mask(0, 3_000, 0.4, seed=9),
+                thin_mask(3_000, 7_500, 0.4, seed=9),
+                thin_mask(7_500, 10_000, 0.4, seed=9),
+            ]
+        )
+        assert (whole == pieces).all()
+
+    def test_mask_fraction_tracks_keep(self):
+        mask = thin_mask(0, 100_000, 0.3, seed=1)
+        assert mask.mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_mask_varies_with_seed(self):
+        assert (
+            thin_mask(0, 10_000, 0.5, seed=1)
+            != thin_mask(0, 10_000, 0.5, seed=2)
+        ).any()
+
+    def test_thin_chunk_rebases_onto_kept_stream(self, trace):
+        (chunk,) = TraceChunkSource(trace, chunk_size=trace.num_packets)
+        kept = thin_chunk(chunk, 0.5, seed=3, kept_begin=40)
+        assert kept.begin == 40
+        assert kept.end - kept.begin == kept.num_packets
+        assert 0 < kept.num_packets < chunk.num_packets
+        assert kept.total_packets == chunk.total_packets
+        assert kept.trace.flows is chunk.trace.flows
+
+    def test_thin_chunk_empty_sample_is_none(self, trace):
+        source = TraceChunkSource(trace, chunk_size=4)
+        chunk = next(iter(source))
+        # A vanishing keep fraction on a tiny chunk keeps nothing.
+        assert thin_chunk(chunk, 1e-12, seed=1_000, kept_begin=0) is None
+
+    def test_coalesce_round_trips_the_packets(self, trace):
+        chunks = list(TraceChunkSource(trace, chunk_size=1_000))
+        merged = coalesce_chunks(chunks)
+        assert merged.num_packets == trace.num_packets
+        assert (merged.trace.flow_ids == trace.flow_ids).all()
+        assert (merged.trace.timestamps == trace.timestamps).all()
+        assert merged.begin == 0 and merged.end == trace.num_packets
+
+    def test_coalesce_rejects_mixed_flow_tables(self, trace):
+        other = build_caida_like_trace(
+            CaidaLikeConfig(num_flows=50, duration=1.0, seed=99)
+        )
+        first = next(iter(TraceChunkSource(trace, chunk_size=500)))
+        second = next(iter(TraceChunkSource(other, chunk_size=500)))
+        with pytest.raises(ConfigurationError):
+            coalesce_chunks([first, second])
+
+
+class TestChunkGovernor:
+    def test_stats_conserve_packets(self, trace):
+        governor = ChunkGovernor(ShedController(target_pps=1_000.0, seed=2))
+        for chunk in TraceChunkSource(trace, chunk_size=700):
+            governor.admit(chunk)
+        tail = governor.flush()
+        assert tail is None  # shed never batches
+        stats = governor.stats
+        assert stats.offered_packets == trace.num_packets
+        assert stats.kept_packets + stats.dropped_packets == trace.num_packets
+        assert 0 < stats.kept_packets < trace.num_packets
+        assert stats.chunks == len(
+            list(TraceChunkSource(trace, chunk_size=700))
+        )
+
+    def test_kept_stream_is_dense(self, trace):
+        """Ready chunks tile [first.begin, first.begin + kept) exactly."""
+        governor = ChunkGovernor(ShedController(target_pps=1_000.0, seed=2))
+        ready = []
+        for chunk in TraceChunkSource(trace, chunk_size=700):
+            ready.extend(governor.admit(chunk))
+        position = ready[0].begin
+        assert position == 0
+        for chunk in ready:
+            assert chunk.begin == position
+            assert chunk.end == chunk.begin + chunk.num_packets
+            position = chunk.end
+        assert position == governor.stats.kept_packets
+
+    def test_batch_flushes_on_epoch_change(self, trace):
+        class AlwaysBatch(NoLoadController):
+            def decide(self, signal):
+                from repro.pipeline import ControlDecision
+
+                return ControlDecision(action="pass", batch_chunks=100)
+
+        governor = ChunkGovernor(AlwaysBatch())
+        source = TraceChunkSource(trace, chunk_size=500, epoch_seconds=2.0)
+        flushes = []
+        for chunk in source:
+            flushes.extend(governor.admit(chunk))
+        tail = governor.flush()
+        if tail is not None:
+            flushes.append(tail)
+        # Every flushed batch covers a single epoch.
+        epochs = [chunk.epoch for chunk in flushes]
+        assert len(flushes) >= 2
+        assert len(set(epochs)) == len(epochs)
+        assert sum(chunk.num_packets for chunk in flushes) == trace.num_packets
+
+    def test_decision_history_is_bounded(self, trace):
+        governor = ChunkGovernor(
+            ShedController(target_pps=1_000.0, seed=2), history=3
+        )
+        for chunk in TraceChunkSource(trace, chunk_size=300):
+            governor.admit(chunk)
+        assert len(governor.decisions) == 3
+        assert governor.decisions[-1].kept_packets <= (
+            governor.decisions[-1].offered_packets
+        )
+
+
+class TestControlledPipeline:
+    def test_none_policy_is_byte_identical_to_no_controller(self, trace):
+        plain = InstaMeasure(_config())
+        run_pipeline(plain, TraceChunkSource(trace, chunk_size=700))
+        controlled = InstaMeasure(_config())
+        result = run_pipeline(
+            controlled,
+            TraceChunkSource(trace, chunk_size=700),
+            controller=NoLoadController(),
+        )
+        assert to_bytes(controlled.snapshot()) == to_bytes(plain.snapshot())
+        assert result.offered_packets == trace.num_packets
+        assert result.controller_stats["policy"] == "none"
+        assert result.controller_stats["keep_rate"] == 1.0
+        assert all(r.action == "pass" for r in result.decisions)
+
+    def test_uncontrolled_result_reports_offered_packets(self, trace):
+        result = run_pipeline(
+            InstaMeasure(_config()),
+            TraceChunkSource(trace, chunk_size=700),
+        )
+        assert result.offered_packets == trace.num_packets
+        assert result.controller_stats is None
+        assert result.decisions == []
+
+    def test_shed_runs_are_byte_identical(self, trace):
+        snapshots = []
+        for _ in range(2):
+            engine = InstaMeasure(_config())
+            result = run_pipeline(
+                engine,
+                TraceChunkSource(trace, chunk_size=700),
+                controller=ShedController(target_pps=1_000.0, seed=17),
+            )
+            snapshots.append(to_bytes(engine.snapshot()))
+        assert snapshots[0] == snapshots[1]
+        stats = result.controller_stats
+        assert 0 < stats["kept_packets"] < trace.num_packets
+        assert result.result.packets == stats["kept_packets"]
+
+    def test_sharded_shed_equals_single_process(self, trace):
+        controller = ShedController(target_pps=1_000.0, seed=17)
+        single = InstaMeasure(_config())
+        run_pipeline(
+            single,
+            TraceChunkSource(trace, chunk_size=700),
+            controller=ShedController(target_pps=1_000.0, seed=17),
+        )
+        sharded = ShardedPipeline(
+            _config(), num_shards=2, parallel=False, controller=controller
+        ).run(TraceChunkSource(trace, chunk_size=700))
+        assert (
+            sharded.estimates_for(trace)[0] == single.estimates_for(trace)[0]
+        ).all()
+        assert (
+            sharded.controller_stats["kept_packets"]
+            == sharded.packets
+            < trace.num_packets
+        )
+        assert sharded.offered_packets == trace.num_packets
+
+    def test_batching_only_degrade_is_byte_identical_to_none(self, trace):
+        """Chunking invariance: coalesced ingests change nothing but the
+        dispatch count."""
+        plain = InstaMeasure(_config())
+        run_pipeline(plain, TraceChunkSource(trace, chunk_size=500))
+        degraded = InstaMeasure(_config())
+        # A huge boost means batching alone absorbs any overload — the
+        # controller never thins, only coalesces.
+        controller = DegradeController(
+            target_pps=1.0, batch_chunks=4, boost=1e12
+        )
+        result = run_pipeline(
+            degraded,
+            TraceChunkSource(trace, chunk_size=500),
+            controller=controller,
+        )
+        assert to_bytes(degraded.snapshot()) == to_bytes(plain.snapshot())
+        stats = result.controller_stats
+        assert stats["kept_packets"] == trace.num_packets
+        assert stats["batched_ingests"] >= 1
+        assert stats["degraded_chunks"] >= 1
+
+    def test_epoch_rotation_survives_shedding(self, trace):
+        engine = InstaMeasure(_config())
+        result = run_pipeline(
+            engine,
+            TraceChunkSource(trace, chunk_size=500, epoch_seconds=2.0),
+            controller=ShedController(target_pps=1_000.0, seed=17),
+            rotate=True,
+        )
+        assert len(result.epochs) >= 2
+        counts = [e.packets_so_far for e in result.epochs]
+        assert counts == sorted(counts)
+        assert counts[-1] == result.controller_stats["kept_packets"]
+
+
+class TestDaemonControl:
+    @pytest.fixture(scope="class")
+    def capture(self, trace, tmp_path_factory):
+        from repro.traffic.pcaplite import write_pcaplite
+
+        path = tmp_path_factory.mktemp("control") / "trace.impl"
+        write_pcaplite(trace, path)
+        return str(path)
+
+    def _source(self, capture):
+        from repro.pipeline import PacketRecordChunkSource
+
+        return PacketRecordChunkSource(
+            capture, chunk_size=700, epoch_seconds=1.0
+        )
+
+    def test_rejects_unknown_policy_up_front(self, capture):
+        from repro.service import MeasurementDaemon
+
+        with pytest.raises(ConfigurationError):
+            MeasurementDaemon(
+                self._source(capture), config=_config(), load_policy="panic"
+            )
+
+    def test_shed_daemon_accounts_offered_vs_measured(self, trace, capture):
+        from repro.service import MeasurementDaemon
+
+        daemon = MeasurementDaemon(
+            self._source(capture),
+            config=_config(),
+            load_policy="shed",
+            target_pps=1_000.0,
+        )
+        daemon.start()
+        assert daemon.wait(60.0)
+        assert daemon.error is None
+        stats = daemon.stats()
+        assert stats["packets"] == trace.num_packets  # offered
+        assert 0 < stats["measured_packets"] < trace.num_packets
+        assert stats["load_policy"] == "shed"
+        assert stats["target_pps"] == 1_000.0
+        controller = stats["controller"]
+        assert controller["policy"] == "shed"
+        assert controller["kept_packets"] == stats["measured_packets"]
+        assert daemon.measured_packets == stats["measured_packets"]
+
+    def test_none_daemon_measures_everything(self, trace, capture):
+        from repro.service import MeasurementDaemon
+
+        daemon = MeasurementDaemon(self._source(capture), config=_config())
+        daemon.start()
+        assert daemon.wait(60.0)
+        stats = daemon.stats()
+        assert stats["measured_packets"] == trace.num_packets
+        assert stats["load_policy"] == "none"
+        assert stats["controller"] is None
+
+
+class TestRenderMetrics:
+    def test_exposition_format(self):
+        from repro.service import render_metrics
+
+        text = render_metrics(
+            {
+                "packets": 42,
+                "pps_recent": 1.5,
+                "running": True,
+                "error": None,
+                "load_policy": "shed",
+                "controller": {"kept_packets": 21, "keep_rate": 0.5},
+            }
+        )
+        lines = text.splitlines()
+        assert "# TYPE instameasure_packets counter" in lines
+        assert "instameasure_packets 42" in lines
+        assert "# TYPE instameasure_pps_recent gauge" in lines
+        assert "instameasure_pps_recent 1.5" in lines
+        assert "instameasure_running 1" in lines
+        # Nested controller stats flatten; counters stay counters.
+        assert "# TYPE instameasure_controller_kept_packets counter" in lines
+        assert "instameasure_controller_kept_packets 21" in lines
+        assert "# TYPE instameasure_controller_keep_rate gauge" in lines
+        # Non-numeric values are skipped, not mangled.
+        assert not any("load_policy" in line for line in lines)
+        assert not any("error" in line for line in lines)
+        assert text.endswith("\n")
+
+    def test_non_finite_and_unsafe_names(self):
+        from repro.service import render_metrics
+
+        text = render_metrics(
+            {"pps-total": 3, "bad": float("nan"), "worse": float("inf")}
+        )
+        assert "instameasure_pps_total 3" in text
+        assert "bad" not in text and "worse" not in text
+
+    def test_metrics_verb_over_the_socket(self):
+        from repro.service import ControlServer, send_command
+
+        class FakeDaemon:
+            def stats(self):
+                return {"packets": 7, "controller": {"keep_rate": 1.0}}
+
+        with ControlServer(FakeDaemon()) as server:
+            ok, payload = send_command(server.address, "metrics")
+        assert ok
+        assert isinstance(payload, str)
+        assert "# TYPE instameasure_packets counter" in payload
+        assert "instameasure_controller_keep_rate 1.0" in payload

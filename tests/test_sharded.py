@@ -465,6 +465,81 @@ class TestPrefetchChunkSource:
         list(prefetched)
         assert prefetched.prefetch_stats is not stats
 
+    def test_queue_depth_signal_under_slow_consumer(self, trace):
+        """The live ``queue_depth`` surface the load controller reads:
+        bounded by the configured depth, non-zero while a slow consumer
+        lets the producer run ahead, and back to 0 between passes."""
+        import time
+
+        prefetched = PrefetchChunkSource(
+            TraceChunkSource(trace, chunk_size=500), depth=2
+        )
+        assert prefetched.queue_depth == 0  # no pass in flight
+        observed = []
+        for _ in prefetched:
+            time.sleep(0.002)  # ingestion is the bottleneck
+            observed.append(prefetched.queue_depth)
+        assert len(observed) > 5
+        assert all(0 <= depth <= 2 for depth in observed)
+        assert max(observed) >= 1
+        assert prefetched.queue_depth == 0  # pass over, surface resets
+        # Consistency with the recorded high-water mark: the producer
+        # saw the queue at least as deep as any mid-stream reading,
+        # minus the end-of-stream sentinel a reading may include.
+        stats = prefetched.prefetch_stats
+        assert stats.max_depth >= max(observed) - 1
+        assert stats.max_depth <= 2
+
+    def test_slow_consumer_records_producer_waits(self, trace):
+        """With depth=1 and a dawdling consumer, the producer must block
+        on the full queue and the pass must account for that time."""
+        import time
+
+        prefetched = PrefetchChunkSource(
+            TraceChunkSource(trace, chunk_size=500), depth=1
+        )
+        for _ in prefetched:
+            time.sleep(0.002)
+        stats = prefetched.prefetch_stats
+        assert stats.producer_wait_s > 0.0
+        assert stats.chunks == len(list(TraceChunkSource(trace, chunk_size=500)))
+
+    def test_early_close_joins_producer_with_signal_surface(self, trace):
+        """Reading the new load-signal surface mid-pass must not keep an
+        abandoned pass's producer alive, and the surface must report 0
+        once the pass is torn down."""
+        import threading
+        import time
+
+        def prefetch_threads():
+            return [
+                worker
+                for worker in threading.enumerate()
+                if worker.name == "chunk-prefetch" and worker.is_alive()
+            ]
+
+        prefetched = PrefetchChunkSource(
+            TraceChunkSource(trace, chunk_size=100), depth=1
+        )
+        iterator = iter(prefetched)
+        next(iterator)  # the producer is now blocked staging chunk 3
+        assert prefetched.queue_depth >= 0  # live queue, readable
+        iterator.close()  # consumer abandons the pass
+
+        deadline = time.monotonic() + 5.0
+        while prefetch_threads() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not prefetch_threads()
+        assert prefetched.queue_depth == 0
+
+    def test_offered_pps_delegates_to_source(self, trace):
+        inner = TraceChunkSource(trace, chunk_size=1_000)
+        prefetched = PrefetchChunkSource(inner, depth=2)
+        assert prefetched.offered_pps == inner.offered_pps
+        assert prefetched.offered_pps == pytest.approx(
+            trace.num_packets / trace.duration, rel=0.01
+        )
+
     def test_pipeline_surfaces_prefetch_stats(self, trace):
         from repro.pipeline import Pipeline
 

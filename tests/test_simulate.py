@@ -106,12 +106,30 @@ class TestMirrorPort:
         port = MirrorPort(capacity_bps=1e9)
         delivered, stats = port.apply(trace)
         assert delivered.num_packets == 0 and stats.offered_packets == 0
+        # Well-defined all the way down: no division by zero.
+        assert stats.drop_rate == 0.0
+        assert stats.delivered_packets == stats.dropped_packets == 0
 
     def test_invalid_config(self):
         with pytest.raises(ConfigurationError):
             MirrorPort(capacity_bps=0)
         with pytest.raises(ConfigurationError):
             MirrorPort(capacity_bps=1e9, buffer_bytes=0)
+
+    @pytest.mark.parametrize("capacity", [-1e6, float("nan"), float("inf")])
+    def test_degenerate_capacity_rejected_clearly(self, capacity):
+        with pytest.raises(ConfigurationError, match="capacity_bps"):
+            MirrorPort(capacity_bps=capacity)
+
+    @pytest.mark.parametrize("buffer_bytes", [-1, float("nan"), float("inf")])
+    def test_degenerate_buffer_rejected_clearly(self, buffer_bytes):
+        with pytest.raises(ConfigurationError, match="buffer_bytes"):
+            MirrorPort(capacity_bps=1e9, buffer_bytes=buffer_bytes)
+
+    def test_config_errors_are_value_errors(self):
+        # Callers that only know stdlib exceptions can still catch them.
+        with pytest.raises(ValueError):
+            MirrorPort(capacity_bps=-5)
 
 
 class TestQueueSimulation:
